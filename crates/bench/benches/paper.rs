@@ -1,0 +1,112 @@
+//! Criterion wrappers, one group per paper table/figure, at reduced
+//! sizes so `cargo bench` completes quickly. The full-scale harnesses
+//! live in `src/bin/{table1,table2,fig5,table3,ablation}.rs`.
+
+use align::{grampa_similarity, DEFAULT_ETA};
+use cpu_hungarian::Munkres;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::gaussian_cost_matrix;
+use fastha::FastHa;
+use graphs::{erdos_renyi_gnm, keep_edge_fraction};
+use hunipu::HunIpu;
+use ipu_sim::IpuConfig;
+use lsap::LsapSolver;
+use std::hint::black_box;
+
+/// Table II (reduced): HunIPU vs classic CPU Munkres across value
+/// ranges.
+fn table2_reduced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let n = 64;
+    for k in [1u64, 100, 10000] {
+        let m = gaussian_cost_matrix(n, k, 1);
+        group.bench_with_input(BenchmarkId::new("hunipu", k), &m, |b, m| {
+            b.iter(|| {
+                HunIpu::with_config(IpuConfig::tiny(16))
+                    .solve(black_box(m))
+                    .unwrap()
+                    .objective
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_classic", k), &m, |b, m| {
+            b.iter(|| Munkres::new().solve(black_box(m)).unwrap().objective)
+        });
+    }
+    group.finish();
+}
+
+/// Figure 5 (reduced): HunIPU vs FastHA across sizes.
+fn fig5_reduced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let m = gaussian_cost_matrix(n, 500, 2);
+        group.bench_with_input(BenchmarkId::new("hunipu", n), &m, |b, m| {
+            b.iter(|| {
+                HunIpu::with_config(IpuConfig::tiny(16))
+                    .solve(black_box(m))
+                    .unwrap()
+                    .objective
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fastha", n), &m, |b, m| {
+            b.iter(|| FastHa::new().solve(black_box(m)).unwrap().objective)
+        });
+    }
+    group.finish();
+}
+
+/// Table III (reduced): the alignment pipeline on a small ER graph.
+fn table3_reduced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let g = erdos_renyi_gnm(32, 120, 3);
+    let noisy = keep_edge_fraction(&g, 0.9, 4);
+    group.bench_function("grampa_similarity", |b| {
+        b.iter(|| grampa_similarity(black_box(&g), black_box(&noisy), DEFAULT_ETA))
+    });
+    let sim = grampa_similarity(&g, &noisy, DEFAULT_ETA);
+    let cost = sim.similarity_to_cost();
+    group.bench_function("hunipu_align_solve", |b| {
+        b.iter(|| {
+            HunIpu::with_config(IpuConfig::tiny(16))
+                .solve(black_box(&cost))
+                .unwrap()
+                .objective
+        })
+    });
+    let (padded, _) = sim.padded_to_pow2(0.0);
+    let padded_cost = padded.similarity_to_cost();
+    group.bench_function("fastha_align_solve_padded", |b| {
+        b.iter(|| {
+            FastHa::new()
+                .solve(black_box(&padded_cost))
+                .unwrap()
+                .objective
+        })
+    });
+    group.finish();
+}
+
+/// Table I: dataset generators (exact n, m regeneration).
+fn table1_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("synthetic_highschool", |b| {
+        b.iter(|| graphs::realworld::synthetic_highschool(black_box(1)).m())
+    });
+    group.bench_function("synthetic_voles", |b| {
+        b.iter(|| graphs::realworld::synthetic_voles(black_box(1)).m())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_generators,
+    table2_reduced,
+    fig5_reduced,
+    table3_reduced
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the LSAP engines (host wall time of the
+//! solve/simulation — regression tracking for the implementations; the
+//! paper-shaped *modeled* numbers come from the harness binaries).
+
+use cpu_hungarian::{JonkerVolgenant, Munkres};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::gaussian_cost_matrix;
+use fastha::FastHa;
+use hunipu::HunIpu;
+use ipu_sim::IpuConfig;
+use lsap::LsapSolver;
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let m = gaussian_cost_matrix(n, 10, 42);
+        group.bench_with_input(BenchmarkId::new("jv", n), &m, |b, m| {
+            b.iter(|| {
+                JonkerVolgenant::new()
+                    .solve(black_box(m))
+                    .unwrap()
+                    .objective
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("munkres_classic", n), &m, |b, m| {
+            b.iter(|| Munkres::new().solve(black_box(m)).unwrap().objective)
+        });
+        group.bench_with_input(BenchmarkId::new("munkres_indexed", n), &m, |b, m| {
+            b.iter(|| Munkres::indexed().solve(black_box(m)).unwrap().objective)
+        });
+        group.bench_with_input(BenchmarkId::new("hunipu_sim", n), &m, |b, m| {
+            b.iter(|| {
+                HunIpu::with_config(IpuConfig::tiny(16))
+                    .solve(black_box(m))
+                    .unwrap()
+                    .objective
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fastha_sim", n), &m, |b, m| {
+            b.iter(|| FastHa::new().solve(black_box(m)).unwrap().objective)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

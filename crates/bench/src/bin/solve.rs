@@ -1,0 +1,137 @@
+//! Generic assignment-solver CLI: load (or generate) a cost matrix,
+//! solve it with any engine in the workspace, print the matching.
+//!
+//! ```text
+//! cargo run --release -p bench --bin solve -- --engine hunipu --csv costs.csv
+//! cargo run --release -p bench --bin solve -- --engine fastha --random 256 --k 10
+//! cargo run --release -p bench --bin solve -- --engine jv --random 64 --pairs
+//! ```
+//!
+//! Engines: `hunipu` (modeled Mk2), `fastha` (modeled A100, 2^m sizes),
+//! `cpu` (classic Munkres), `indexed` (index-accelerated Munkres),
+//! `jv` (Jonker–Volgenant), `auction`.
+
+use cpu_hungarian::{Auction, JonkerVolgenant, Munkres};
+use fastha::FastHa;
+use hunipu::HunIpu;
+use lsap::{CostMatrix, LsapSolver};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: solve --engine <hunipu|fastha|cpu|indexed|jv|auction> \
+         (--csv FILE | --random N [--k K] [--seed S]) [--pairs]"
+    );
+    std::process::exit(2)
+}
+
+fn load_csv(path: &str) -> CostMatrix {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    let rows: Vec<Vec<f64>> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.split(',')
+                .map(|x| {
+                    x.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("bad number '{x}' in {path}");
+                        std::process::exit(2)
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    CostMatrix::from_rows(&refs).unwrap_or_else(|e| {
+        eprintln!("bad matrix in {path}: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = String::from("hunipu");
+    let mut csv: Option<String> = None;
+    let mut random: Option<usize> = None;
+    let mut k = 10u64;
+    let mut seed = 1u64;
+    let mut show_pairs = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => engine = it.next().unwrap_or_else(|| usage()),
+            "--csv" => csv = Some(it.next().unwrap_or_else(|| usage())),
+            "--random" => {
+                random = Some(
+                    it.next()
+                        .and_then(|x| x.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--k" => {
+                k = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--pairs" => show_pairs = true,
+            _ => usage(),
+        }
+    }
+
+    let matrix = match (csv, random) {
+        (Some(path), None) => load_csv(&path),
+        (None, Some(n)) => datasets::gaussian_cost_matrix(n, k, seed),
+        _ => usage(),
+    };
+    println!(
+        "instance: {}x{} (values {:?})",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.min_max()
+    );
+
+    let mut solver: Box<dyn LsapSolver> = match engine.as_str() {
+        "hunipu" => Box::new(HunIpu::new()),
+        "fastha" => Box::new(FastHa::new()),
+        "cpu" => Box::new(Munkres::new()),
+        "indexed" => Box::new(Munkres::indexed()),
+        "jv" => Box::new(JonkerVolgenant::new()),
+        "auction" => Box::new(Auction::new()),
+        _ => usage(),
+    };
+    let report = match solver.solve(&matrix) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{engine} failed: {e}");
+            std::process::exit(1)
+        }
+    };
+    if show_pairs {
+        for (i, j) in report.assignment.pairs() {
+            println!("{i},{j}");
+        }
+    }
+    println!("objective: {}", report.objective);
+    if engine != "auction" {
+        report
+            .verify(&matrix, 1e-5)
+            .expect("optimality certificate");
+        println!("certificate: verified optimal");
+    }
+    if let Some(s) = report.stats.modeled_seconds {
+        println!(
+            "modeled {engine} time: {:.3} ms (host simulation took {:.3} s)",
+            s * 1e3,
+            report.stats.wall_seconds
+        );
+    }
+}

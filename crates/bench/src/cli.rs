@@ -1,0 +1,113 @@
+//! Tiny dependency-free argument parsing shared by the harness binaries.
+
+/// Parsed command-line options.
+///
+/// Conventions across binaries:
+/// - `--full` runs the paper's complete parameter grid (hours of host
+///   time when simulating the biggest instances); the default grid is
+///   chosen to finish in minutes while covering the shape,
+/// - `--sizes 512,1024` / `--ks 10,500` override the sweeps,
+/// - `--seed N` changes the dataset seed,
+/// - positional arguments select sub-experiments (e.g. `table3
+///   highschool`).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// `--full` grid flag.
+    pub full: bool,
+    /// `--uniform`: use uniformly-distributed costs instead of Gaussian
+    /// (the paper reports "similar speedup with uniformly distributed
+    /// data", omitted there for space — reproducible here).
+    pub uniform: bool,
+    /// Override for the size sweep.
+    pub sizes: Option<Vec<usize>>,
+    /// Override for the k (value-range) sweep.
+    pub ks: Option<Vec<u64>>,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Positional arguments.
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, panicking with a usage hint on malformed
+    /// input (these are developer-facing harnesses).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args {
+            seed: 1,
+            ..Default::default()
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => out.full = true,
+                "--uniform" => out.uniform = true,
+                "--sizes" => {
+                    let v = it.next().expect("--sizes needs a comma-separated list");
+                    out.sizes = Some(
+                        v.split(',')
+                            .map(|x| x.trim().parse().expect("bad size"))
+                            .collect(),
+                    );
+                }
+                "--ks" => {
+                    let v = it.next().expect("--ks needs a comma-separated list");
+                    out.ks = Some(
+                        v.split(',')
+                            .map(|x| x.trim().parse().expect("bad k"))
+                            .collect(),
+                    );
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("bad seed");
+                }
+                other if other.starts_with("--") => {
+                    panic!("unknown flag {other}; supported: --full --uniform --sizes --ks --seed")
+                }
+                other => out.positional.push(other.to_string()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("");
+        assert!(!a.full);
+        assert_eq!(a.seed, 1);
+        assert!(a.sizes.is_none());
+    }
+
+    #[test]
+    fn full_sizes_ks_seed_and_positional() {
+        let a = parse("--full --sizes 512,1024 --ks 10,500 --seed 7 highschool");
+        assert!(a.full);
+        assert_eq!(a.sizes.as_deref(), Some(&[512, 1024][..]));
+        assert_eq!(a.ks.as_deref(), Some(&[10, 500][..]));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.positional, vec!["highschool"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse("--bogus");
+    }
+}

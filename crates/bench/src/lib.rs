@@ -1,0 +1,20 @@
+//! Shared harness code for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary prints the paper's rows/series and writes a JSON record
+//! under `target/experiments/` for provenance. Absolute numbers are
+//! *modeled* device times (see the `calibration` modules of `ipu-sim`,
+//! `gpu-sim`, and `cpu-hungarian`); the reproduction target is the
+//! paper's **shape** — who wins, by roughly what factor, and how the
+//! factors move with size and value range.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cli;
+pub mod record;
+pub mod runners;
+
+pub use cli::Args;
+pub use record::{ExperimentRecord, Measurement};
+pub use runners::{fmt_time, run_cpu, run_fastha, run_hunipu, CpuExtrapolator};

@@ -1,0 +1,232 @@
+//! Bertsekas' auction algorithm with ε-scaling.
+//!
+//! Included as an extension baseline (the paper's related work discusses
+//! parallel alternatives to the Hungarian algorithm; the auction algorithm
+//! is the classic one). Unmatched rows ("persons") bid for their most
+//! valuable column ("object"), raising its price by the bid increment plus
+//! ε; ε-scaling runs the auction with geometrically decreasing ε.
+//!
+//! For real-valued costs the result satisfies **ε-complementary
+//! slackness**: the assignment cost is within `n * ε_final` of the optimum
+//! (exact when costs are integers and `ε_final < 1/n`). The returned
+//! certificate uses prices as column potentials and the *feasible*
+//! row potentials `u_i = min_j (c_ij - v_j)`, so dual feasibility is exact
+//! and only tightness carries the ε slack; verify with
+//! [`Auction::verify_tolerance`].
+
+use crate::calibration;
+use crate::ops::OpCounter;
+use lsap::{
+    Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver, SolveReport, SolverStats,
+};
+use std::time::Instant;
+
+/// Auction solver configuration.
+#[derive(Debug, Clone)]
+pub struct Auction {
+    /// Final ε (absolute). The assignment is within `n * eps_final` of
+    /// optimal.
+    pub eps_final: f64,
+    /// Factor by which ε shrinks between scaling phases (> 1).
+    pub scaling_factor: f64,
+}
+
+impl Default for Auction {
+    fn default() -> Self {
+        Self {
+            eps_final: 1e-6,
+            scaling_factor: 5.0,
+        }
+    }
+}
+
+impl Auction {
+    /// Creates a solver with default ε-scaling parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with a specific final ε.
+    pub fn with_eps(eps_final: f64) -> Self {
+        Self {
+            eps_final,
+            ..Self::default()
+        }
+    }
+
+    /// Absolute tolerance to use when verifying this solver's certificate:
+    /// tightness on matched pairs holds up to `ε_final` per pair.
+    pub fn verify_tolerance(&self, matrix: &CostMatrix) -> f64 {
+        let (lo, hi) = matrix.min_max();
+        let scale = 1.0_f64.max(lo.abs()).max(hi.abs());
+        // DualCertificate::verify multiplies eps by the matrix magnitude,
+        // so divide it back out here.
+        self.eps_final / scale + lsap::COST_EPS
+    }
+}
+
+impl LsapSolver for Auction {
+    fn name(&self) -> &'static str {
+        "auction"
+    }
+
+    fn solve(&mut self, matrix: &CostMatrix) -> Result<SolveReport, LsapError> {
+        if !matrix.is_square() {
+            return Err(LsapError::NotSquare {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+            });
+        }
+        let start = Instant::now();
+        let n = matrix.n();
+        let c = matrix.as_slice();
+        let mut ops = OpCounter::new();
+
+        // Work with benefits b_ij = -c_ij (auction maximizes).
+        let (lo, hi) = matrix.min_max();
+        let spread = (hi - lo).max(1e-12);
+        let mut eps = spread / 2.0;
+        let mut prices = vec![0.0_f64; n];
+        const FREE: usize = usize::MAX;
+        let mut row_col = vec![FREE; n];
+        let mut col_row = vec![FREE; n];
+        let mut rounds = 0u64;
+
+        loop {
+            // Reset the assignment for this ε phase (prices persist: this
+            // is what makes ε-scaling effective).
+            row_col.iter_mut().for_each(|x| *x = FREE);
+            col_row.iter_mut().for_each(|x| *x = FREE);
+            let mut unassigned: Vec<usize> = (0..n).collect();
+
+            while let Some(i) = unassigned.pop() {
+                rounds += 1;
+                // Find the best and second-best value for person i.
+                let row = &c[i * n..(i + 1) * n];
+                let mut best_j = 0;
+                let mut best = f64::NEG_INFINITY;
+                let mut second = f64::NEG_INFINITY;
+                for (j, (&cost, &p)) in row.iter().zip(prices.iter()).enumerate() {
+                    let value = -cost - p;
+                    if value > best {
+                        second = best;
+                        best = value;
+                        best_j = j;
+                    } else if value > second {
+                        second = value;
+                    }
+                }
+                ops.scan(2 * n);
+                // Bid: raise the price so i is indifferent to its second
+                // choice, plus ε to guarantee progress.
+                let increment = if second == f64::NEG_INFINITY {
+                    eps
+                } else {
+                    best - second + eps
+                };
+                prices[best_j] += increment;
+                if col_row[best_j] != FREE {
+                    let evicted = col_row[best_j];
+                    row_col[evicted] = FREE;
+                    unassigned.push(evicted);
+                    ops.branch(1);
+                }
+                row_col[i] = best_j;
+                col_row[best_j] = i;
+            }
+
+            if eps <= self.eps_final {
+                break;
+            }
+            eps = (eps / self.scaling_factor).max(self.eps_final);
+        }
+        let wall = start.elapsed().as_secs_f64();
+
+        let assignment = Assignment::from_row_to_col(row_col.iter().map(|&j| Some(j)).collect());
+        let objective = assignment.cost(matrix)?;
+
+        // Certificate: v_j = -price_j; u_i = min_j (c_ij - v_j) is feasible
+        // by construction and tight on matches up to ε.
+        let v: Vec<f64> = prices.iter().map(|&p| -p).collect();
+        let u: Vec<f64> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| c[i * n + j] - v[j])
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        ops.scan(n * n);
+
+        let stats = SolverStats {
+            modeled_seconds: Some(calibration::modeled_seconds(&ops)),
+            modeled_cycles: Some(calibration::modeled_cycles(&ops)),
+            wall_seconds: wall,
+            augmentations: rounds,
+            dual_updates: 0,
+            device_steps: 0,
+        };
+        Ok(SolveReport {
+            assignment,
+            objective,
+            certificate: DualCertificate::new(u, v),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_optimal_on_known_instance() {
+        let m =
+            CostMatrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]]).unwrap();
+        let mut solver = Auction::with_eps(1e-9);
+        let rep = solver.solve(&m).unwrap();
+        assert!((rep.objective - 5.0).abs() <= 3.0 * 1e-9 + 1e-12);
+        rep.certificate
+            .verify(&m, &rep.assignment, solver.verify_tolerance(&m))
+            .unwrap();
+    }
+
+    #[test]
+    fn exact_on_integer_costs_with_small_eps() {
+        // Integer costs and eps < 1/n give the exact optimum.
+        let n = 6;
+        let m = CostMatrix::from_fn(n, n, |i, j| ((i * 5 + j * 3) % 13) as f64).unwrap();
+        let mut solver = Auction::with_eps(0.9 / n as f64);
+        let rep = solver.solve(&m).unwrap();
+        let truth = crate::ground_truth_objective(&m);
+        assert_eq!(rep.objective, truth);
+    }
+
+    #[test]
+    fn perfect_assignment_always_returned() {
+        let m = CostMatrix::filled(8, 2.5).unwrap();
+        let rep = Auction::new().solve(&m).unwrap();
+        assert!(rep.assignment.is_perfect());
+        assert_eq!(rep.objective, 20.0);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = CostMatrix::from_vec(2, 3, vec![0.0; 6]).unwrap();
+        assert!(matches!(
+            Auction::new().solve(&m),
+            Err(LsapError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn objective_within_n_eps_of_truth() {
+        let n = 12;
+        let m = CostMatrix::from_fn(n, n, |i, j| (((i * 31 + j * 17) % 97) as f64) * 0.37 + 1.0)
+            .unwrap();
+        let mut solver = Auction::with_eps(1e-4);
+        let rep = solver.solve(&m).unwrap();
+        let truth = crate::ground_truth_objective(&m);
+        assert!(rep.objective >= truth - 1e-9);
+        assert!(rep.objective <= truth + n as f64 * 1e-4 + 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Machine model for the paper's CPU baseline.
+//!
+//! The paper runs its CPU baseline on one core of an AMD EPYC 7742
+//! (2.25 GHz). We convert abstract operation counts into modeled seconds
+//! with per-category cycle costs. The constants below are deliberately
+//! simple and are documented so that EXPERIMENTS.md can reason about them:
+//!
+//! - float ops: ~1 cycle each (fully pipelined scalar FP),
+//! - memory touches: 0.5 cycles each on average — sequential scans stream
+//!   from L2/L3 and partially overlap with arithmetic, but the Hungarian
+//!   working set (up to 512 MiB at n = 8192) misses cache frequently,
+//! - branches: 1.5 cycles each on average (data-dependent compares on
+//!   cover flags mispredict often).
+//!
+//! The absolute scale does not matter for the reproduction: the paper's
+//! Table II reports *ratios* (HunIPU speedup over CPU), and those ratios
+//! come out of operation counts vs simulated IPU cycles.
+
+use crate::OpCounter;
+
+/// Clock frequency of the modeled CPU (AMD EPYC 7742), Hz.
+pub const CPU_CLOCK_HZ: f64 = 2.25e9;
+
+/// Modeled cycles per floating-point operation.
+pub const CYCLES_PER_FLOP: f64 = 1.0;
+
+/// Modeled cycles per memory touch.
+pub const CYCLES_PER_MEM: f64 = 0.5;
+
+/// Modeled cycles per data-dependent branch.
+pub const CYCLES_PER_BRANCH: f64 = 1.5;
+
+/// Converts an operation count into modeled cycles on the EPYC model.
+pub fn modeled_cycles(ops: &OpCounter) -> u64 {
+    let cycles = ops.flops as f64 * CYCLES_PER_FLOP
+        + ops.mem as f64 * CYCLES_PER_MEM
+        + ops.branches as f64 * CYCLES_PER_BRANCH;
+    cycles.round() as u64
+}
+
+/// Converts an operation count into modeled seconds on the EPYC model.
+pub fn modeled_seconds(ops: &OpCounter) -> f64 {
+    modeled_cycles(ops) as f64 / CPU_CLOCK_HZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_scale_with_clock() {
+        let mut ops = OpCounter::new();
+        ops.scan(2_250_000_000); // 2.25e9 flops + 2.25e9 mem
+        let secs = modeled_seconds(&ops);
+        // 2.25e9 * (1.0 + 0.5) cycles at 2.25 GHz = 1.5 s.
+        assert!((secs - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ops_is_zero_seconds() {
+        assert_eq!(modeled_seconds(&OpCounter::new()), 0.0);
+    }
+}

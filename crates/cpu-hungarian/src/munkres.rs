@@ -1,0 +1,561 @@
+//! The classical Kuhn–Munkres (Hungarian) algorithm, structured as the
+//! paper's six steps.
+//!
+//! This is the sequential algorithm HunIPU parallelizes (§II-A of the
+//! paper), decomposed exactly as §IV does:
+//!
+//! 1. **Initial subtraction** — subtract the row minimum from every row and
+//!    the column minimum from every column, producing the *slack matrix*.
+//! 2. **Initial matching** — greedily *star* zeros so that no two stars
+//!    share a row or a column.
+//! 3. **Completion assessment** — cover every column containing a star; if
+//!    all `n` columns are covered the stars are the optimal assignment.
+//! 4. **Alternating-path search** — find an uncovered zero and *prime* it;
+//!    if its row holds a star, cover the row and uncover the star's
+//!    column, else an augmenting path has been found.
+//! 5. **Path augmentation** — alternate primed and starred zeros from the
+//!    final prime back to an unmatched column, star the primes, unstar the
+//!    stars; the matching grows by one.
+//! 6. **Slack update** — find the minimum uncovered slack Δ, subtract it
+//!    from uncovered entries and add it to doubly-covered ones, creating at
+//!    least one new uncovered zero.
+//!
+//! # Numerical notes
+//!
+//! All zero tests are **exact** (`== 0.0`): every zero the algorithm
+//! creates comes from `x - x` or `x - min(...)` where the minimum is an
+//! element of the scanned set, both of which are exact in IEEE-754. Dual
+//! potentials `u, v` are maintained alongside the slack matrix
+//! (`S_ij = C_ij - u_i - v_j`) and returned as the optimality certificate.
+
+use crate::calibration;
+use crate::ops::OpCounter;
+use lsap::{
+    Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver, SolveReport, SolverStats,
+};
+use std::time::Instant;
+
+/// How Step 4 locates uncovered zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ZeroSearch {
+    /// Rescan the slack matrix for every prime — the behaviour of the
+    /// published sequential implementations the paper benchmarks against
+    /// ("the Hungarian algorithm takes several hours for only a few
+    /// thousand elements", §I). This is the **Table II baseline**.
+    #[default]
+    Classic,
+    /// Maintain per-column zero indices and a candidate stack so primes
+    /// cost amortized O(zeros). An optimization in the spirit of
+    /// HunIPU's compressed matrix, applied on the CPU; reported as an
+    /// extension datapoint.
+    Indexed,
+}
+
+/// The Kuhn–Munkres solver. See the module docs for the step structure.
+#[derive(Debug, Default, Clone)]
+pub struct Munkres {
+    mode: ZeroSearch,
+}
+
+impl Munkres {
+    /// The paper's CPU baseline behaviour ([`ZeroSearch::Classic`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The index-accelerated variant ([`ZeroSearch::Indexed`]).
+    pub fn indexed() -> Self {
+        Self {
+            mode: ZeroSearch::Indexed,
+        }
+    }
+
+    /// The configured zero-search mode.
+    pub fn mode(&self) -> ZeroSearch {
+        self.mode
+    }
+}
+
+impl LsapSolver for Munkres {
+    fn name(&self) -> &'static str {
+        "munkres"
+    }
+
+    fn solve(&mut self, matrix: &CostMatrix) -> Result<SolveReport, LsapError> {
+        if !matrix.is_square() {
+            return Err(LsapError::NotSquare {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+            });
+        }
+        let start = Instant::now();
+        let mut state = State::new(matrix, self.mode);
+        state.run();
+        let wall = start.elapsed().as_secs_f64();
+
+        let assignment = Assignment::from_row_to_col(
+            state
+                .row_star
+                .iter()
+                .map(|&c| c.map(|c| c as usize))
+                .collect(),
+        );
+        let objective = assignment.cost(matrix)?;
+        let stats = SolverStats {
+            modeled_seconds: Some(calibration::modeled_seconds(&state.ops)),
+            modeled_cycles: Some(calibration::modeled_cycles(&state.ops)),
+            wall_seconds: wall,
+            augmentations: state.augmentations,
+            dual_updates: state.dual_updates,
+            device_steps: 0,
+        };
+        Ok(SolveReport {
+            assignment,
+            objective,
+            certificate: DualCertificate::new(state.u, state.v),
+            stats,
+        })
+    }
+}
+
+/// Mutable working state of one solve.
+struct State {
+    n: usize,
+    /// Slack matrix, row-major: `s[i * n + j] = C_ij - u_i - v_j >= 0`.
+    s: Vec<f64>,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    /// `row_star[i] = Some(j)` iff the zero at (i, j) is starred.
+    row_star: Vec<Option<u32>>,
+    /// Inverse of `row_star`.
+    col_star: Vec<Option<u32>>,
+    /// `row_prime[i] = Some(j)` iff the zero at (i, j) is primed.
+    row_prime: Vec<Option<u32>>,
+    row_cover: Vec<bool>,
+    col_cover: Vec<bool>,
+    /// Rows that (possibly stale) hold a zero in each column. Entries are
+    /// validated (`s == 0`, covers) when consumed.
+    col_zeros: Vec<Vec<u32>>,
+    /// Stack of candidate uncovered zeros, validated on pop.
+    candidates: Vec<(u32, u32)>,
+    ops: OpCounter,
+    augmentations: u64,
+    dual_updates: u64,
+    mode: ZeroSearch,
+}
+
+impl State {
+    fn new(matrix: &CostMatrix, mode: ZeroSearch) -> Self {
+        let n = matrix.n();
+        Self {
+            mode,
+            n,
+            s: matrix.as_slice().to_vec(),
+            u: vec![0.0; n],
+            v: vec![0.0; n],
+            row_star: vec![None; n],
+            col_star: vec![None; n],
+            row_prime: vec![None; n],
+            row_cover: vec![false; n],
+            col_cover: vec![false; n],
+            col_zeros: vec![Vec::new(); n],
+            candidates: Vec::new(),
+            ops: OpCounter::new(),
+            augmentations: 0,
+            dual_updates: 0,
+        }
+    }
+
+    #[inline]
+    fn slack(&self, i: usize, j: usize) -> f64 {
+        self.s[i * self.n + j]
+    }
+
+    fn run(&mut self) {
+        self.step1_initial_subtraction();
+        if self.mode == ZeroSearch::Indexed {
+            self.index_zeros();
+        }
+        self.step2_initial_matching();
+
+        // Step 3 / 4 / 5 / 6 loop.
+        while !self.step3_all_columns_covered() {
+            loop {
+                match self.step4_find_uncovered_zero() {
+                    Some((i, j)) => {
+                        self.row_prime[i as usize] = Some(j);
+                        if let Some(jstar) = self.row_star[i as usize] {
+                            // Cover the row, uncover the star's column; zeros
+                            // in that column become candidates again.
+                            self.row_cover[i as usize] = true;
+                            self.col_cover[jstar as usize] = false;
+                            if self.mode == ZeroSearch::Indexed {
+                                self.push_column_zeros(jstar as usize);
+                            }
+                            self.ops.branch(2);
+                        } else {
+                            self.step5_augment(i as usize, j as usize);
+                            break;
+                        }
+                    }
+                    None => self.step6_slack_update(),
+                }
+            }
+        }
+    }
+
+    /// Step 1: subtract row minima then column minima; maintain `u, v`.
+    fn step1_initial_subtraction(&mut self) {
+        let n = self.n;
+        for i in 0..n {
+            let row = &mut self.s[i * n..(i + 1) * n];
+            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            for x in row.iter_mut() {
+                *x -= min;
+            }
+            self.u[i] = min;
+        }
+        self.ops.scan(n * n);
+        self.ops.update(n * n);
+        for j in 0..n {
+            let mut min = f64::INFINITY;
+            for i in 0..n {
+                min = min.min(self.s[i * n + j]);
+            }
+            if min != 0.0 {
+                for i in 0..n {
+                    self.s[i * n + j] -= min;
+                }
+            }
+            self.v[j] = min;
+        }
+        self.ops.scan(n * n);
+        self.ops.update(n * n);
+    }
+
+    /// Rebuilds the column-zero index and the candidate stack from the
+    /// current slack matrix.
+    fn index_zeros(&mut self) {
+        let n = self.n;
+        for col in &mut self.col_zeros {
+            col.clear();
+        }
+        self.candidates.clear();
+        for i in 0..n {
+            for j in 0..n {
+                if self.s[i * n + j] == 0.0 {
+                    self.col_zeros[j].push(i as u32);
+                    self.candidates.push((i as u32, j as u32));
+                }
+            }
+        }
+        self.ops.scan(n * n);
+    }
+
+    /// Step 2: greedy initial starring over the zero entries.
+    #[allow(clippy::needless_range_loop)] // indexing three arrays in lockstep
+    fn step2_initial_matching(&mut self) {
+        let n = self.n;
+        let mut row_used = vec![false; n];
+        let mut col_used = vec![false; n];
+        for i in 0..n {
+            for j in 0..n {
+                if !row_used[i] && !col_used[j] && self.s[i * n + j] == 0.0 {
+                    self.row_star[i] = Some(j as u32);
+                    self.col_star[j] = Some(i as u32);
+                    row_used[i] = true;
+                    col_used[j] = true;
+                }
+            }
+        }
+        self.ops.scan(n * n);
+    }
+
+    /// Step 3: cover all columns containing a star; returns `true` when
+    /// every column is covered (the matching is perfect and optimal).
+    fn step3_all_columns_covered(&mut self) -> bool {
+        let mut covered = 0;
+        for j in 0..self.n {
+            self.col_cover[j] = self.col_star[j].is_some();
+            if self.col_cover[j] {
+                covered += 1;
+            }
+        }
+        self.ops.scan(self.n);
+        covered == self.n
+    }
+
+    /// Step 4: find an uncovered zero — by a full matrix rescan in
+    /// [`ZeroSearch::Classic`] (the baseline's dominant cost), or by
+    /// popping validated candidates in [`ZeroSearch::Indexed`].
+    fn step4_find_uncovered_zero(&mut self) -> Option<(u32, u32)> {
+        if self.mode == ZeroSearch::Classic {
+            let n = self.n;
+            self.ops.scan(n * n);
+            for i in 0..n {
+                if self.row_cover[i] {
+                    continue;
+                }
+                for j in 0..n {
+                    if !self.col_cover[j] && self.s[i * n + j] == 0.0 {
+                        return Some((i as u32, j as u32));
+                    }
+                }
+            }
+            return None;
+        }
+        while let Some((i, j)) = self.candidates.pop() {
+            self.ops.branch(1);
+            if !self.row_cover[i as usize]
+                && !self.col_cover[j as usize]
+                && self.slack(i as usize, j as usize) == 0.0
+            {
+                return Some((i, j));
+            }
+        }
+        None
+    }
+
+    /// Pushes the (possibly stale) zeros of column `j` back onto the
+    /// candidate stack; used when a column is uncovered in Step 4.
+    fn push_column_zeros(&mut self, j: usize) {
+        // Swap out to satisfy the borrow checker without cloning rows.
+        let rows = std::mem::take(&mut self.col_zeros[j]);
+        for &i in &rows {
+            if !self.row_cover[i as usize] {
+                self.candidates.push((i, j as u32));
+            }
+        }
+        self.ops.branch(rows.len());
+        self.col_zeros[j] = rows;
+    }
+
+    /// Step 5: augment along the alternating prime/star path ending at the
+    /// uncovered zero `(i, j)`, then reset covers and primes.
+    fn step5_augment(&mut self, i: usize, j: usize) {
+        // Collect the path of primed zeros: prime(i, j) -> star(k, j) ->
+        // prime(k, j') -> ... until a column with no star.
+        let mut path: Vec<(usize, usize)> = vec![(i, j)];
+        let mut col = j;
+        while let Some(k) = self.col_star[col] {
+            let k = k as usize;
+            let j2 = self.row_prime[k].expect("starred row in path must hold a prime") as usize;
+            path.push((k, j2));
+            col = j2;
+            self.ops.branch(2);
+        }
+        // Star every primed zero on the path (this unstars the old stars,
+        // because each row can hold at most one star).
+        for &(r, c) in &path {
+            self.row_star[r] = Some(c as u32);
+            self.col_star[c] = Some(r as u32);
+        }
+        self.augmentations += 1;
+
+        // Reset covers and primes; every zero is a candidate again.
+        self.row_cover.iter_mut().for_each(|x| *x = false);
+        self.col_cover.iter_mut().for_each(|x| *x = false);
+        self.row_prime.iter_mut().for_each(|x| *x = None);
+        if self.mode == ZeroSearch::Indexed {
+            self.rebuild_candidates();
+        }
+        self.ops.scan(3 * self.n);
+    }
+
+    /// Repopulates the candidate stack from the column-zero index.
+    fn rebuild_candidates(&mut self) {
+        self.candidates.clear();
+        for j in 0..self.n {
+            for &i in &self.col_zeros[j] {
+                self.candidates.push((i, j as u32));
+            }
+        }
+        let pushed = self.candidates.len();
+        self.ops.branch(pushed);
+    }
+
+    /// Step 6: find the minimum uncovered slack Δ and shift the duals,
+    /// creating at least one new uncovered zero.
+    fn step6_slack_update(&mut self) {
+        let n = self.n;
+        let mut delta = f64::INFINITY;
+        for i in 0..n {
+            if self.row_cover[i] {
+                continue;
+            }
+            for j in 0..n {
+                if !self.col_cover[j] {
+                    delta = delta.min(self.s[i * n + j]);
+                }
+            }
+        }
+        self.ops.scan(n * n);
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "step 6 requires a positive uncovered minimum (got {delta})"
+        );
+
+        // u_i += delta on uncovered rows, v_j -= delta on covered columns;
+        // S_ij = C_ij - u_i - v_j updates accordingly.
+        for i in 0..n {
+            let row_covered = self.row_cover[i];
+            if !row_covered {
+                self.u[i] += delta;
+            }
+            for j in 0..n {
+                let idx = i * n + j;
+                match (row_covered, self.col_cover[j]) {
+                    (false, false) => {
+                        self.s[idx] -= delta;
+                        if self.s[idx] == 0.0 && self.mode == ZeroSearch::Indexed {
+                            self.col_zeros[j].push(i as u32);
+                            self.candidates.push((i as u32, j as u32));
+                        }
+                    }
+                    (true, true) => self.s[idx] += delta,
+                    _ => {}
+                }
+            }
+        }
+        for j in 0..n {
+            if self.col_cover[j] {
+                self.v[j] -= delta;
+            }
+        }
+        self.ops.update(n * n);
+        self.dual_updates += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsap::COST_EPS;
+
+    fn solve(m: &CostMatrix) -> SolveReport {
+        let rep = Munkres::new().solve(m).unwrap();
+        rep.verify(m, COST_EPS).unwrap();
+        rep
+    }
+
+    #[test]
+    fn solves_paper_style_3x3() {
+        let m =
+            CostMatrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]]).unwrap();
+        let rep = solve(&m);
+        assert_eq!(rep.objective, 5.0);
+    }
+
+    #[test]
+    fn solves_identity_like_matrix() {
+        // Diagonal of zeros in a sea of ones: optimal picks the diagonal.
+        let m = CostMatrix::from_fn(5, 5, |i, j| if i == j { 0.0 } else { 1.0 }).unwrap();
+        let rep = solve(&m);
+        assert_eq!(rep.objective, 0.0);
+    }
+
+    #[test]
+    fn solves_anti_diagonal() {
+        let n = 6;
+        let m = CostMatrix::from_fn(n, n, |i, j| if i + j == n - 1 { 0.0 } else { 9.0 }).unwrap();
+        let rep = solve(&m);
+        assert_eq!(rep.objective, 0.0);
+        for (i, j) in rep.assignment.pairs() {
+            assert_eq!(i + j, n - 1);
+        }
+    }
+
+    #[test]
+    fn handles_constant_matrix() {
+        // All entries equal: every perfect matching is optimal.
+        let m = CostMatrix::filled(4, 7.0).unwrap();
+        let rep = solve(&m);
+        assert_eq!(rep.objective, 28.0);
+    }
+
+    #[test]
+    fn handles_single_element() {
+        let m = CostMatrix::filled(1, 42.0).unwrap();
+        let rep = solve(&m);
+        assert_eq!(rep.objective, 42.0);
+        assert_eq!(rep.assignment.col_of(0), Some(0));
+    }
+
+    #[test]
+    fn forces_expensive_choice_when_cheap_collides() {
+        // Both rows prefer column 0; one must take the expensive option.
+        let m = CostMatrix::from_rows(&[&[1.0, 10.0], &[1.0, 3.0]]).unwrap();
+        let rep = solve(&m);
+        // Optimal: row 0 -> col 0 (1), row 1 -> col 1 (3) = 4.
+        assert_eq!(rep.objective, 4.0);
+    }
+
+    #[test]
+    fn requires_dual_updates_on_hard_instance() {
+        // The product matrix c_ij = (i+1)(j+1): after row/column reduction
+        // the zeros admit only a size-2 matching, so step 6 must run.
+        // The optimum pairs the largest row with the cheapest column:
+        // 1*3 + 2*2 + 3*1 = 10.
+        let m = CostMatrix::from_fn(3, 3, |i, j| ((i + 1) * (j + 1)) as f64).unwrap();
+        let rep = solve(&m);
+        assert_eq!(rep.objective, 10.0);
+        assert!(rep.stats.dual_updates >= 1);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = CostMatrix::from_vec(2, 3, vec![0.0; 6]).unwrap();
+        assert!(matches!(
+            Munkres::new().solve(&m),
+            Err(LsapError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn large_value_range_is_numerically_stable() {
+        // Mimics the paper's k = 10000 value range.
+        let n = 8;
+        let m = CostMatrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 80_000) as f64 + 1.0).unwrap();
+        solve(&m);
+    }
+
+    #[test]
+    fn classic_and_indexed_agree() {
+        for seed in 0..8u64 {
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let m = CostMatrix::from_fn(16, 16, |_, _| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 97) as f64
+            })
+            .unwrap();
+            let a = Munkres::new().solve(&m).unwrap();
+            let b = Munkres::indexed().solve(&m).unwrap();
+            a.verify(&m, lsap::COST_EPS).unwrap();
+            b.verify(&m, lsap::COST_EPS).unwrap();
+            assert_eq!(a.objective, b.objective, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn classic_models_more_work_than_indexed() {
+        // The product matrix forces priming/dual updates; the classic
+        // rescans must charge substantially more modeled time.
+        let m = CostMatrix::from_fn(48, 48, |i, j| ((i + 1) * (j + 1)) as f64).unwrap();
+        let classic = Munkres::new().solve(&m).unwrap();
+        let indexed = Munkres::indexed().solve(&m).unwrap();
+        assert!(
+            classic.stats.modeled_seconds.unwrap() > 1.5 * indexed.stats.modeled_seconds.unwrap()
+        );
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let m = CostMatrix::from_fn(6, 6, |i, j| ((i + 2 * j) % 5) as f64).unwrap();
+        let rep = solve(&m);
+        assert!(rep.stats.modeled_seconds.unwrap() > 0.0);
+        assert!(rep.stats.modeled_cycles.unwrap() > 0);
+        assert!(rep.stats.wall_seconds >= 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Abstract operation counting for modeled CPU runtimes.
+//!
+//! Every solver in this crate increments an [`OpCounter`] in bulk (once per
+//! loop, by the trip count — never per element, so counting adds negligible
+//! overhead). Together with the machine model in [`crate::calibration`]
+//! this yields a *modeled* runtime on the paper's AMD EPYC 7742, comparable
+//! with the modeled runtimes of the IPU and GPU simulators.
+
+use serde::{Deserialize, Serialize};
+
+/// Bulk counters for the abstract operations a sequential solver performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounter {
+    /// Floating-point arithmetic (add/sub/mul/min/compare on costs).
+    pub flops: u64,
+    /// Memory touches (loads + stores of matrix/auxiliary entries).
+    pub mem: u64,
+    /// Control-flow decisions dependent on data (branch mispredict risk).
+    pub branches: u64,
+}
+
+impl OpCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a scan of `n` elements performing one float op and one
+    /// memory touch each (e.g. a row-minimum search).
+    #[inline]
+    pub fn scan(&mut self, n: usize) {
+        self.flops += n as u64;
+        self.mem += n as u64;
+    }
+
+    /// Records an update pass over `n` elements (load, arithmetic, store).
+    #[inline]
+    pub fn update(&mut self, n: usize) {
+        self.flops += n as u64;
+        self.mem += 2 * n as u64;
+    }
+
+    /// Records `n` data-dependent branches.
+    #[inline]
+    pub fn branch(&mut self, n: usize) {
+        self.branches += n as u64;
+    }
+
+    /// Total abstract operations.
+    pub fn total(&self) -> u64 {
+        self.flops + self.mem + self.branches
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &OpCounter) {
+        self.flops += other.flops;
+        self.mem += other.mem;
+        self.branches += other.branches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_counts_flops_and_mem() {
+        let mut c = OpCounter::new();
+        c.scan(10);
+        assert_eq!(c.flops, 10);
+        assert_eq!(c.mem, 10);
+        assert_eq!(c.total(), 20);
+    }
+
+    #[test]
+    fn update_counts_two_mem_per_element() {
+        let mut c = OpCounter::new();
+        c.update(4);
+        assert_eq!(c.mem, 8);
+        assert_eq!(c.flops, 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OpCounter::new();
+        a.scan(5);
+        let mut b = OpCounter::new();
+        b.branch(3);
+        a.merge(&b);
+        assert_eq!(a.branches, 3);
+        assert_eq!(a.total(), 13);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-solver agreement: Munkres, Jonker–Volgenant and Auction must all
+//! find matchings of the same (optimal) cost, on a wide range of instance
+//! shapes, and every exact solver must produce a valid optimality
+//! certificate.
+
+use cpu_hungarian::{Auction, JonkerVolgenant, Munkres};
+use lsap::{CostMatrix, LsapSolver, COST_EPS};
+use proptest::prelude::*;
+
+/// Strategy: square matrices with dimension 1..=12 and entries drawn from
+/// a few regimes (small ints to force ties, wide floats, negatives).
+fn matrices() -> impl Strategy<Value = CostMatrix> {
+    let dims = 1usize..=12;
+    dims.prop_flat_map(|n| {
+        let entry = prop_oneof![
+            // Small integers: heavy tie density, stresses zero handling.
+            (0i32..5).prop_map(|x| x as f64),
+            // Wide floats, mimicking the paper's large value ranges.
+            (1.0f64..1e6),
+            // Negatives allowed (the algorithms never assume positivity).
+            (-100.0f64..100.0),
+        ];
+        proptest::collection::vec(entry, n * n)
+            .prop_map(move |data| CostMatrix::from_vec(n, n, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn exact_solvers_agree_and_certify(m in matrices()) {
+        let jv = JonkerVolgenant::new().solve(&m).unwrap();
+        jv.verify(&m, COST_EPS).unwrap();
+
+        let mk = Munkres::new().solve(&m).unwrap();
+        mk.verify(&m, COST_EPS).unwrap();
+
+        let scale = {
+            let (lo, hi) = m.min_max();
+            1.0f64.max(lo.abs()).max(hi.abs()) * m.n() as f64
+        };
+        prop_assert!(
+            (jv.objective - mk.objective).abs() <= COST_EPS * scale,
+            "jv={} munkres={}", jv.objective, mk.objective
+        );
+    }
+
+    #[test]
+    fn auction_is_within_its_eps_bound(m in matrices()) {
+        let mut auction = Auction::with_eps(1e-7);
+        let rep = auction.solve(&m).unwrap();
+        let truth = JonkerVolgenant::new().solve(&m).unwrap().objective;
+        let n = m.n() as f64;
+        let scale = {
+            let (lo, hi) = m.min_max();
+            1.0f64.max(lo.abs()).max(hi.abs())
+        };
+        prop_assert!(rep.objective >= truth - COST_EPS * scale * n);
+        prop_assert!(
+            rep.objective <= truth + n * 1e-7 + COST_EPS * scale * n,
+            "auction={} truth={}", rep.objective, truth
+        );
+        rep.certificate
+            .verify(&m, &rep.assignment, auction.verify_tolerance(&m))
+            .unwrap();
+    }
+
+    #[test]
+    fn permuting_rows_permutes_the_assignment(m in matrices()) {
+        // Solving a row-reversed matrix yields the row-reversed matching
+        // with the same objective.
+        let n = m.n();
+        let rev = CostMatrix::from_fn(n, n, |i, j| m.get(n - 1 - i, j)).unwrap();
+        let a = JonkerVolgenant::new().solve(&m).unwrap();
+        let b = JonkerVolgenant::new().solve(&rev).unwrap();
+        let scale = {
+            let (lo, hi) = m.min_max();
+            1.0f64.max(lo.abs()).max(hi.abs()) * n as f64
+        };
+        prop_assert!((a.objective - b.objective).abs() <= COST_EPS * scale);
+    }
+
+    #[test]
+    fn constant_shift_moves_objective_by_n_times_shift(m in matrices()) {
+        // Adding a constant to every entry adds n * constant to the
+        // optimum but leaves optimal assignments optimal.
+        let n = m.n();
+        let shift = 17.5;
+        let shifted = m.map(|x| x + shift);
+        let a = JonkerVolgenant::new().solve(&m).unwrap();
+        let b = JonkerVolgenant::new().solve(&shifted).unwrap();
+        let scale = {
+            let (lo, hi) = shifted.min_max();
+            1.0f64.max(lo.abs()).max(hi.abs()) * n as f64
+        };
+        prop_assert!(
+            ((a.objective + shift * n as f64) - b.objective).abs() <= COST_EPS * scale
+        );
+    }
+}
+
+#[test]
+fn medium_random_instance_all_solvers() {
+    // One deterministic mid-size instance (n = 64) as a smoke test beyond
+    // proptest's small shapes.
+    let n = 64;
+    let mut s = 0x1234_5678_9ABC_DEF0u64;
+    let m = CostMatrix::from_fn(n, n, |_, _| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 100_000) as f64 / 7.0
+    })
+    .unwrap();
+    let jv = JonkerVolgenant::new().solve(&m).unwrap();
+    jv.verify(&m, COST_EPS).unwrap();
+    let mk = Munkres::new().solve(&m).unwrap();
+    mk.verify(&m, COST_EPS).unwrap();
+    assert!((jv.objective - mk.objective).abs() < 1e-6);
+}

@@ -1,0 +1,32 @@
+//! FastHA — the state-of-the-art GPU Hungarian algorithm the paper
+//! compares against (Lopes, Yadav, Ilic, Patra: "Fast block distributed
+//! CUDA implementation of the Hungarian algorithm", JPDC 130, 2019),
+//! reimplemented on the [`gpu_sim`] SIMT machine model.
+//!
+//! The implementation follows the CUDA architecture of the original:
+//!
+//! - the cost/slack matrix and all matching state live in **global
+//!   memory** (no per-core SRAM — every step round-trips through HBM);
+//! - each Munkres phase is a **kernel**; one thread owns one matrix row,
+//!   so rows with different zero counts diverge inside a warp and the
+//!   whole warp pays the longest scan (the weakness §I of the HunIPU
+//!   paper calls out);
+//! - zeros are kept in per-row compacted lists rebuilt after every dual
+//!   update, as in the original's zero-handling;
+//! - conflicts during starring/priming are resolved with **atomics**;
+//! - **control flow runs on the host**: every loop iteration launches
+//!   kernels and synchronously reads back flags over PCIe, paying launch
+//!   and sync overheads that HunIPU's on-device control flow avoids.
+//!
+//! As in the original, only **power-of-two** matrix sizes are supported
+//! (§V-C of the HunIPU paper pads similarity matrices accordingly).
+//!
+//! Like every solver in this workspace, FastHA maintains the dual
+//! potentials and returns a verifiable [`lsap::DualCertificate`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod solver;
+
+pub use solver::{FastHa, F32_VERIFY_EPS};

@@ -1,0 +1,51 @@
+//! Cycle-model constants for the modeled NVIDIA A100 (the paper's GPU
+//! testbed, §V) and their rationale.
+//!
+//! Sources: the A100 whitepaper numbers (108 SMs, 1.41 GHz boost,
+//! 1 555 GB/s HBM2, 40 GB) and generally accepted CUDA microbenchmark
+//! figures (≈ 400–500 cycle HBM latency, ≈ 3–5 µs kernel-launch
+//! overhead, ≈ 10 µs for a synchronous device→host 4-byte read over
+//! PCIe).
+//!
+//! The model is a roofline per kernel:
+//!
+//! ```text
+//! kernel_time = launch_overhead
+//!             + max(compute_time, memory_time) + latency_term
+//! compute_time = warp_lockstep_cycles / (SMs * warps_per_sm * clock)
+//! memory_time  = bytes_moved / HBM_bandwidth
+//! latency_term = HBM_latency * memory_rounds / latency_hiding
+//! ```
+//!
+//! None of these constants is tuned per-benchmark; Figure 5 and
+//! Table III shapes come from the same model that prices every kernel.
+
+/// Streaming multiprocessors on the A100.
+pub const A100_SMS: usize = 108;
+
+/// Boost clock, Hz.
+pub const A100_CLOCK_HZ: f64 = 1.41e9;
+
+/// Threads per warp.
+pub const WARP_SIZE: usize = 32;
+
+/// HBM2 bandwidth, bytes per second.
+pub const A100_HBM_BYTES_PER_SEC: f64 = 1.555e12;
+
+/// Average HBM access latency, cycles.
+pub const HBM_LATENCY_CYCLES: f64 = 450.0;
+
+/// Warps an SM can keep in flight to hide latency (2048 threads / 32).
+pub const WARPS_PER_SM: f64 = 64.0;
+
+/// Instruction issue slots per SM per cycle (4 warp schedulers).
+pub const ISSUE_PER_SM_PER_CYCLE: f64 = 4.0;
+
+/// Fixed kernel-launch overhead, seconds.
+pub const LAUNCH_OVERHEAD_S: f64 = 4.0e-6;
+
+/// Synchronous device→host scalar read (loop-condition check), seconds.
+pub const HOST_SYNC_S: f64 = 10.0e-6;
+
+/// Extra charge of an atomic access relative to a plain one.
+pub const ATOMIC_COST_FACTOR: f64 = 4.0;

@@ -1,0 +1,66 @@
+//! Device configuration.
+
+use crate::calibration;
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of the simulated GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+    /// Global-memory bandwidth, bytes/s.
+    pub hbm_bytes_per_sec: f64,
+    /// Global-memory latency, cycles.
+    pub hbm_latency_cycles: f64,
+    /// Resident warps per SM (latency hiding).
+    pub warps_per_sm: f64,
+    /// Warp instructions issued per SM per cycle.
+    pub issue_per_sm_per_cycle: f64,
+    /// Kernel-launch overhead, seconds.
+    pub launch_overhead_s: f64,
+    /// Device→host synchronous scalar read, seconds.
+    pub host_sync_s: f64,
+    /// Cost multiplier for atomic accesses.
+    pub atomic_cost_factor: f64,
+}
+
+impl GpuConfig {
+    /// The paper's device: an NVIDIA A100 (40 GB).
+    pub fn a100() -> Self {
+        Self {
+            sms: calibration::A100_SMS,
+            warp_size: calibration::WARP_SIZE,
+            clock_hz: calibration::A100_CLOCK_HZ,
+            hbm_bytes_per_sec: calibration::A100_HBM_BYTES_PER_SEC,
+            hbm_latency_cycles: calibration::HBM_LATENCY_CYCLES,
+            warps_per_sm: calibration::WARPS_PER_SM,
+            issue_per_sm_per_cycle: calibration::ISSUE_PER_SM_PER_CYCLE,
+            launch_overhead_s: calibration::LAUNCH_OVERHEAD_S,
+            host_sync_s: calibration::HOST_SYNC_S,
+            atomic_cost_factor: calibration::ATOMIC_COST_FACTOR,
+        }
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_matches_whitepaper_numbers() {
+        let c = GpuConfig::a100();
+        assert_eq!(c.sms, 108);
+        assert_eq!(c.warp_size, 32);
+        assert!((c.hbm_bytes_per_sec - 1.555e12).abs() < 1e9);
+    }
+}

@@ -1,0 +1,55 @@
+//! A CUDA-style SIMT machine simulator.
+//!
+//! The paper's GPU baseline (FastHA, Lopes et al. 2019) runs on an NVIDIA
+//! A100. This crate rebuilds the *machine model* that determines FastHA's
+//! performance character, so the baseline can be reimplemented and timed
+//! without CUDA:
+//!
+//! - **Warp lockstep.** 32 threads execute in lockstep; a warp's compute
+//!   charge is the **maximum** over its threads' instruction counts, so
+//!   threads scanning variable-length candidate sets stall their whole
+//!   warp — precisely the weakness the paper attributes to GPU Hungarian
+//!   implementations (§I, §II-A). Atomic operations serialize per
+//!   conflicting access.
+//! - **Global-memory roofline.** Every global access is counted; a
+//!   kernel's memory charge is `bytes / bandwidth` plus a latency term
+//!   damped by the device's latency-hiding capacity (outstanding warps).
+//!   There is no per-tile SRAM: *all* state round-trips through HBM.
+//! - **Kernel-launch and host-sync costs.** CUDA control flow lives on
+//!   the host: each launch pays a fixed overhead, and each device→host
+//!   flag read (the Hungarian loop condition) pays a PCIe round-trip.
+//!   HunIPU's on-device `RepeatWhileTrue` has no such cost — one of the
+//!   mechanistic reasons for its speedup.
+//!
+//! Execution is functional (kernels are closures run per thread on the
+//! host), deterministic, and fully checked: out-of-bounds accesses panic
+//! with the buffer name.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_sim::{GpuConfig, GpuSim};
+//!
+//! let mut gpu = GpuSim::new(GpuConfig::a100());
+//! let x = gpu.alloc_f32("x", 1024);
+//! gpu.fill_f32(x, 1.0);
+//! gpu.launch("double", 1024, 256, |t| {
+//!     let v = t.read_f32(x, t.tid());
+//!     t.write_f32(x, t.tid(), v * 2.0);
+//!     t.alu(1);
+//! });
+//! assert_eq!(gpu.read_f32(x)[0], 2.0);
+//! assert!(gpu.stats().kernel_seconds > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod calibration;
+mod config;
+mod device;
+mod stats;
+
+pub use config::GpuConfig;
+pub use device::{BufId, GpuSim, ThreadCtx};
+pub use stats::{GpuStats, KernelBreakdown};

@@ -1,0 +1,49 @@
+//! Accounting for the modeled GPU.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-kernel accumulated time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelBreakdown {
+    /// Kernel name.
+    pub name: String,
+    /// Number of launches.
+    pub launches: u64,
+    /// Modeled seconds across all launches.
+    pub seconds: f64,
+}
+
+/// Accumulated model state for one device.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpuStats {
+    /// Modeled kernel seconds (launch overhead + roofline busy time).
+    pub kernel_seconds: f64,
+    /// Modeled seconds spent in synchronous device→host loop-condition
+    /// reads.
+    pub host_sync_seconds: f64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Number of synchronous host reads.
+    pub host_syncs: u64,
+    /// Lockstep warp cycles (sum of per-warp maxima).
+    pub warp_cycles: u64,
+    /// Effective global-memory bytes moved by kernels.
+    pub gmem_bytes: u64,
+    /// Host↔device transfer bytes (uploads/downloads; not kernel time).
+    pub pcie_bytes: u64,
+    /// Per-kernel breakdown in first-launch order.
+    pub per_kernel: Vec<KernelBreakdown>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = GpuStats::default();
+        assert_eq!(s.launches, 0);
+        assert_eq!(s.kernel_seconds, 0.0);
+        assert!(s.per_kernel.is_empty());
+    }
+}

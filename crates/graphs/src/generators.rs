@@ -1,0 +1,151 @@
+//! Random graph generators.
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// G(n, m): exactly `m` distinct edges sampled uniformly.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let possible = n * (n - 1) / 2;
+    assert!(m <= possible, "too many edges requested: {m} > {possible}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = BTreeSet::new();
+    while set.len() < m {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            set.insert((a.min(b), a.max(b)));
+        }
+    }
+    Graph::from_edges(n, set)
+}
+
+/// Chung–Lu model with **exact** edge count: samples edges with
+/// probability proportional to `w_a * w_b`, then adds/removes uniform
+/// random edges until exactly `m` remain. The degree sequence follows
+/// the weight shape in expectation while (n, m) match a target dataset
+/// exactly (Table I regeneration).
+pub fn chung_lu(weights: &[f64], m: usize, seed: u64) -> Graph {
+    let n = weights.len();
+    let possible = n * (n - 1) / 2;
+    assert!(m <= possible, "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive mass");
+
+    let mut set: BTreeSet<(u32, u32)> = BTreeSet::new();
+    // Weighted sampling by inversion on the cumulative weights.
+    let mut cum = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w;
+        cum.push(acc);
+    }
+    let sample = |rng: &mut StdRng, cum: &[f64]| -> u32 {
+        let x: f64 = rng.gen_range(0.0..acc);
+        cum.partition_point(|&c| c <= x) as u32
+    };
+    // Draw ~m weighted edges (stopping early once enough distinct ones
+    // accumulate), then trim/top-up to exactly m.
+    let mut attempts = 0usize;
+    while set.len() < m && attempts < 50 * m + 1000 {
+        attempts += 1;
+        let a = sample(&mut rng, &cum);
+        let b = sample(&mut rng, &cum);
+        if a != b {
+            set.insert((a.min(b), a.max(b)));
+        }
+    }
+    // Top up uniformly if the weighted phase saturated (heavy weights
+    // collide often on dense targets).
+    while set.len() < m {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            set.insert((a.min(b), a.max(b)));
+        }
+    }
+    // Trim uniformly if we overshot.
+    while set.len() > m {
+        let k = rng.gen_range(0..set.len());
+        let e = *set.iter().nth(k).expect("non-empty");
+        set.remove(&e);
+    }
+    Graph::from_edges(n, set)
+}
+
+/// Power-law weights `w_v = (v + v0)^(-1/(γ-1))`, normalized so the
+/// expected degrees scale sensibly; the classic Chung–Lu recipe for a
+/// degree exponent `γ`.
+pub fn power_law_weights(n: usize, gamma: f64, seed: u64) -> Vec<f64> {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let exp = -1.0 / (gamma - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exp)).collect();
+    // Random node order so node ids carry no degree information.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        w.swap(i, j);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exact_counts() {
+        let g = erdos_renyi_gnm(50, 200, 7);
+        assert_eq!(g.n(), 50);
+        assert_eq!(g.m(), 200);
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        assert_eq!(erdos_renyi_gnm(30, 60, 1), erdos_renyi_gnm(30, 60, 1));
+        assert_ne!(erdos_renyi_gnm(30, 60, 1), erdos_renyi_gnm(30, 60, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many edges")]
+    fn gnm_rejects_overfull() {
+        erdos_renyi_gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn chung_lu_exact_m_and_weight_bias() {
+        let n = 200;
+        // First 10 nodes get 50x the weight of the rest.
+        let weights: Vec<f64> = (0..n).map(|v| if v < 10 { 50.0 } else { 1.0 }).collect();
+        let g = chung_lu(&weights, 600, 42);
+        assert_eq!(g.m(), 600);
+        let heavy: usize = (0..10).map(|v| g.degree(v)).sum();
+        let light_avg = (2 * g.m() - heavy) as f64 / (n - 10) as f64;
+        let heavy_avg = heavy as f64 / 10.0;
+        assert!(
+            heavy_avg > 5.0 * light_avg,
+            "weighted nodes must dominate: heavy {heavy_avg} vs light {light_avg}"
+        );
+    }
+
+    #[test]
+    fn power_law_weights_are_heavy_tailed() {
+        let w = power_law_weights(1000, 2.5, 3);
+        let max = w.iter().cloned().fold(0.0, f64::max);
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!(max > 10.0 * mean, "max {max} vs mean {mean}");
+        assert_eq!(w.len(), 1000);
+    }
+
+    #[test]
+    fn dense_target_reachable() {
+        // m close to the maximum still terminates exactly.
+        let g = chung_lu(&[1.0; 20], 180, 5);
+        assert_eq!(g.m(), 180);
+    }
+}

@@ -1,0 +1,23 @@
+//! Graph types and generators for the alignment experiments (§V-C).
+//!
+//! The paper evaluates graph alignment on three real networks
+//! (Table I): HighSchool (proximity), Voles (proximity) and MultiMagna
+//! (biological). The raw datasets are not redistributable here, so
+//! [`realworld`] provides *synthetic equivalents*: generators that match
+//! each dataset's node count, edge count, and degree-distribution family
+//! exactly (n, m) or closely (degree shape). The Hungarian-side workload
+//! depends on the GRAMPA similarity matrix, which is governed by the
+//! graph's size and spectral profile — both preserved by matching n, m,
+//! and the degree law. See DESIGN.md for the substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod generators;
+mod graph;
+mod noise;
+pub mod realworld;
+
+pub use generators::{chung_lu, erdos_renyi_gnm, power_law_weights};
+pub use graph::Graph;
+pub use noise::keep_edge_fraction;

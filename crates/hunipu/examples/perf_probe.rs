@@ -1,0 +1,45 @@
+//! Quick performance probe (developer tool).
+use hunipu::HunIpu;
+use lsap::CostMatrix;
+
+fn main() {
+    let n = 512usize;
+    let mut s = 0x12345678u64;
+    let m = CostMatrix::from_fn(n, n, |_, _| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % (10 * n as u64)) as f64 + 1.0
+    })
+    .unwrap();
+    let solver = HunIpu::new();
+    let (rep, engine) = solver.solve_with_engine(&m).unwrap();
+    let st = engine.stats();
+    println!(
+        "modeled={:.4}s supersteps={} aug={} dual={}",
+        rep.stats.modeled_seconds.unwrap(),
+        st.supersteps,
+        rep.stats.augmentations,
+        rep.stats.dual_updates
+    );
+    println!(
+        "compute={} sync={} exchange={} control={} (cycles)",
+        st.compute_cycles, st.sync_cycles, st.exchange_cycles, st.control_cycles
+    );
+    let mut pcs: Vec<_> = st
+        .per_compute_set
+        .iter()
+        .filter(|b| b.executions > 0)
+        .collect();
+    pcs.sort_by_key(|b| std::cmp::Reverse(b.compute_cycles));
+    for b in pcs.iter().take(12) {
+        println!(
+            "  {:<28} exec={:<8} cycles={}",
+            b.name, b.executions, b.compute_cycles
+        );
+    }
+    println!(
+        "exchanges={} exchange_bytes={}",
+        st.exchanges, st.exchange_bytes
+    );
+}

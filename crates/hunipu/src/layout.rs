@@ -1,0 +1,206 @@
+//! Data-to-tile layout for HunIPU.
+//!
+//! Implements the paper's mapping decisions:
+//!
+//! - **1D row decomposition (§IV-A):** each tile owns a contiguous block
+//!   of matrix rows, with an (almost) equal number of rows per tile so
+//!   the BSP supersteps stay balanced (C3).
+//! - **Six per-row thread segments (§IV-B):** every row is split into six
+//!   approximately equal column segments, one per hardware thread.
+//! - **32-element column segments (§IV-E):** the per-column state
+//!   (`col_star`, `col_cover`, `v`) is partitioned into segments of 32
+//!   elements, distributed round-robin over the row-owning tiles. The
+//!   paper finds 32 to work well "regardless of the data and the
+//!   architecture"; the ablation harness sweeps this constant.
+
+use std::ops::Range;
+
+/// Default column-segment size for per-column state (§IV-E footnote).
+pub const COL_SEG: usize = 32;
+
+/// The static layout of one HunIPU instance on one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Problem size (square matrix side).
+    pub n: usize,
+    /// Rows per tile (the last used tile may hold fewer).
+    pub rows_per_tile: usize,
+    /// Number of tiles that own matrix rows.
+    pub used_tiles: usize,
+    /// Hardware threads per tile (row segments per row).
+    pub threads: usize,
+    /// Column-segment size for per-column state.
+    pub col_seg: usize,
+    /// The tile hosting gathered scalars, reductions, and the green
+    /// stack — chosen as the last tile of the device, which holds no (or
+    /// the fewest) matrix rows, keeping its memory free (C2).
+    pub collector_tile: usize,
+}
+
+impl Layout {
+    /// Computes the layout for an `n x n` problem on a device with
+    /// `tiles` tiles and `threads` threads per tile.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the device has fewer than 2 tiles.
+    pub fn new(n: usize, tiles: usize, threads: usize) -> Self {
+        Self::with_col_seg(n, tiles, threads, COL_SEG)
+    }
+
+    /// Layout with an explicit column-segment size (for the §IV-E
+    /// ablation).
+    pub fn with_col_seg(n: usize, tiles: usize, threads: usize, col_seg: usize) -> Self {
+        assert!(n > 0, "empty problem");
+        assert!(tiles >= 2, "need at least 2 tiles (one collector)");
+        assert!(threads >= 1 && col_seg >= 1);
+        // Spread rows over all tiles but the collector.
+        let worker_tiles = tiles - 1;
+        let rows_per_tile = n.div_ceil(worker_tiles).max(1);
+        let used_tiles = n.div_ceil(rows_per_tile);
+        Self {
+            n,
+            rows_per_tile,
+            used_tiles,
+            threads,
+            col_seg,
+            collector_tile: tiles - 1,
+        }
+    }
+
+    /// The tile owning matrix row `row`.
+    pub fn tile_of_row(&self, row: usize) -> usize {
+        debug_assert!(row < self.n);
+        row / self.rows_per_tile
+    }
+
+    /// The rows owned by tile `tile` (empty if the tile owns none).
+    pub fn rows_of_tile(&self, tile: usize) -> Range<usize> {
+        let start = (tile * self.rows_per_tile).min(self.n);
+        let end = ((tile + 1) * self.rows_per_tile).min(self.n);
+        start..end
+    }
+
+    /// The column range of thread segment `seg` (`0..threads`) within a
+    /// row, balanced to within one element.
+    pub fn seg_cols(&self, seg: usize) -> Range<usize> {
+        debug_assert!(seg < self.threads);
+        let base = self.n / self.threads;
+        let extra = self.n % self.threads;
+        let start = seg * base + seg.min(extra);
+        let len = base + usize::from(seg < extra);
+        start..(start + len)
+    }
+
+    /// Number of 32-element (or `col_seg`-element) column segments.
+    pub fn n_col_segs(&self) -> usize {
+        self.n.div_ceil(self.col_seg)
+    }
+
+    /// The column range of column segment `seg`.
+    pub fn col_seg_cols(&self, seg: usize) -> Range<usize> {
+        let start = seg * self.col_seg;
+        start..(start + self.col_seg).min(self.n)
+    }
+
+    /// The tile owning column segment `seg`: round-robin over the
+    /// row-owning tiles (so column-state owners also hold the
+    /// column-minimum mirror built in Step 1).
+    pub fn col_seg_tile(&self, seg: usize) -> usize {
+        seg % self.used_tiles
+    }
+
+    /// Flat range of row `row` inside an `n x n` row-major tensor.
+    pub fn row_range(&self, row: usize) -> Range<usize> {
+        row * self.n..(row + 1) * self.n
+    }
+
+    /// Flat range of `(row, thread segment)` inside an `n x n` row-major
+    /// tensor.
+    pub fn row_seg_range(&self, row: usize, seg: usize) -> Range<usize> {
+        let c = self.seg_cols(seg);
+        row * self.n + c.start..row * self.n + c.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_balanced_and_cover_everything() {
+        let l = Layout::new(100, 8, 6);
+        // 7 worker tiles -> ceil(100/7) = 15 rows per tile, 7 used tiles.
+        assert_eq!(l.rows_per_tile, 15);
+        assert_eq!(l.used_tiles, 7);
+        let mut total = 0;
+        for t in 0..l.used_tiles {
+            let r = l.rows_of_tile(t);
+            assert!(r.len() <= l.rows_per_tile);
+            total += r.len();
+        }
+        assert_eq!(total, 100);
+        assert_eq!(l.tile_of_row(0), 0);
+        assert_eq!(l.tile_of_row(99), 6);
+    }
+
+    #[test]
+    fn collector_is_last_tile() {
+        let l = Layout::new(16, 4, 6);
+        assert_eq!(l.collector_tile, 3);
+        // Workers are tiles 0..3.
+        assert!(l.used_tiles <= 3);
+    }
+
+    #[test]
+    fn thread_segments_partition_each_row() {
+        let l = Layout::new(17, 4, 6);
+        let mut covered = 0;
+        for s in 0..6 {
+            let c = l.seg_cols(s);
+            assert_eq!(c.start, covered);
+            covered = c.end;
+            // Balanced to within one element.
+            assert!(c.len() == 2 || c.len() == 3);
+        }
+        assert_eq!(covered, 17);
+    }
+
+    #[test]
+    fn col_segments_partition_columns() {
+        let l = Layout::with_col_seg(70, 8, 6, 32);
+        assert_eq!(l.n_col_segs(), 3);
+        assert_eq!(l.col_seg_cols(0), 0..32);
+        assert_eq!(l.col_seg_cols(2), 64..70);
+        for s in 0..3 {
+            assert!(l.col_seg_tile(s) < l.used_tiles);
+        }
+    }
+
+    #[test]
+    fn mk2_scale_layout_matches_paper_numbers() {
+        // n = 8192 on 1472 tiles: 6 rows on most tiles, collector free.
+        let l = Layout::new(8192, 1472, 6);
+        assert_eq!(l.rows_per_tile, 6);
+        assert_eq!(l.used_tiles, 1366);
+        assert_eq!(l.collector_tile, 1471);
+        assert!(l.rows_of_tile(1471).is_empty());
+        // Per-tile slack block: 6 rows x 8192 cols x 4 B = 192 KiB, under
+        // the 624 KiB budget even with the compressed matrix alongside.
+        assert_eq!(6 * 8192 * 4, 192 * 1024);
+    }
+
+    #[test]
+    fn row_seg_range_indexes_flat_tensor() {
+        let l = Layout::new(12, 4, 6);
+        assert_eq!(l.row_range(2), 24..36);
+        let r = l.row_seg_range(2, 0);
+        assert_eq!(r.start, 24);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty problem")]
+    fn zero_size_rejected() {
+        Layout::new(0, 4, 6);
+    }
+}

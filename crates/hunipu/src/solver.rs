@@ -1,0 +1,165 @@
+//! The [`HunIpu`] solver: builds the static graph for an instance size,
+//! loads the cost matrix, runs the device program, and extracts the
+//! verified result.
+
+use crate::build::Builder;
+use crate::layout::Layout;
+use ipu_sim::IpuConfig;
+use lsap::{
+    Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver, SolveReport, SolverStats,
+};
+use std::time::Instant;
+
+/// Relative tolerance for verifying HunIPU results: the device computes
+/// in f32 (as the real IPU implementation does), so certificates carry
+/// single-precision round-off. Instances with integer costs below 2^24
+/// verify exactly.
+pub const F32_VERIFY_EPS: f64 = 1e-5;
+
+/// The paper's IPU-optimized Hungarian algorithm, executed on the
+/// [`ipu_sim`] machine model.
+///
+/// Construction is cheap; the static graph is built per `solve` call for
+/// the instance's size (the IPU compiles one program per tensor shape —
+/// §III-A). Reuse across same-size instances is available through
+/// [`HunIpu::solve_report_with_engine`]-style helpers in the bench crate.
+#[derive(Debug, Clone)]
+pub struct HunIpu {
+    config: IpuConfig,
+    col_seg: usize,
+    ablation: crate::ablation::AblationConfig,
+}
+
+impl Default for HunIpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HunIpu {
+    /// A solver targeting the paper's Mk2 device.
+    pub fn new() -> Self {
+        Self {
+            config: IpuConfig::mk2(),
+            col_seg: crate::COL_SEG_DEFAULT,
+            ablation: Default::default(),
+        }
+    }
+
+    /// A solver targeting a custom device (smaller configs are useful in
+    /// tests; ablations sweep parameters).
+    pub fn with_config(config: IpuConfig) -> Self {
+        Self {
+            config,
+            col_seg: crate::COL_SEG_DEFAULT,
+            ablation: Default::default(),
+        }
+    }
+
+    /// Overrides the column-segment size of §IV-E (default 32) — used by
+    /// the segment-size ablation.
+    pub fn with_col_seg(mut self, col_seg: usize) -> Self {
+        assert!(col_seg >= 1);
+        self.col_seg = col_seg;
+        self
+    }
+
+    /// Overrides the ablation toggles (compression, dynamic-slice
+    /// strategy); the default is the paper's design.
+    pub fn with_ablation(mut self, ablation: crate::ablation::AblationConfig) -> Self {
+        self.ablation = ablation;
+        self
+    }
+
+    /// The device configuration this solver targets.
+    pub fn config(&self) -> &IpuConfig {
+        &self.config
+    }
+
+    /// Builds and runs the device program, returning the report plus the
+    /// engine (for cycle-level inspection in benches/ablations).
+    pub fn solve_with_engine(
+        &self,
+        matrix: &CostMatrix,
+    ) -> Result<(SolveReport, ipu_sim::Engine), LsapError> {
+        if !matrix.is_square() {
+            return Err(LsapError::NotSquare {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+            });
+        }
+        let n = matrix.n();
+        if n >= (1 << 24) {
+            return Err(LsapError::Backend {
+                detail: format!("instance size {n} exceeds the 2^24 arg-max encoding limit"),
+            });
+        }
+        let start = Instant::now();
+
+        let backend = |e: ipu_sim::GraphError| LsapError::Backend {
+            detail: e.to_string(),
+        };
+        let layout = Layout::with_col_seg(
+            n,
+            self.config.tiles,
+            self.config.threads_per_tile,
+            self.col_seg,
+        );
+        let mut builder =
+            Builder::with_layout(self.config.clone(), layout, self.ablation).map_err(backend)?;
+        let program = builder.assemble().map_err(backend)?;
+        let Builder { g, t, .. } = builder;
+        let mut engine = g.compile(program).map_err(backend)?;
+
+        // Load the instance (cast to the device's f32, as the real
+        // implementation does) and the -1-initialized matching state.
+        let slack_f32: Vec<f32> = matrix.as_slice().iter().map(|&x| x as f32).collect();
+        engine.write_f32(t.slack, &slack_f32).map_err(backend)?;
+        let neg1 = vec![-1i32; n];
+        engine.write_i32(t.row_star, &neg1).map_err(backend)?;
+        engine.write_i32(t.col_star, &neg1).map_err(backend)?;
+        engine.write_i32(t.row_prime, &neg1).map_err(backend)?;
+
+        engine.run().map_err(backend)?;
+
+        let row_star = engine.read_i32(t.row_star);
+        let row_to_col = row_star
+            .iter()
+            .map(|&j| (j >= 0).then_some(j as usize))
+            .collect();
+        let assignment = Assignment::from_row_to_col(row_to_col);
+        let objective = assignment.cost(matrix)?;
+        let u: Vec<f64> = engine.read_f32(t.u).iter().map(|&x| x as f64).collect();
+        let v: Vec<f64> = engine.read_f32(t.v).iter().map(|&x| x as f64).collect();
+        let augmentations = engine.read_i32(t.ctr_aug)[0] as u64;
+        let dual_updates = engine.read_i32(t.ctr_dual)[0] as u64;
+
+        let stats = SolverStats {
+            modeled_seconds: Some(engine.modeled_seconds()),
+            modeled_cycles: Some(engine.stats().total_cycles()),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            augmentations,
+            dual_updates,
+            device_steps: engine.stats().supersteps,
+        };
+        Ok((
+            SolveReport {
+                assignment,
+                objective,
+                certificate: DualCertificate::new(u, v),
+                stats,
+            },
+            engine,
+        ))
+    }
+}
+
+impl LsapSolver for HunIpu {
+    fn name(&self) -> &'static str {
+        "hunipu"
+    }
+
+    fn solve(&mut self, matrix: &CostMatrix) -> Result<SolveReport, LsapError> {
+        self.solve_with_engine(matrix).map(|(report, _)| report)
+    }
+}

@@ -1,0 +1,1001 @@
+//! The six HunIPU steps (§IV-C through §IV-H), each built as a program
+//! fragment over the static graph.
+
+use crate::build::Builder;
+use ipu_sim::poplib::{reduce_columns_mirrored, reduce_to_scalar, ReduceOp};
+use ipu_sim::{cost, Access, GraphError, Program};
+
+/// Bits of the row index inside the Step 4 arg-max encoding; supports
+/// n < 2^24 (the paper's largest instance is 2^13).
+const ENC_SHIFT: u32 = 24;
+const ENC_MASK: i32 = (1 << ENC_SHIFT) - 1;
+
+impl Builder {
+    /// Step 1 (§IV-C): subtract row minima then column minima from the
+    /// slack matrix, initializing the dual potentials `u` (row minima of
+    /// C) and `v` (column minima of the row-reduced matrix).
+    pub fn frag_step1(&mut self) -> Result<Program, GraphError> {
+        let (l, n, th) = (self.l.clone(), self.l.n, self.l.threads);
+        let t_slack = self.t.slack;
+        let t_segmin = self.t.seg_min;
+        let t_u = self.t.u;
+
+        // 1a: per-(row, thread-segment) minima — six threads per row, two
+        // floats retrieved at a time (§IV-C).
+        let cs_seg = self.g.add_compute_set("step1.rowmin.seg");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs_seg, tile, s, "rowmin", |ctx| {
+                        let seg = ctx.f32(0);
+                        ctx.f32_mut(1)[0] = seg.iter().copied().fold(f32::INFINITY, f32::min);
+                        cost::f32_scan(seg.len())
+                    })?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::Read)?;
+                self.g.connect(
+                    v,
+                    t_segmin.slice(row * th + s..row * th + s + 1),
+                    Access::Write,
+                )?;
+            }
+        }
+        // 1b: combine the six per-segment minima into u[row].
+        let cs_comb = self.g.add_compute_set("step1.rowmin.combine");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            let v = self.g.add_vertex(cs_comb, tile, "rowmin.combine", |ctx| {
+                let mins = ctx.f32(0);
+                ctx.f32_mut(1)[0] = mins.iter().copied().fold(f32::INFINITY, f32::min);
+                cost::f32_scan(mins.len())
+            })?;
+            self.g
+                .connect(v, t_segmin.slice(row * th..(row + 1) * th), Access::Read)?;
+            self.g.connect(v, t_u.element(row), Access::Write)?;
+        }
+        // 1c: subtract u[row] from the row, segment-parallel.
+        let cs_sub = self.g.add_compute_set("step1.rowsub");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs_sub, tile, s, "rowsub", |ctx| {
+                        let m = ctx.f32(0)[0];
+                        let mut seg = ctx.f32_mut(1);
+                        for x in seg.iter_mut() {
+                            *x -= m;
+                        }
+                        cost::f32_update(seg.len())
+                    })?;
+                self.g.connect(v, t_u.element(row), Access::Read)?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::ReadWrite)?;
+            }
+        }
+
+        // 1d: column minima of the row-reduced matrix, mirrored per tile.
+        let (colmirror, col_prog) =
+            reduce_columns_mirrored(&mut self.g, "step1.colmin", t_slack, n, n, ReduceOp::Min)?;
+
+        // 1e: subtract the column minima; 1f: initialize v from them.
+        let cs_csub = self.g.add_compute_set("step1.colsub");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs_csub, tile, s, "colsub", |ctx| {
+                        let mins = ctx.f32(0);
+                        let mut seg = ctx.f32_mut(1);
+                        for (x, m) in seg.iter_mut().zip(mins.iter()) {
+                            *x -= m;
+                        }
+                        cost::f32_update(seg.len())
+                    })?;
+                let cols = l.seg_cols(s);
+                self.g.connect(
+                    v,
+                    colmirror.slice(tile * n + cols.start..tile * n + cols.end),
+                    Access::Read,
+                )?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::ReadWrite)?;
+            }
+        }
+        let cs_vinit = self.g.add_compute_set("step1.vinit");
+        let t_v = self.t.v;
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let v = self.g.add_vertex(cs_vinit, tile, "vinit", |ctx| {
+                let mins = ctx.f32(0);
+                let mut out = ctx.f32_mut(1);
+                out.copy_from_slice(&mins);
+                cost::f32_update(out.len())
+            })?;
+            let cols = l.col_seg_cols(seg);
+            self.g.connect(
+                v,
+                colmirror.slice(tile * n + cols.start..tile * n + cols.end),
+                Access::Read,
+            )?;
+            self.g.connect(v, t_v.slice(cols), Access::Write)?;
+        }
+
+        Ok(Program::seq(vec![
+            Program::execute(cs_seg),
+            Program::execute(cs_comb),
+            Program::execute(cs_sub),
+            col_prog,
+            Program::execute(cs_csub),
+            Program::execute(cs_vinit),
+        ]))
+    }
+
+    /// Matrix compression (§IV-B, Fig. 1): per (row, thread segment),
+    /// compact the zero positions to the front of the segment (−1
+    /// padding) and count them.
+    pub fn frag_compress(&mut self) -> Result<Program, GraphError> {
+        let (l, n, th) = (self.l.clone(), self.l.n, self.l.threads);
+        let (t_slack, t_comp, t_zc) = (self.t.slack, self.t.compress, self.t.zero_count);
+        let cs = self.g.add_compute_set("compress");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let cols = l.seg_cols(s);
+                let col0 = cols.start as i32;
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs, tile, s, "compress", move |ctx| {
+                        let slack = ctx.f32(0);
+                        let mut comp = ctx.i32_mut(1);
+                        let mut k = 0;
+                        for (off, &x) in slack.iter().enumerate() {
+                            if x == 0.0 {
+                                comp[k] = col0 + off as i32;
+                                k += 1;
+                            }
+                        }
+                        for c in comp[k..].iter_mut() {
+                            *c = -1;
+                        }
+                        ctx.i32_mut(2)[0] = k as i32;
+                        cost::f32_scan(slack.len()) + cost::i32_update(slack.len())
+                    })?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::Read)?;
+                self.g
+                    .connect(v, t_comp.slice(l.row_seg_range(row, s)), Access::Write)?;
+                self.g
+                    .connect(v, t_zc.slice(row * th + s..row * th + s + 1), Access::Write)?;
+            }
+        }
+        Ok(Program::execute(cs))
+    }
+
+    /// Step 2 (§IV-D, Fig. 2): initial matching. Counts zeros per row,
+    /// reduces the maximum τ, sorts each compressed row descending, and
+    /// runs τ parallel proposal/decide/confirm passes over the sorted
+    /// zero positions.
+    pub fn frag_step2(&mut self) -> Result<Program, GraphError> {
+        let (l, n, th) = (self.l.clone(), self.l.n, self.l.threads);
+        let t = self.t.clone();
+        let (t_zc, t_total, t_comp) = (t.zero_count, t.row_total, t.compress);
+        let (t_star, t_prop, t_cstar) = (t.row_star, t.prop, t.col_star);
+        let (t_pass, t_pass_lt, t_pass_m, t_ma, t_mb) = (t.pass, t.pass_lt, t.pass_m, t.ma, t.mb);
+
+        // Zeros per row and τ = max over rows.
+        let cs_total = self.g.add_compute_set("step2.rowtotal");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            let v = self.g.add_vertex(cs_total, tile, "rowtotal", |ctx| {
+                let zc = ctx.i32(0);
+                ctx.i32_mut(1)[0] = zc.iter().sum();
+                cost::i32_scan(zc.len())
+            })?;
+            self.g
+                .connect(v, t_zc.slice(row * th..(row + 1) * th), Access::Read)?;
+            self.g.connect(v, t_total.element(row), Access::Write)?;
+        }
+        let (tau, tau_prog) = reduce_to_scalar(
+            &mut self.g,
+            "step2.tau",
+            t_total,
+            ReduceOp::Max,
+            self.l.collector_tile,
+        )?;
+
+        // Sort each compressed row descending (zero positions first, −1
+        // padding last) — Poplar's sort operation in the paper.
+        let cs_sort = self.g.add_compute_set("step2.sort");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            let v = self.g.add_vertex(cs_sort, tile, "sort", |ctx| {
+                let mut c = ctx.i32_mut(0);
+                c.sort_unstable_by(|a, b| b.cmp(a));
+                cost::sort(c.len())
+            })?;
+            self.g
+                .connect(v, t_comp.slice(l.row_range(row)), Access::ReadWrite)?;
+        }
+
+        // pass = 0; pass_lt = pass < τ.
+        let cs_init = self.g.add_compute_set("step2.passinit");
+        self.collector_vertex(
+            cs_init,
+            "passinit",
+            vec![
+                (tau.whole(), Access::Read),
+                (t_pass.whole(), Access::Write),
+                (t_pass_lt.whole(), Access::Write),
+            ],
+            |ctx| {
+                let tau = ctx.i32(0)[0];
+                ctx.i32_mut(1)[0] = 0;
+                ctx.i32_mut(2)[0] = i32::from(0 < tau);
+                cost::scalar(3)
+            },
+        )?;
+
+        // Pass body: propose → decide → confirm.
+        let cs_prop = self.g.add_compute_set("step2.propose");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            let row_i = row;
+            let v = self.g.add_vertex(cs_prop, tile, "propose", move |ctx| {
+                let pass = ctx.i32(0)[0] as usize;
+                let star = ctx.i32(1)[0];
+                let sorted = ctx.i32(2);
+                let p = if star == -1 { sorted[pass] } else { -1 };
+                ctx.i32_mut(3)[0] = p;
+                let _ = row_i;
+                cost::scalar(4)
+            })?;
+            self.g.connect(v, t_pass_m.whole(), Access::Read)?;
+            self.g.connect(v, t_star.element(row), Access::Read)?;
+            self.g
+                .connect(v, t_comp.slice(l.row_range(row)), Access::Read)?;
+            self.g.connect(v, t_prop.element(row), Access::Write)?;
+        }
+        let row_intervals = self.row_block_intervals(1);
+        let (prop_g, gather_prop) =
+            self.gather_to_collector("step2.propg", t_prop, &row_intervals)?;
+
+        let cs_decide = self.g.add_compute_set("step2.decide");
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let cols = l.col_seg_cols(seg);
+            let (c0, c1) = (cols.start as i32, cols.end as i32);
+            let v = self.g.add_vertex(cs_decide, tile, "decide", move |ctx| {
+                let props = ctx.i32(0);
+                let mut stars = ctx.i32_mut(1);
+                for (r, &p) in props.iter().enumerate() {
+                    if p >= c0 && p < c1 && stars[(p - c0) as usize] == -1 {
+                        stars[(p - c0) as usize] = r as i32;
+                    }
+                }
+                cost::i32_scan(props.len())
+            })?;
+            self.g.connect(v, t_ma.whole(), Access::Read)?;
+            self.g.connect(v, t_cstar.slice(cols), Access::ReadWrite)?;
+        }
+        let col_intervals = self.col_seg_intervals();
+        let (cstar_g, gather_cstar) =
+            self.gather_to_collector("step2.cstarg", t_cstar, &col_intervals)?;
+
+        let cs_confirm = self.g.add_compute_set("step2.confirm");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            let row_i = row as i32;
+            let v = self.g.add_vertex(cs_confirm, tile, "confirm", move |ctx| {
+                let p = ctx.i32(0)[0];
+                if p >= 0 && ctx.i32(1)[p as usize] == row_i {
+                    ctx.i32_mut(2)[0] = p;
+                }
+                cost::scalar(4)
+            })?;
+            self.g.connect(v, t_prop.element(row), Access::Read)?;
+            self.g.connect(v, t_mb.whole(), Access::Read)?;
+            self.g.connect(v, t_star.element(row), Access::ReadWrite)?;
+        }
+
+        let cs_adv = self.g.add_compute_set("step2.passadv");
+        self.collector_vertex(
+            cs_adv,
+            "passadv",
+            vec![
+                (tau.whole(), Access::Read),
+                (t_pass.whole(), Access::ReadWrite),
+                (t_pass_lt.whole(), Access::Write),
+            ],
+            |ctx| {
+                let tau = ctx.i32(0)[0];
+                let mut pass = ctx.i32_mut(1);
+                pass[0] += 1;
+                ctx.i32_mut(2)[0] = i32::from(pass[0] < tau);
+                cost::scalar(3)
+            },
+        )?;
+
+        let pass_body = Program::seq(vec![
+            Program::broadcast(t_pass.whole(), t_pass_m.whole()),
+            Program::execute(cs_prop),
+            gather_prop,
+            Program::broadcast(prop_g.whole(), t_ma.whole()),
+            Program::execute(cs_decide),
+            gather_cstar,
+            Program::broadcast(cstar_g.whole(), t_mb.whole()),
+            Program::execute(cs_confirm),
+            Program::execute(cs_adv),
+        ]);
+
+        Ok(Program::seq(vec![
+            Program::execute(cs_total),
+            tau_prog,
+            Program::execute(cs_sort),
+            Program::execute(cs_init),
+            Program::while_true(t_pass_lt, pass_body),
+        ]))
+    }
+
+    /// Step 3 (§IV-E): cover every column holding a star, count covered
+    /// columns, set `not_done = covered < n`.
+    pub fn frag_step3(&mut self) -> Result<Program, GraphError> {
+        let l = self.l.clone();
+        let n = l.n;
+        let (t_cstar, t_ccov, t_nd) = (self.t.col_star, self.t.col_cover, self.t.not_done);
+        let cs_cover = self.g.add_compute_set("step3.cover");
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let cols = l.col_seg_cols(seg);
+            let v = self.g.add_vertex(cs_cover, tile, "cover", |ctx| {
+                let stars = ctx.i32(0);
+                let mut cov = ctx.i32_mut(1);
+                for (c, &s) in cov.iter_mut().zip(stars.iter()) {
+                    *c = i32::from(s != -1);
+                }
+                cost::i32_update(stars.len())
+            })?;
+            self.g
+                .connect(v, t_cstar.slice(cols.clone()), Access::Read)?;
+            self.g.connect(v, t_ccov.slice(cols), Access::Write)?;
+        }
+        let (covered, red_prog) = reduce_to_scalar(
+            &mut self.g,
+            "step3.covered",
+            t_ccov,
+            ReduceOp::Sum,
+            l.collector_tile,
+        )?;
+        let cs_nd = self.g.add_compute_set("step3.notdone");
+        self.collector_vertex(
+            cs_nd,
+            "notdone",
+            vec![
+                (covered.whole(), Access::Read),
+                (t_nd.whole(), Access::Write),
+            ],
+            move |ctx| {
+                ctx.i32_mut(1)[0] = i32::from((ctx.i32(0)[0] as usize) < n);
+                cost::scalar(2)
+            },
+        )?;
+        Ok(Program::seq(vec![
+            Program::execute(cs_cover),
+            red_prog,
+            Program::execute(cs_nd),
+        ]))
+    }
+
+    /// The Step 4/5/6 search loop (§IV-F to §IV-H): while `searching`,
+    /// refresh the cover mirror, classify rows (−1/0/1), arg-max reduce,
+    /// and dispatch to augmentation (1), priming (0), or the slack update
+    /// (−1).
+    pub fn frag_search_loop(&mut self, compress: &Program) -> Result<Program, GraphError> {
+        let l = self.l.clone();
+        let (n, th) = (l.n, l.threads);
+        let t_searching = self.t.searching;
+
+        // --- cover-mirror refresh ---
+        let col_intervals = self.col_seg_intervals();
+        let (ccg, gather_cc) =
+            self.gather_to_collector("loop.ccg", self.t.col_cover, &col_intervals)?;
+        let refresh_ccm = Program::seq(vec![
+            gather_cc,
+            Program::broadcast(ccg.whole(), self.t.ccm.whole()),
+        ]);
+
+        // --- Step 4: row status over the compressed matrix ---
+        let (t_comp, t_rcov, t_rstar) = (self.t.compress, self.t.row_cover, self.t.row_star);
+        let (t_zs, t_rzc, t_enc, t_ccm) = (
+            self.t.zero_status,
+            self.t.row_zero_col,
+            self.t.enc,
+            self.t.ccm,
+        );
+        let use_compression = self.ab.compression;
+        let t_slack = self.t.slack;
+        let cs_status = self.g.add_compute_set("step4.status");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            let row_i = row as i32;
+            let v = if use_compression {
+                let seg_bounds: Vec<(usize, usize)> = (0..th)
+                    .map(|s| {
+                        let c = l.seg_cols(s);
+                        (c.start, c.end)
+                    })
+                    .collect();
+                let v = self.g.add_vertex(cs_status, tile, "status", move |ctx| {
+                    let covered = ctx.i32(0)[0] != 0;
+                    let star = ctx.i32(1)[0];
+                    let comp = ctx.i32(2);
+                    let ccm = ctx.i32(3);
+                    let mut scanned = 0u64;
+                    let mut zcol = -1;
+                    if !covered {
+                        'outer: for &(s0, s1) in &seg_bounds {
+                            for k in s0..s1 {
+                                scanned += 1;
+                                let c = comp[k];
+                                if c < 0 {
+                                    break; // compacted: no more zeros in seg
+                                }
+                                if ccm[c as usize] == 0 {
+                                    zcol = c;
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    let status: i32 = if zcol < 0 {
+                        -1
+                    } else if star == -1 {
+                        1
+                    } else {
+                        0
+                    };
+                    ctx.i32_mut(4)[0] = status;
+                    ctx.i32_mut(5)[0] = zcol;
+                    ctx.i32_mut(6)[0] = ((status + 1) << ENC_SHIFT) | (ENC_MASK - row_i);
+                    cost::i32_scan(scanned as usize) + cost::scalar(6)
+                })?;
+                self.g.connect(v, t_rcov.element(row), Access::Read)?;
+                self.g.connect(v, t_rstar.element(row), Access::Read)?;
+                self.g
+                    .connect(v, t_comp.slice(l.row_range(row)), Access::Read)?;
+                v
+            } else {
+                // Ablation A2: no compression — scan the raw slack row.
+                let v = self
+                    .g
+                    .add_vertex(cs_status, tile, "status_raw", move |ctx| {
+                        let covered = ctx.i32(0)[0] != 0;
+                        let star = ctx.i32(1)[0];
+                        let slack = ctx.f32(2);
+                        let ccm = ctx.i32(3);
+                        let mut zcol = -1;
+                        if !covered {
+                            for (c, &x) in slack.iter().enumerate() {
+                                if x == 0.0 && ccm[c] == 0 {
+                                    zcol = c as i32;
+                                    break;
+                                }
+                            }
+                        }
+                        let status: i32 = if zcol < 0 {
+                            -1
+                        } else if star == -1 {
+                            1
+                        } else {
+                            0
+                        };
+                        ctx.i32_mut(4)[0] = status;
+                        ctx.i32_mut(5)[0] = zcol;
+                        ctx.i32_mut(6)[0] = ((status + 1) << ENC_SHIFT) | (ENC_MASK - row_i);
+                        cost::f32_scan(slack.len()) + cost::scalar(6)
+                    })?;
+                self.g.connect(v, t_rcov.element(row), Access::Read)?;
+                self.g.connect(v, t_rstar.element(row), Access::Read)?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_range(row)), Access::Read)?;
+                v
+            };
+            self.g.connect(v, t_ccm.whole(), Access::Read)?;
+            self.g.connect(v, t_zs.element(row), Access::Write)?;
+            self.g.connect(v, t_rzc.element(row), Access::Write)?;
+            self.g.connect(v, t_enc.element(row), Access::Write)?;
+        }
+        let (enc_out, enc_prog) = reduce_to_scalar(
+            &mut self.g,
+            "step4.enc",
+            t_enc,
+            ReduceOp::Max,
+            l.collector_tile,
+        )?;
+
+        // Decode: status and selected row.
+        let (t_st1, t_st0, t_sel_row) = (self.t.st1, self.t.st0, self.t.sel_row);
+        let cs_decode = self.g.add_compute_set("step4.decode");
+        self.collector_vertex(
+            cs_decode,
+            "decode",
+            vec![
+                (enc_out.whole(), Access::Read),
+                (t_st1.whole(), Access::Write),
+                (t_st0.whole(), Access::Write),
+                (t_sel_row.whole(), Access::Write),
+            ],
+            |ctx| {
+                let e = ctx.i32(0)[0];
+                let status = (e >> ENC_SHIFT) - 1;
+                ctx.i32_mut(1)[0] = i32::from(status == 1);
+                ctx.i32_mut(2)[0] = i32::from(status == 0);
+                ctx.i32_mut(3)[0] = ENC_MASK - (e & ENC_MASK);
+                cost::scalar(5)
+            },
+        )?;
+
+        // Shared fragment: resolve the selected row's uncovered-zero
+        // column via a dynamic read, and mirror it.
+        let row_intervals = self.row_block_intervals(1);
+        let (rzc_out, read_rzc) =
+            self.dyn_read_i32("step4.selcol", t_rzc, self.t.sel_row_m, &row_intervals)?;
+        let get_sel_col = Program::seq(vec![
+            Program::broadcast(t_sel_row.whole(), self.t.sel_row_m.whole()),
+            read_rzc,
+            Program::broadcast(rzc_out.whole(), self.t.sel_col_m.whole()),
+        ]);
+
+        let prime = self.frag_prime(&get_sel_col, &row_intervals)?;
+        let augment = self.frag_augment(&get_sel_col, rzc_out, &row_intervals)?;
+        let step6 = self.frag_step6(compress)?;
+
+        let dispatch = Program::if_else(
+            self.t.st1,
+            augment,
+            Program::if_else(self.t.st0, prime, step6),
+        );
+
+        let body = Program::seq(vec![
+            refresh_ccm,
+            Program::execute(cs_status),
+            enc_prog,
+            Program::execute(cs_decode),
+            dispatch,
+        ]);
+        Ok(Program::while_true(t_searching, body))
+    }
+
+    /// Step 4's priming action (status 0): prime the zero, cover its row,
+    /// uncover its star's column (§IV-F). All writes at runtime-computed
+    /// indices use the partition-and-distribute pattern (§IV-G).
+    fn frag_prime(
+        &mut self,
+        get_sel_col: &Program,
+        row_intervals: &[(std::ops::Range<usize>, usize)],
+    ) -> Result<Program, GraphError> {
+        let l = self.l.clone();
+        let (star_out, read_star) = self.dyn_read_i32(
+            "prime.star",
+            self.t.row_star,
+            self.t.sel_row_m,
+            row_intervals,
+        )?;
+
+        let (t_selr_m, t_selc_m) = (self.t.sel_row_m, self.t.sel_col_m);
+        let (t_prime, t_rcov) = (self.t.row_prime, self.t.row_cover);
+        let cs_prime = self.g.add_compute_set("step4.prime");
+        for (range, tile) in row_intervals {
+            let (s0, s1) = (range.start, range.end);
+            let v = self.g.add_vertex(cs_prime, *tile, "prime", move |ctx| {
+                let r = ctx.i32(0)[0] as usize;
+                if r >= s0 && r < s1 {
+                    let j = ctx.i32(1)[0];
+                    ctx.i32_mut(2)[r - s0] = j;
+                    ctx.i32_mut(3)[r - s0] = 1;
+                }
+                cost::scalar(5)
+            })?;
+            self.g.connect(v, t_selr_m.whole(), Access::Read)?;
+            self.g.connect(v, t_selc_m.whole(), Access::Read)?;
+            self.g
+                .connect(v, t_prime.slice(range.clone()), Access::ReadWrite)?;
+            self.g
+                .connect(v, t_rcov.slice(range.clone()), Access::ReadWrite)?;
+        }
+
+        let (t_star_m, t_ccov) = (self.t.star_col_m, self.t.col_cover);
+        let cs_uncover = self.g.add_compute_set("step4.uncover");
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let cols = l.col_seg_cols(seg);
+            let (c0, c1) = (cols.start, cols.end);
+            let v = self.g.add_vertex(cs_uncover, tile, "uncover", move |ctx| {
+                let j = ctx.i32(0)[0] as usize;
+                if j >= c0 && j < c1 {
+                    ctx.i32_mut(1)[j - c0] = 0;
+                }
+                cost::scalar(4)
+            })?;
+            self.g.connect(v, t_star_m.whole(), Access::Read)?;
+            self.g.connect(v, t_ccov.slice(cols), Access::ReadWrite)?;
+        }
+
+        Ok(Program::seq(vec![
+            get_sel_col.clone(),
+            read_star,
+            Program::broadcast(star_out.whole(), self.t.star_col_m.whole()),
+            Program::execute(cs_prime),
+            Program::execute(cs_uncover),
+        ]))
+    }
+
+    /// Step 5 (§IV-G, Fig. 3): walk the alternating path from the
+    /// selected prime, recording hops on the green stack; then flip the
+    /// stars in parallel, clear primes and covers, and end the search.
+    fn frag_augment(
+        &mut self,
+        get_sel_col: &Program,
+        rzc_out: ipu_sim::Tensor,
+        row_intervals: &[(std::ops::Range<usize>, usize)],
+    ) -> Result<Program, GraphError> {
+        let l = self.l.clone();
+        let t = self.t.clone();
+        let (t_grows, t_gcols, t_glen) = (t.green_rows, t.green_cols, t.green_len);
+        let (t_selrow, t_curcol, t_walking) = (t.sel_row, t.cur_col, t.walking);
+        let t_ctr = t.ctr_aug;
+
+        // Initialize the walk: push the starting prime.
+        let cs_init = self.g.add_compute_set("step5.init");
+        self.collector_vertex(
+            cs_init,
+            "walkinit",
+            vec![
+                (t_selrow.whole(), Access::Read),
+                (rzc_out.whole(), Access::Read),
+                (t_grows.whole(), Access::Write),
+                (t_gcols.whole(), Access::Write),
+                (t_glen.whole(), Access::Write),
+                (t_curcol.whole(), Access::Write),
+                (t_walking.whole(), Access::Write),
+                (t_ctr.whole(), Access::ReadWrite),
+            ],
+            |ctx| {
+                let r = ctx.i32(0)[0];
+                let c = ctx.i32(1)[0];
+                ctx.i32_mut(2)[0] = r;
+                ctx.i32_mut(3)[0] = c;
+                ctx.i32_mut(4)[0] = 1;
+                ctx.i32_mut(5)[0] = c;
+                ctx.i32_mut(6)[0] = 1;
+                ctx.i32_mut(7)[0] += 1;
+                cost::scalar(8)
+            },
+        )?;
+
+        // One walk hop: k = col_star[cur_col]; if k >= 0 then
+        // j' = row_prime[k], push (k, j'), cur_col = j'.
+        let col_intervals = self.col_seg_intervals();
+        let (k_out, read_k) =
+            self.dyn_read_i32("step5.colstar", t.col_star, t.cur_col_m, &col_intervals)?;
+        let cs_check = self.g.add_compute_set("step5.check");
+        self.collector_vertex(
+            cs_check,
+            "check",
+            vec![
+                (k_out.whole(), Access::Read),
+                (t_walking.whole(), Access::Write),
+            ],
+            |ctx| {
+                ctx.i32_mut(1)[0] = i32::from(ctx.i32(0)[0] >= 0);
+                cost::scalar(2)
+            },
+        )?;
+        let (rp_out, read_rp) =
+            self.dyn_read_i32("step5.rowprime", t.row_prime, t.k_row_m, row_intervals)?;
+        let cs_push = self.g.add_compute_set("step5.push");
+        self.collector_vertex(
+            cs_push,
+            "push",
+            vec![
+                (k_out.whole(), Access::Read),
+                (rp_out.whole(), Access::Read),
+                (t_grows.whole(), Access::ReadWrite),
+                (t_gcols.whole(), Access::ReadWrite),
+                (t_glen.whole(), Access::ReadWrite),
+                (t_curcol.whole(), Access::Write),
+            ],
+            |ctx| {
+                let k = ctx.i32(0)[0];
+                let j = ctx.i32(1)[0];
+                let mut len = ctx.i32_mut(4);
+                let at = len[0] as usize;
+                ctx.i32_mut(2)[at] = k;
+                ctx.i32_mut(3)[at] = j;
+                len[0] += 1;
+                ctx.i32_mut(5)[0] = j;
+                cost::scalar(8)
+            },
+        )?;
+        let hop = Program::seq(vec![
+            Program::broadcast(t_curcol.whole(), t.cur_col_m.whole()),
+            read_k,
+            Program::execute(cs_check),
+            Program::if_true(
+                t_walking,
+                Program::seq(vec![
+                    Program::broadcast(k_out.whole(), t.k_row_m.whole()),
+                    read_rp,
+                    Program::execute(cs_push),
+                ]),
+            ),
+        ]);
+        let walk = Program::while_true(t_walking, hop);
+
+        // Flip in parallel from the mirrored green stack.
+        let (t_ma, t_mb, t_lenm) = (t.ma, t.mb, t.len_m);
+        let (t_rstar, t_rprime, t_rcov, t_cstar) =
+            (t.row_star, t.row_prime, t.row_cover, t.col_star);
+        let cs_fr = self.g.add_compute_set("step5.flip_rows");
+        for (range, tile) in row_intervals {
+            let (s0, s1) = (range.start as i32, range.end as i32);
+            let v = self.g.add_vertex(cs_fr, *tile, "flip_rows", move |ctx| {
+                let len = ctx.i32(2)[0] as usize;
+                {
+                    let rows = ctx.i32(0);
+                    let cols = ctx.i32(1);
+                    let mut star = ctx.i32_mut(3);
+                    for tpos in 0..len {
+                        let r = rows[tpos];
+                        if r >= s0 && r < s1 {
+                            star[(r - s0) as usize] = cols[tpos];
+                        }
+                    }
+                }
+                let mut prime = ctx.i32_mut(4);
+                prime.iter_mut().for_each(|x| *x = -1);
+                let mut cov = ctx.i32_mut(5);
+                cov.iter_mut().for_each(|x| *x = 0);
+                cost::i32_scan(len) + cost::i32_update(prime.len() + cov.len())
+            })?;
+            self.g.connect(v, t_ma.whole(), Access::Read)?;
+            self.g.connect(v, t_mb.whole(), Access::Read)?;
+            self.g.connect(v, t_lenm.whole(), Access::Read)?;
+            self.g
+                .connect(v, t_rstar.slice(range.clone()), Access::ReadWrite)?;
+            self.g
+                .connect(v, t_rprime.slice(range.clone()), Access::Write)?;
+            self.g
+                .connect(v, t_rcov.slice(range.clone()), Access::Write)?;
+        }
+        let cs_fc = self.g.add_compute_set("step5.flip_cols");
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let cols_r = l.col_seg_cols(seg);
+            let (c0, c1) = (cols_r.start as i32, cols_r.end as i32);
+            let v = self.g.add_vertex(cs_fc, tile, "flip_cols", move |ctx| {
+                let len = ctx.i32(2)[0] as usize;
+                let rows = ctx.i32(0);
+                let cols = ctx.i32(1);
+                let mut star = ctx.i32_mut(3);
+                for tpos in 0..len {
+                    let c = cols[tpos];
+                    if c >= c0 && c < c1 {
+                        star[(c - c0) as usize] = rows[tpos];
+                    }
+                }
+                cost::i32_scan(len)
+            })?;
+            self.g.connect(v, t_ma.whole(), Access::Read)?;
+            self.g.connect(v, t_mb.whole(), Access::Read)?;
+            self.g.connect(v, t_lenm.whole(), Access::Read)?;
+            self.g
+                .connect(v, t_cstar.slice(cols_r), Access::ReadWrite)?;
+        }
+
+        let cs_done = self.g.add_compute_set("step5.done");
+        let t_searching = t.searching;
+        self.collector_vertex(
+            cs_done,
+            "done",
+            vec![(t_searching.whole(), Access::Write)],
+            |ctx| {
+                ctx.i32_mut(0)[0] = 0;
+                cost::scalar(1)
+            },
+        )?;
+
+        Ok(Program::seq(vec![
+            get_sel_col.clone(),
+            Program::execute(cs_init),
+            walk,
+            Program::broadcast(t_grows.whole(), t_ma.whole()),
+            Program::broadcast(t_gcols.whole(), t_mb.whole()),
+            Program::broadcast(t_glen.whole(), t_lenm.whole()),
+            Program::execute(cs_fr),
+            Program::execute(cs_fc),
+            Program::execute(cs_done),
+        ]))
+    }
+
+    /// Step 6 (§IV-H): find the minimum uncovered slack Δ with per-thread
+    /// segment minima, broadcast it, shift the slack matrix (and the dual
+    /// potentials), and re-compress.
+    fn frag_step6(&mut self, compress: &Program) -> Result<Program, GraphError> {
+        let l = self.l.clone();
+        let (n, th) = (l.n, l.threads);
+        let t = self.t.clone();
+        let (t_slack, t_segmin, t_rcov, t_ccm) = (t.slack, t.seg_min, t.row_cover, t.ccm);
+
+        let cs_min = self.g.add_compute_set("step6.segmin");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let cols = l.seg_cols(s);
+                let c0 = cols.start;
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs_min, tile, s, "segmin", move |ctx| {
+                        let covered = ctx.i32(0)[0] != 0;
+                        let out = if covered {
+                            f32::INFINITY
+                        } else {
+                            let slack = ctx.f32(1);
+                            let ccm = ctx.i32(2);
+                            let mut m = f32::INFINITY;
+                            for (off, &x) in slack.iter().enumerate() {
+                                if ccm[c0 + off] == 0 {
+                                    m = m.min(x);
+                                }
+                            }
+                            m
+                        };
+                        ctx.f32_mut(3)[0] = out;
+                        cost::f32_scan(ctx.f32(1).len()) + cost::scalar(2)
+                    })?;
+                self.g.connect(v, t_rcov.element(row), Access::Read)?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::Read)?;
+                self.g.connect(v, t_ccm.whole(), Access::Read)?;
+                self.g.connect(
+                    v,
+                    t_segmin.slice(row * th + s..row * th + s + 1),
+                    Access::Write,
+                )?;
+            }
+        }
+        // Count the dual update on the collector while the tiles scan.
+        let t_ctr = t.ctr_dual;
+        self.collector_vertex(
+            cs_min,
+            "count_dual",
+            vec![(t_ctr.whole(), Access::ReadWrite)],
+            |ctx| {
+                ctx.i32_mut(0)[0] += 1;
+                cost::scalar(1)
+            },
+        )?;
+
+        let (delta, red_prog) = reduce_to_scalar(
+            &mut self.g,
+            "step6.delta",
+            t_segmin,
+            ReduceOp::Min,
+            l.collector_tile,
+        )?;
+
+        let (t_dm, t_u, t_v, t_ccov) = (t.delta_m, t.u, t.v, t.col_cover);
+        let cs_upd = self.g.add_compute_set("step6.update");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let cols = l.seg_cols(s);
+                let c0 = cols.start;
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs_upd, tile, s, "update", move |ctx| {
+                        let delta = ctx.f32(0)[0];
+                        let covered = ctx.i32(1)[0] != 0;
+                        let ccm = ctx.i32(2);
+                        let mut slack = ctx.f32_mut(3);
+                        if covered {
+                            for (off, x) in slack.iter_mut().enumerate() {
+                                if ccm[c0 + off] != 0 {
+                                    *x += delta;
+                                }
+                            }
+                        } else {
+                            for (off, x) in slack.iter_mut().enumerate() {
+                                if ccm[c0 + off] == 0 {
+                                    *x -= delta;
+                                }
+                            }
+                        }
+                        cost::f32_update(slack.len())
+                    })?;
+                self.g.connect(v, t_dm.whole(), Access::Read)?;
+                self.g.connect(v, t_rcov.element(row), Access::Read)?;
+                self.g.connect(v, t_ccm.whole(), Access::Read)?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::ReadWrite)?;
+            }
+            // Dual potential u: one scalar vertex per row.
+            let v = self.g.add_vertex(cs_upd, tile, "u_update", |ctx| {
+                if ctx.i32(1)[0] == 0 {
+                    ctx.f32_mut(2)[0] += ctx.f32(0)[0];
+                }
+                cost::scalar(3)
+            })?;
+            self.g.connect(v, t_dm.whole(), Access::Read)?;
+            self.g.connect(v, t_rcov.element(row), Access::Read)?;
+            self.g.connect(v, t_u.element(row), Access::ReadWrite)?;
+        }
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let cols = l.col_seg_cols(seg);
+            let v = self.g.add_vertex(cs_upd, tile, "v_update", |ctx| {
+                let delta = ctx.f32(0)[0];
+                let cov = ctx.i32(1);
+                let mut pot = ctx.f32_mut(2);
+                for (p, &c) in pot.iter_mut().zip(cov.iter()) {
+                    if c != 0 {
+                        *p -= delta;
+                    }
+                }
+                cost::f32_update(pot.len())
+            })?;
+            self.g.connect(v, t_dm.whole(), Access::Read)?;
+            self.g
+                .connect(v, t_ccov.slice(cols.clone()), Access::Read)?;
+            self.g.connect(v, t_v.slice(cols), Access::ReadWrite)?;
+        }
+
+        let recompress = if self.ab.compression {
+            compress.clone()
+        } else {
+            Program::seq(vec![])
+        };
+        Ok(Program::seq(vec![
+            Program::execute(cs_min),
+            red_prog,
+            Program::broadcast(delta.whole(), t_dm.whole()),
+            Program::execute(cs_upd),
+            recompress,
+        ]))
+    }
+
+    /// Assembles the full driver program (§IV): steps 1–2 once, then the
+    /// outer completion loop with the inner search loop.
+    pub fn assemble(&mut self) -> Result<Program, GraphError> {
+        let step1 = self.frag_step1()?;
+        let compress = self.frag_compress()?;
+        let step2 = self.frag_step2()?;
+        let step3 = self.frag_step3()?;
+        let search = self.frag_search_loop(&compress)?;
+
+        let t_searching = self.t.searching;
+        let cs_begin = self.g.add_compute_set("begin_search");
+        self.collector_vertex(
+            cs_begin,
+            "begin",
+            vec![(t_searching.whole(), Access::Write)],
+            |ctx| {
+                ctx.i32_mut(0)[0] = 1;
+                cost::scalar(1)
+            },
+        )?;
+
+        let outer_body = Program::seq(vec![Program::execute(cs_begin), search, step3.clone()]);
+        Ok(Program::seq(vec![
+            step1,
+            compress.clone(),
+            step2,
+            compress,
+            step3,
+            Program::while_true(self.t.not_done, outer_body),
+        ]))
+    }
+}

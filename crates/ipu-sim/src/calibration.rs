@@ -1,0 +1,62 @@
+//! Cycle-model constants and their rationale.
+//!
+//! The simulator charges cycles in three places — compute, sync, exchange
+//! — following the BSP model the IPU enforces (§III-A of the paper,
+//! Valiant 1990). Constants come from the paper's hardware description and
+//! the Graphcore microbenchmarking literature it cites (Jia et al.,
+//! "Dissecting the Graphcore IPU architecture", arXiv:1912.03413):
+//!
+//! - **Clock 1.325 GHz, 1472 tiles, 6 threads/tile, 624 KiB/tile** —
+//!   stated directly in §III and §V of the paper.
+//! - **Thread issue model.** A tile's core rotates between its six
+//!   hardware threads, issuing one instruction per cycle overall; a thread
+//!   therefore runs at 1/6 of the clock when alone and the tile reaches
+//!   full throughput only when all six threads carry balanced work. The
+//!   compute charge of a superstep on one tile is
+//!   `6 * max_thread(thread_instructions)`; the chip-wide charge is the
+//!   max over tiles (stragglers stall the BSP step, challenge C3).
+//! - **Two floats at a time.** The paper repeatedly exploits 64-bit loads
+//!   ("we retrieve and update from the tile's memory two floats at once",
+//!   §IV-C, §IV-H); [`crate::cost`] helpers charge `n/2` instructions per
+//!   `n`-element f32 scan accordingly.
+//! - **Exchange: 4 B/cycle/tile.** Jia et al. measure ~5.8 GB/s per-tile
+//!   exchange bandwidth on Mk1 and ~8 TB/s aggregate on Mk2; 4 bytes per
+//!   cycle per tile at 1.325 GHz gives 5.3 GB/s per tile, 7.8 TB/s
+//!   aggregate — matching the paper's "fast (8 TB/s theoretical)
+//!   all-to-all" description.
+//! - **Sync ~150 cycles.** Chip-wide sync latency is of the order of
+//!   100 ns on Mk2 (Jia et al. measure 35–150 ns depending on sync zone).
+//! - **Exchange setup ~50 cycles** — the fixed cost of entering the
+//!   exchange phase and executing the pre-compiled exchange sequence.
+//! - **Control ~50 cycles** — `RepeatWhileTrue` evaluates a device scalar
+//!   between supersteps.
+//!
+//! None of these constants is tuned per-benchmark: Table II / Figure 5 /
+//! Table III shapes are produced by the *same* model.
+
+/// Tiles on the Mk2 GC200.
+pub const MK2_TILES: usize = 1472;
+
+/// Chip-wide BSP synchronization charge, cycles.
+pub const SYNC_CYCLES: u64 = 150;
+
+/// Fixed charge to set up one exchange phase, cycles.
+pub const EXCHANGE_SETUP_CYCLES: u64 = 50;
+
+/// Per-iteration charge of data-dependent control flow, cycles.
+pub const CONTROL_CYCLES: u64 = 50;
+
+/// Per-tile bandwidth for exchange bytes that cross a chip boundary,
+/// bytes per cycle.
+///
+/// A Mk2 exposes ten IPU-Links of 32 GB/s each (320 GB/s per chip,
+/// bidirectional aggregate); spread over 1472 tiles at 1.325 GHz that is
+/// ~0.16 B/cycle/tile — ~25x slower than the 4 B/cycle on-chip fabric,
+/// which is why multi-IPU layouts keep hot state chip-local.
+pub const INTER_IPU_BYTES_PER_CYCLE: f64 = 0.16;
+
+/// Fixed per-vertex dispatch overhead, instructions.
+///
+/// Every vertex execution pays this once: Poplar's vertex call sequence
+/// (load vertex state, jump, return) costs a small constant.
+pub const VERTEX_OVERHEAD: u64 = 10;

@@ -1,0 +1,143 @@
+//! Device configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of the simulated IPU.
+///
+/// Defaults model the Colossus Mk2 GC200 used by the paper (§III, §V).
+/// Smaller configurations are useful in tests: constraint violations
+/// (memory, mapping) reproduce at any scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpuConfig {
+    /// Number of tiles on the chip (Mk2: 1472).
+    pub tiles: usize,
+    /// Hardware threads per tile (Mk2: 6).
+    pub threads_per_tile: usize,
+    /// SRAM per tile in bytes (Mk2: 624 KiB).
+    pub tile_memory_bytes: usize,
+    /// Core clock in Hz (Mk2: 1.325 GHz).
+    pub clock_hz: f64,
+    /// Exchange-fabric bandwidth per tile, bytes per cycle in each
+    /// direction (Mk2: ~4 B/cycle send per tile).
+    pub exchange_bytes_per_cycle: f64,
+    /// Cycles charged for a chip-wide BSP synchronization.
+    pub sync_cycles: u64,
+    /// Fixed cycles charged to set up one exchange phase.
+    pub exchange_setup_cycles: u64,
+    /// Cycles charged per iteration of data-dependent control flow
+    /// (`RepeatWhileTrue` reads a device scalar between supersteps).
+    pub control_cycles: u64,
+    /// Number of chips in the system. On a multi-IPU system "the
+    /// exchange fabric extends to all tiles on all of the IPUs" (§III),
+    /// but traffic between chips crosses IPU-Links, which are far slower
+    /// than the on-chip fabric.
+    pub ipus: usize,
+    /// Tiles per chip (`tiles = ipus * tiles_per_ipu`).
+    pub tiles_per_ipu: usize,
+    /// Per-tile bandwidth for bytes crossing a chip boundary, bytes per
+    /// cycle (IPU-Link share; see `calibration`).
+    pub inter_ipu_bytes_per_cycle: f64,
+}
+
+impl IpuConfig {
+    /// The paper's device: a Colossus Mk2 GC200.
+    pub fn mk2() -> Self {
+        Self {
+            tiles: calibration_tiles(),
+            threads_per_tile: 6,
+            tile_memory_bytes: 624 * 1024,
+            clock_hz: 1.325e9,
+            exchange_bytes_per_cycle: 4.0,
+            sync_cycles: crate::calibration::SYNC_CYCLES,
+            exchange_setup_cycles: crate::calibration::EXCHANGE_SETUP_CYCLES,
+            control_cycles: crate::calibration::CONTROL_CYCLES,
+            ipus: 1,
+            tiles_per_ipu: calibration_tiles(),
+            inter_ipu_bytes_per_cycle: crate::calibration::INTER_IPU_BYTES_PER_CYCLE,
+        }
+    }
+
+    /// A multi-chip system of `ipus` Mk2s (e.g. an M2000 holds four):
+    /// one exchange address space over `1472 * ipus` tiles, with
+    /// chip-crossing traffic charged at IPU-Link bandwidth.
+    pub fn mk2_multi(ipus: usize) -> Self {
+        assert!(ipus >= 1);
+        let per = calibration_tiles();
+        Self {
+            tiles: per * ipus,
+            ipus,
+            tiles_per_ipu: per,
+            ..Self::mk2()
+        }
+    }
+
+    /// A small device for unit tests: `tiles` tiles with the Mk2's other
+    /// parameters.
+    pub fn tiny(tiles: usize) -> Self {
+        Self {
+            tiles,
+            tiles_per_ipu: tiles,
+            ..Self::mk2()
+        }
+    }
+
+    /// A small multi-chip device for tests: `ipus` chips of
+    /// `tiles_per_ipu` tiles.
+    pub fn tiny_multi(ipus: usize, tiles_per_ipu: usize) -> Self {
+        Self {
+            tiles: ipus * tiles_per_ipu,
+            ipus,
+            tiles_per_ipu,
+            ..Self::mk2()
+        }
+    }
+
+    /// The chip hosting `tile`.
+    pub fn ipu_of(&self, tile: usize) -> usize {
+        tile / self.tiles_per_ipu
+    }
+
+    /// Total hardware threads on the chip.
+    pub fn total_threads(&self) -> usize {
+        self.tiles * self.threads_per_tile
+    }
+
+    /// Converts device cycles to modeled seconds at this clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+impl Default for IpuConfig {
+    fn default() -> Self {
+        Self::mk2()
+    }
+}
+
+fn calibration_tiles() -> usize {
+    crate::calibration::MK2_TILES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mk2_matches_paper_description() {
+        let c = IpuConfig::mk2();
+        assert_eq!(c.tiles, 1472);
+        assert_eq!(c.threads_per_tile, 6);
+        assert_eq!(c.tile_memory_bytes, 624 * 1024);
+        assert_eq!(c.total_threads(), 8832);
+        // ~900 MiB of in-processor memory in total (paper §III).
+        let total_mib = (c.tiles * c.tile_memory_bytes) as f64 / (1024.0 * 1024.0);
+        assert!((total_mib - 897.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let c = IpuConfig::mk2();
+        let s = c.cycles_to_seconds(1_325_000_000);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

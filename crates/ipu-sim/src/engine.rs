@@ -1,0 +1,727 @@
+//! The execution engine: interprets a compiled program against tensor
+//! buffers, enforcing BSP semantics and charging the cycle model.
+
+use crate::calibration::VERTEX_OVERHEAD;
+use crate::codelet::{FieldBuf, VertexCtx};
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::program::Program;
+use crate::stats::{CycleStats, StepBreakdown};
+use crate::tensor::{DType, Tensor, TensorSlice};
+use std::collections::HashMap;
+
+/// Typed storage for one tensor.
+enum Buffer {
+    F32(Vec<f32>),
+    I32(Vec<i32>),
+}
+
+/// Raw view of a buffer, used to hand out disjoint slices to vertex
+/// fields without re-borrowing the `Vec` per field.
+#[derive(Clone, Copy)]
+enum RawBuf {
+    F32(*mut f32, usize),
+    I32(*mut i32, usize),
+}
+
+/// A compiled, runnable IPU program with its device state.
+///
+/// Obtained from [`Graph::compile`]; by then every static property
+/// (mapping, memory, locality, race-freedom) has been validated, so
+/// `run` can only fail on divergence of `RepeatWhileTrue`.
+pub struct Engine {
+    graph: Graph,
+    program: Program,
+    buffers: Vec<Buffer>,
+    stats: CycleStats,
+    /// Round-robin-resolved hardware thread of each vertex.
+    vertex_thread: Vec<usize>,
+    /// Scratch: instruction load per (tile, thread) during a superstep.
+    thread_load: Vec<u64>,
+    /// Scratch: (tile, thread) slots touched in the current superstep —
+    /// lets the hot path avoid sweeping all 8832 slots per superstep.
+    touched_slots: Vec<u32>,
+    /// Memoized exchange cost per set of copy endpoints.
+    copy_cost: HashMap<Vec<(TensorSlice, TensorSlice)>, u64>,
+    /// Reused staging buffers for exchanges (copies go through staging,
+    /// mirroring the real hardware's send/receive and keeping the
+    /// semantics simple when source and destination share a tensor).
+    scratch_f32: Vec<f32>,
+    scratch_i32: Vec<i32>,
+    /// Iteration guard for `RepeatWhileTrue`.
+    pub max_while_iterations: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("tensors", &self.graph.tensors.len())
+            .field("compute_sets", &self.graph.compute_sets.len())
+            .field("vertices", &self.graph.vertices.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    pub(crate) fn new(graph: Graph, program: Program) -> Self {
+        let buffers = graph
+            .tensors
+            .iter()
+            .map(|t| match t.dtype {
+                DType::F32 => Buffer::F32(vec![0.0; t.len]),
+                DType::I32 => Buffer::I32(vec![0; t.len]),
+            })
+            .collect();
+        // Resolve auto threads round-robin per (compute set, tile).
+        let mut counters: HashMap<(usize, usize), usize> = HashMap::new();
+        let tpt = graph.config.threads_per_tile;
+        let vertex_thread = graph
+            .vertices
+            .iter()
+            .map(|v| match v.thread {
+                Some(t) => t,
+                None => {
+                    let c = counters.entry((v.cs, v.tile)).or_insert(0);
+                    let t = *c % tpt;
+                    *c += 1;
+                    t
+                }
+            })
+            .collect();
+        let stats = CycleStats {
+            per_compute_set: graph
+                .compute_sets
+                .iter()
+                .map(|cs| StepBreakdown {
+                    name: cs.name.clone(),
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        };
+        let thread_load = vec![0u64; graph.config.tiles * tpt];
+        Self {
+            graph,
+            program,
+            buffers,
+            stats,
+            vertex_thread,
+            thread_load,
+            touched_slots: Vec::new(),
+            copy_cost: HashMap::new(),
+            scratch_f32: Vec::new(),
+            scratch_i32: Vec::new(),
+            max_while_iterations: 100_000_000,
+        }
+    }
+
+    /// The accumulated cycle statistics.
+    pub fn stats(&self) -> &CycleStats {
+        &self.stats
+    }
+
+    /// Zeroes the cycle statistics (buffers are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Modeled device seconds for everything run so far.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.graph
+            .config
+            .cycles_to_seconds(self.stats.total_cycles())
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &crate::IpuConfig {
+        &self.graph.config
+    }
+
+    /// Host → device write of a whole f32 tensor (not charged to device
+    /// time; bytes recorded in `stats.host_bytes`).
+    pub fn write_f32(&mut self, tensor: Tensor, data: &[f32]) -> Result<(), GraphError> {
+        match &mut self.buffers[tensor.id] {
+            Buffer::F32(v) if v.len() == data.len() => {
+                v.copy_from_slice(data);
+                self.stats.host_bytes += (data.len() * 4) as u64;
+                Ok(())
+            }
+            Buffer::F32(v) => Err(GraphError::Invalid {
+                detail: format!(
+                    "write_f32: tensor has {} elements, data has {}",
+                    v.len(),
+                    data.len()
+                ),
+            }),
+            _ => Err(GraphError::Invalid {
+                detail: "write_f32 on an i32 tensor".into(),
+            }),
+        }
+    }
+
+    /// Host → device write of a whole i32 tensor.
+    pub fn write_i32(&mut self, tensor: Tensor, data: &[i32]) -> Result<(), GraphError> {
+        match &mut self.buffers[tensor.id] {
+            Buffer::I32(v) if v.len() == data.len() => {
+                v.copy_from_slice(data);
+                self.stats.host_bytes += (data.len() * 4) as u64;
+                Ok(())
+            }
+            Buffer::I32(v) => Err(GraphError::Invalid {
+                detail: format!(
+                    "write_i32: tensor has {} elements, data has {}",
+                    v.len(),
+                    data.len()
+                ),
+            }),
+            _ => Err(GraphError::Invalid {
+                detail: "write_i32 on an f32 tensor".into(),
+            }),
+        }
+    }
+
+    /// Device → host read of a whole f32 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not f32 (a static programming error).
+    pub fn read_f32(&mut self, tensor: Tensor) -> Vec<f32> {
+        self.stats.host_bytes += (tensor.len * 4) as u64;
+        match &self.buffers[tensor.id] {
+            Buffer::F32(v) => v.clone(),
+            _ => panic!("read_f32 on an i32 tensor"),
+        }
+    }
+
+    /// Device → host read of a whole i32 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not i32 (a static programming error).
+    pub fn read_i32(&mut self, tensor: Tensor) -> Vec<i32> {
+        self.stats.host_bytes += (tensor.len * 4) as u64;
+        match &self.buffers[tensor.id] {
+            Buffer::I32(v) => v.clone(),
+            _ => panic!("read_i32 on an f32 tensor"),
+        }
+    }
+
+    /// Runs the compiled program once.
+    ///
+    /// # Errors
+    /// [`GraphError::Divergence`] if a `RepeatWhileTrue` exceeds
+    /// [`Engine::max_while_iterations`].
+    pub fn run(&mut self) -> Result<(), GraphError> {
+        let program = std::mem::replace(&mut self.program, Program::Sequence(Vec::new()));
+        let result = self.exec(&program);
+        self.program = program;
+        result
+    }
+
+    fn exec(&mut self, program: &Program) -> Result<(), GraphError> {
+        match program {
+            Program::Sequence(items) => {
+                for p in items {
+                    self.exec(p)?;
+                }
+                Ok(())
+            }
+            Program::Execute(cs) => {
+                self.exec_compute_set(cs.0);
+                Ok(())
+            }
+            Program::Copy { src, dst } => {
+                self.move_data(src, dst, 1);
+                self.charge_exchange(std::slice::from_ref(&(*src, *dst)));
+                Ok(())
+            }
+            Program::Broadcast { src, dst } => {
+                let reps = dst.len() / src.len();
+                self.move_data(src, dst, reps);
+                self.charge_exchange(std::slice::from_ref(&(*src, *dst)));
+                Ok(())
+            }
+            Program::Exchange(pairs) => {
+                for (src, dst) in pairs {
+                    self.move_data(src, dst, 1);
+                }
+                self.charge_exchange(pairs);
+                Ok(())
+            }
+            Program::Repeat { count, body } => {
+                for _ in 0..*count {
+                    self.exec(body)?;
+                }
+                Ok(())
+            }
+            Program::If {
+                predicate,
+                then_body,
+                else_body,
+            } => {
+                self.stats.control_cycles += self.graph.config.control_cycles;
+                let flag = match &self.buffers[predicate.id] {
+                    Buffer::I32(v) => v[0],
+                    _ => unreachable!("predicate dtype validated at compile"),
+                };
+                if flag != 0 {
+                    self.exec(then_body)
+                } else {
+                    self.exec(else_body)
+                }
+            }
+            Program::RepeatWhileTrue { predicate, body } => {
+                let mut iterations = 0u64;
+                loop {
+                    self.stats.control_cycles += self.graph.config.control_cycles;
+                    let flag = match &self.buffers[predicate.id] {
+                        Buffer::I32(v) => v[0],
+                        _ => unreachable!("predicate dtype validated at compile"),
+                    };
+                    if flag == 0 {
+                        return Ok(());
+                    }
+                    iterations += 1;
+                    if iterations > self.max_while_iterations {
+                        return Err(GraphError::Divergence {
+                            limit: self.max_while_iterations,
+                        });
+                    }
+                    self.exec(body)?;
+                }
+            }
+        }
+    }
+
+    /// Executes one compute set as a BSP superstep.
+    fn exec_compute_set(&mut self, cs: usize) {
+        let tpt = self.graph.config.threads_per_tile;
+        debug_assert!(self.thread_load.iter().all(|&x| x == 0));
+        self.touched_slots.clear();
+
+        // Take raw base pointers once; field slices derive from these
+        // without re-borrowing the Vecs (see SAFETY below).
+        let raw: Vec<RawBuf> = self
+            .buffers
+            .iter_mut()
+            .map(|b| match b {
+                Buffer::F32(v) => RawBuf::F32(v.as_mut_ptr(), v.len()),
+                Buffer::I32(v) => RawBuf::I32(v.as_mut_ptr(), v.len()),
+            })
+            .collect();
+
+        for &vid in &self.graph.compute_sets[cs].vertices {
+            let v = &self.graph.vertices[vid];
+            let mut fields = Vec::with_capacity(v.fields.len());
+            for (slice, access) in &v.fields {
+                // SAFETY: `Graph::compile` validated that (a) every slice
+                // is in bounds of its tensor, and (b) within this compute
+                // set, any region connected with a write access overlaps
+                // no other connected region. Vertices execute one at a
+                // time and the derived references are dropped (with `ctx`)
+                // before the next vertex runs, so the only simultaneous
+                // references are the fields of one vertex — disjoint
+                // whenever one of them is mutable, shared otherwise.
+                // The raw base pointers stay valid for the whole loop:
+                // `self.buffers` is not reallocated or re-borrowed here.
+                let field = unsafe {
+                    match (raw[slice.tensor.id], access.is_exclusive()) {
+                        (RawBuf::F32(p, len), true) => {
+                            debug_assert!(slice.end <= len);
+                            FieldBuf::F32Mut(std::slice::from_raw_parts_mut(
+                                p.add(slice.start),
+                                slice.len(),
+                            ))
+                        }
+                        (RawBuf::F32(p, len), false) => {
+                            debug_assert!(slice.end <= len);
+                            FieldBuf::F32(std::slice::from_raw_parts(
+                                p.add(slice.start),
+                                slice.len(),
+                            ))
+                        }
+                        (RawBuf::I32(p, len), true) => {
+                            debug_assert!(slice.end <= len);
+                            FieldBuf::I32Mut(std::slice::from_raw_parts_mut(
+                                p.add(slice.start),
+                                slice.len(),
+                            ))
+                        }
+                        (RawBuf::I32(p, len), false) => {
+                            debug_assert!(slice.end <= len);
+                            FieldBuf::I32(std::slice::from_raw_parts(
+                                p.add(slice.start),
+                                slice.len(),
+                            ))
+                        }
+                    }
+                };
+                fields.push(field);
+            }
+            let ctx = VertexCtx::new(fields);
+            let instructions = (v.codelet)(&ctx) + VERTEX_OVERHEAD;
+            drop(ctx);
+            let slot = v.tile * tpt + self.vertex_thread[vid];
+            if self.thread_load[slot] == 0 {
+                self.touched_slots.push(slot as u32);
+            }
+            self.thread_load[slot] += instructions;
+        }
+
+        // Tile cost: the barrel scheduler rotates over all `tpt` thread
+        // slots, so a tile finishes after `tpt * max_thread(instructions)`
+        // cycles; the superstep lasts as long as the slowest tile (C3).
+        // The chip-wide max over tiles equals `tpt *` the max over all
+        // touched slots.
+        let mut worst = 0u64;
+        for &slot in &self.touched_slots {
+            worst = worst.max(self.thread_load[slot as usize]);
+            self.thread_load[slot as usize] = 0;
+        }
+        let superstep = worst * tpt as u64;
+        self.stats.compute_cycles += superstep;
+        self.stats.sync_cycles += self.graph.config.sync_cycles;
+        self.stats.supersteps += 1;
+        let b = &mut self.stats.per_compute_set[cs];
+        b.executions += 1;
+        b.compute_cycles += superstep;
+    }
+
+    /// Moves data for one copy: `dst` receives `reps` repetitions of
+    /// `src` (1 for plain copies).
+    fn move_data(&mut self, src: &TensorSlice, dst: &TensorSlice, reps: usize) {
+        // Move the data through a temporary, which also handles
+        // broadcast replication. (Copies were validated non-overlapping.)
+        match src.tensor.dtype {
+            DType::F32 => {
+                let tmp = &mut self.scratch_f32;
+                tmp.clear();
+                match &self.buffers[src.tensor.id] {
+                    Buffer::F32(v) => tmp.extend_from_slice(&v[src.range()]),
+                    _ => unreachable!("dtype validated"),
+                };
+                match &mut self.buffers[dst.tensor.id] {
+                    Buffer::F32(v) => {
+                        for r in 0..reps {
+                            let off = dst.start + r * tmp.len();
+                            v[off..off + tmp.len()].copy_from_slice(tmp);
+                        }
+                    }
+                    _ => unreachable!("dtype validated"),
+                }
+            }
+            DType::I32 => {
+                let tmp = &mut self.scratch_i32;
+                tmp.clear();
+                match &self.buffers[src.tensor.id] {
+                    Buffer::I32(v) => tmp.extend_from_slice(&v[src.range()]),
+                    _ => unreachable!("dtype validated"),
+                };
+                match &mut self.buffers[dst.tensor.id] {
+                    Buffer::I32(v) => {
+                        for r in 0..reps {
+                            let off = dst.start + r * tmp.len();
+                            v[off..off + tmp.len()].copy_from_slice(tmp);
+                        }
+                    }
+                    _ => unreachable!("dtype validated"),
+                }
+            }
+        }
+    }
+
+    /// Charges one exchange phase covering all `pairs`.
+    ///
+    /// The phase duration is bounded by the busiest tile: bytes it sends
+    /// plus bytes it receives at the on-chip fabric bandwidth, plus any
+    /// bytes it moves **across a chip boundary** at the (much slower)
+    /// IPU-Link bandwidth — multi-IPU systems share one exchange address
+    /// space (§III) but not one fabric. A broadcast source is charged
+    /// once per receiving chip — the exchange is a per-tile wire every
+    /// same-chip destination can listen to (multicast). Costs are
+    /// memoized per pair set (the mapping is static).
+    fn charge_exchange(&mut self, pairs: &[(TensorSlice, TensorSlice)]) {
+        let cost = if let Some(&c) = self.copy_cost.get(pairs) {
+            c
+        } else {
+            let config = &self.graph.config;
+            let tiles = config.tiles;
+            let mut local = vec![0u64; tiles];
+            let mut remote = vec![0u64; tiles];
+            for (src, dst) in pairs {
+                let si = &self.graph.tensors[src.tensor.id];
+                let di = &self.graph.tensors[dst.tensor.id];
+                if di.replicated {
+                    // Every tile receives its replica on-chip; the source
+                    // pushes one copy across each other chip's links.
+                    let bytes = (dst.len() * dst.tensor.dtype.size_bytes()) as u64;
+                    local.iter_mut().for_each(|b| *b += bytes);
+                    si.bytes_per_tile(src.start, src.end, &mut local);
+                    if config.ipus > 1 {
+                        let mut src_only = vec![0u64; tiles];
+                        si.bytes_per_tile(src.start, src.end, &mut src_only);
+                        for (t, &b) in src_only.iter().enumerate() {
+                            remote[t] += b * (config.ipus as u64 - 1);
+                        }
+                    }
+                    continue;
+                }
+                // Walk src/dst intervals in lockstep, classifying each
+                // overlapped segment as on-chip or chip-crossing.
+                let esz = src.tensor.dtype.size_bytes() as u64;
+                let mut o = 0usize;
+                while o < src.len() {
+                    let (se, st) = si.interval_at(src.start + o);
+                    let (de, dt) = di.interval_at(dst.start + o);
+                    let seg_end = (se - src.start).min(de - dst.start).min(src.len());
+                    let bytes = (seg_end - o) as u64 * esz;
+                    if config.ipu_of(st) == config.ipu_of(dt) {
+                        local[st] += bytes;
+                        local[dt] += bytes;
+                    } else {
+                        remote[st] += bytes;
+                        remote[dt] += bytes;
+                    }
+                    o = seg_end;
+                }
+            }
+            let mut worst = 0.0f64;
+            for t in 0..tiles {
+                let cycles = local[t] as f64 / config.exchange_bytes_per_cycle
+                    + remote[t] as f64 / config.inter_ipu_bytes_per_cycle;
+                worst = worst.max(cycles);
+            }
+            let c = config.exchange_setup_cycles + worst.ceil() as u64;
+            self.copy_cost.insert(pairs.to_vec(), c);
+            c
+        };
+        self.stats.exchange_cycles += cost;
+        self.stats.sync_cycles += self.graph.config.sync_cycles;
+        self.stats.exchanges += 1;
+        self.stats.exchange_bytes += pairs.iter().map(|(_, dst)| dst.bytes() as u64).sum::<u64>();
+    }
+
+    /// Direct (host-side) peek at an f32 region — intended for tests and
+    /// debugging; does not touch accounting.
+    pub fn peek_f32(&self, slice: TensorSlice) -> Vec<f32> {
+        match &self.buffers[slice.tensor.id] {
+            Buffer::F32(v) => v[slice.range()].to_vec(),
+            _ => panic!("peek_f32 on an i32 tensor"),
+        }
+    }
+
+    /// Direct (host-side) peek at an i32 region.
+    pub fn peek_i32(&self, slice: TensorSlice) -> Vec<i32> {
+        match &self.buffers[slice.tensor.id] {
+            Buffer::I32(v) => v[slice.range()].to_vec(),
+            _ => panic!("peek_i32 on an f32 tensor"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cost, Access, DType, Graph, IpuConfig, Program};
+
+    #[test]
+    fn simple_compute_runs_and_charges_cycles() {
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let x = g.add_tensor("x", DType::F32, 4);
+        g.map_to_tile(x, 0).unwrap();
+        let cs = g.add_compute_set("inc");
+        let v = g
+            .add_vertex(cs, 0, "inc", |ctx| {
+                let mut x = ctx.f32_mut(0);
+                for e in x.iter_mut() {
+                    *e += 1.0;
+                }
+                cost::f32_update(x.len())
+            })
+            .unwrap();
+        g.connect(v, x.whole(), Access::ReadWrite).unwrap();
+        let mut e = g.compile(Program::execute(cs)).unwrap();
+        e.write_f32(x, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_f32(x), vec![2.0, 3.0, 4.0, 5.0]);
+        assert!(e.stats().compute_cycles > 0);
+        assert_eq!(e.stats().supersteps, 1);
+        assert!(e.modeled_seconds() > 0.0);
+    }
+
+    #[test]
+    fn superstep_cost_is_max_over_tiles_times_thread_slots() {
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let cs = g.add_compute_set("work");
+        // Tile 0: 100-instruction vertex; tile 1: 10-instruction vertex.
+        g.add_vertex(cs, 0, "heavy", |_| 100).unwrap();
+        g.add_vertex(cs, 1, "light", |_| 10).unwrap();
+        let mut e = g.compile(Program::execute(cs)).unwrap();
+        e.run().unwrap();
+        // Max thread load on the slowest tile = 100 + overhead, times the
+        // 6 barrel slots.
+        assert_eq!(e.stats().compute_cycles, (100 + VERTEX_OVERHEAD) * 6);
+    }
+
+    #[test]
+    fn balanced_threads_beat_single_thread() {
+        // 600 instructions on one thread vs 100 on each of six threads:
+        // the balanced version is 6x faster (C3: workload balance).
+        let single = {
+            let mut g = Graph::new(IpuConfig::tiny(1));
+            let cs = g.add_compute_set("w");
+            g.add_vertex_on_thread(cs, 0, 0, "all", |_| 600).unwrap();
+            let mut e = g.compile(Program::execute(cs)).unwrap();
+            e.run().unwrap();
+            e.stats().compute_cycles
+        };
+        let balanced = {
+            let mut g = Graph::new(IpuConfig::tiny(1));
+            let cs = g.add_compute_set("w");
+            for t in 0..6 {
+                g.add_vertex_on_thread(cs, 0, t, "seg", |_| 100).unwrap();
+            }
+            let mut e = g.compile(Program::execute(cs)).unwrap();
+            e.run().unwrap();
+            e.stats().compute_cycles
+        };
+        assert!(single > 5 * balanced);
+    }
+
+    #[test]
+    fn copy_moves_data_and_charges_exchange() {
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let a = g.add_tensor("a", DType::I32, 4);
+        let b = g.add_tensor("b", DType::I32, 4);
+        g.map_to_tile(a, 0).unwrap();
+        g.map_to_tile(b, 1).unwrap();
+        let mut e = g.compile(Program::copy(a.whole(), b.whole())).unwrap();
+        e.write_i32(a, &[1, 2, 3, 4]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_i32(b), vec![1, 2, 3, 4]);
+        assert!(e.stats().exchange_cycles > 0);
+        assert_eq!(e.stats().exchanges, 1);
+        assert_eq!(e.stats().exchange_bytes, 16);
+    }
+
+    #[test]
+    fn broadcast_replicates() {
+        let mut g = Graph::new(IpuConfig::tiny(4));
+        let s = g.add_tensor("s", DType::F32, 1);
+        let d = g.add_tensor("d", DType::F32, 4);
+        g.map_to_tile(s, 0).unwrap();
+        g.map_evenly(d).unwrap();
+        let mut e = g.compile(Program::broadcast(s.whole(), d.whole())).unwrap();
+        e.write_f32(s, &[7.5]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_f32(d), vec![7.5; 4]);
+    }
+
+    #[test]
+    fn repeat_runs_body_n_times() {
+        let mut g = Graph::new(IpuConfig::tiny(1));
+        let x = g.add_tensor("x", DType::I32, 1);
+        g.map_to_tile(x, 0).unwrap();
+        let cs = g.add_compute_set("inc");
+        let v = g
+            .add_vertex(cs, 0, "inc", |ctx| {
+                ctx.i32_mut(0)[0] += 1;
+                1
+            })
+            .unwrap();
+        g.connect(v, x.whole(), Access::ReadWrite).unwrap();
+        let mut e = g.compile(Program::repeat(5, Program::execute(cs))).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_i32(x), vec![5]);
+        assert_eq!(e.stats().supersteps, 5);
+    }
+
+    #[test]
+    fn while_loop_runs_until_predicate_clears() {
+        let mut g = Graph::new(IpuConfig::tiny(1));
+        let flag = g.add_tensor("flag", DType::I32, 1);
+        let count = g.add_tensor("count", DType::I32, 1);
+        g.map_to_tile(flag, 0).unwrap();
+        g.map_to_tile(count, 0).unwrap();
+        let cs = g.add_compute_set("tick");
+        let v = g
+            .add_vertex(cs, 0, "tick", |ctx| {
+                let mut c = ctx.i32_mut(1);
+                c[0] += 1;
+                let mut f = ctx.i32_mut(0);
+                f[0] = i32::from(c[0] < 7);
+                3
+            })
+            .unwrap();
+        g.connect(v, flag.whole(), Access::ReadWrite).unwrap();
+        g.connect(v, count.whole(), Access::ReadWrite).unwrap();
+        let mut e = g
+            .compile(Program::while_true(flag, Program::execute(cs)))
+            .unwrap();
+        e.write_i32(flag, &[1]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_i32(count), vec![7]);
+        assert!(e.stats().control_cycles > 0);
+    }
+
+    #[test]
+    fn diverging_while_is_caught() {
+        let mut g = Graph::new(IpuConfig::tiny(1));
+        let flag = g.add_tensor("flag", DType::I32, 1);
+        g.map_to_tile(flag, 0).unwrap();
+        let mut e = g
+            .compile(Program::while_true(flag, Program::seq(vec![])))
+            .unwrap();
+        e.max_while_iterations = 100;
+        e.write_i32(flag, &[1]).unwrap();
+        assert!(matches!(
+            e.run(),
+            Err(GraphError::Divergence { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn stats_reset_and_rerun() {
+        let mut g = Graph::new(IpuConfig::tiny(1));
+        let cs = g.add_compute_set("w");
+        g.add_vertex(cs, 0, "v", |_| 10).unwrap();
+        let mut e = g.compile(Program::execute(cs)).unwrap();
+        e.run().unwrap();
+        let first = e.stats().total_cycles();
+        e.reset_stats();
+        assert_eq!(e.stats().total_cycles(), 0);
+        e.run().unwrap();
+        assert_eq!(e.stats().total_cycles(), first);
+        assert_eq!(e.stats().per_compute_set[0].executions, 1);
+    }
+
+    #[test]
+    fn per_compute_set_breakdown_accumulates() {
+        let mut g = Graph::new(IpuConfig::tiny(1));
+        let cs1 = g.add_compute_set("first");
+        let cs2 = g.add_compute_set("second");
+        g.add_vertex(cs1, 0, "a", |_| 5).unwrap();
+        g.add_vertex(cs2, 0, "b", |_| 7).unwrap();
+        let prog = Program::seq(vec![
+            Program::execute(cs1),
+            Program::execute(cs2),
+            Program::execute(cs1),
+        ]);
+        let mut e = g.compile(prog).unwrap();
+        e.run().unwrap();
+        let b = &e.stats().per_compute_set;
+        assert_eq!(b[0].name, "first");
+        assert_eq!(b[0].executions, 2);
+        assert_eq!(b[1].executions, 1);
+    }
+
+    #[test]
+    fn host_io_validates_shape_and_dtype() {
+        let mut g = Graph::new(IpuConfig::tiny(1));
+        let x = g.add_tensor("x", DType::F32, 4);
+        g.map_to_tile(x, 0).unwrap();
+        let mut e = g.compile(Program::seq(vec![])).unwrap();
+        assert!(e.write_f32(x, &[0.0; 3]).is_err());
+        assert!(e.write_i32(x, &[0; 4]).is_err());
+        assert!(e.write_f32(x, &[0.0; 4]).is_ok());
+    }
+}

@@ -1,0 +1,130 @@
+//! Graph construction and execution errors.
+
+use std::fmt;
+
+/// Errors raised while building or running an IPU graph.
+///
+/// Everything the Poplar compiler would reject statically is a
+/// [`GraphError`] at build/compile time — tile-locality violations,
+/// memory-budget overflows, and compute-set races are *not* runtime
+/// surprises, mirroring the static computation graph of §III-A.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A tensor region was connected to a vertex on a different tile than
+    /// the region's mapping (IPUs have no shared memory, C1/C2).
+    NotOnTile {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A tile's mapped tensors exceed its SRAM budget (C2).
+    TileMemoryExceeded {
+        /// The overflowing tile.
+        tile: usize,
+        /// Bytes mapped to the tile.
+        used: usize,
+        /// The budget.
+        budget: usize,
+    },
+    /// Two vertices in the same compute set access overlapping regions,
+    /// at least one writing (C1: no atomics — this would be a race).
+    ComputeSetRace {
+        /// Human-readable description of the two conflicting accesses.
+        detail: String,
+    },
+    /// A tensor element is not mapped to any tile.
+    Unmapped {
+        /// The tensor's debug name.
+        tensor: String,
+        /// First unmapped flat element index.
+        element: usize,
+    },
+    /// A region was mapped twice to different tiles.
+    AlreadyMapped {
+        /// The tensor's debug name.
+        tensor: String,
+        /// First doubly-mapped flat element index.
+        element: usize,
+    },
+    /// Slice bounds outside the tensor, or mismatched copy lengths, or a
+    /// dtype mismatch.
+    BadSlice {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A tile index outside the device.
+    BadTile {
+        /// The offending tile index.
+        tile: usize,
+        /// Number of tiles on the device.
+        tiles: usize,
+    },
+    /// A program referenced an unknown compute set / undefined structure,
+    /// or host I/O used the wrong dtype or length.
+    Invalid {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// `RepeatWhileTrue` exceeded the configured iteration guard — the
+    /// device program diverged.
+    Divergence {
+        /// The iteration limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NotOnTile { detail } => write!(f, "tile-locality violation: {detail}"),
+            GraphError::TileMemoryExceeded { tile, used, budget } => write!(
+                f,
+                "tile {tile} memory exceeded: {used} bytes mapped, budget {budget} bytes"
+            ),
+            GraphError::ComputeSetRace { detail } => {
+                write!(f, "compute-set race: {detail}")
+            }
+            GraphError::Unmapped { tensor, element } => {
+                write!(
+                    f,
+                    "tensor '{tensor}' element {element} is not mapped to any tile"
+                )
+            }
+            GraphError::AlreadyMapped { tensor, element } => {
+                write!(
+                    f,
+                    "tensor '{tensor}' element {element} is mapped more than once"
+                )
+            }
+            GraphError::BadSlice { detail } => write!(f, "bad slice: {detail}"),
+            GraphError::BadTile { tile, tiles } => {
+                write!(f, "tile {tile} out of range (device has {tiles} tiles)")
+            }
+            GraphError::Invalid { detail } => write!(f, "invalid graph/program: {detail}"),
+            GraphError::Divergence { limit } => {
+                write!(
+                    f,
+                    "RepeatWhileTrue exceeded {limit} iterations; program diverged"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_diagnostics() {
+        let e = GraphError::TileMemoryExceeded {
+            tile: 9,
+            used: 700_000,
+            budget: 638_976,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tile 9"));
+        assert!(s.contains("700000"));
+    }
+}

@@ -1,0 +1,470 @@
+//! Library subgraph builders — the simulator's equivalent of Poplar's
+//! `popops` operators (reduce, broadcast, sort are invoked by the paper in
+//! Steps 1, 2 and 6).
+//!
+//! Each builder adds tensors, compute sets, and vertices to a [`Graph`]
+//! and returns a [`Program`] fragment that performs the operation. The
+//! structure is exactly what the hardware demands:
+//!
+//! - scalar reductions: per-interval partial vertices on the data's own
+//!   tiles → a single-phase gather of ≤ `tiles` partials to a collector
+//!   tile → one final vertex (§IV-G notes that a ≤1472-element temporary
+//!   always fits one tile);
+//! - column-wise reductions over a row-distributed matrix: per-tile
+//!   partial vectors combined along a binary tree of exchange+min stages
+//!   (`log2(tiles)` supersteps), then multicast back to every tile.
+
+use crate::codelet::cost;
+use crate::error::GraphError;
+use crate::graph::{Access, Graph};
+use crate::program::Program;
+use crate::tensor::{DType, Tensor};
+
+/// Associative reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+}
+
+impl ReduceOp {
+    fn f32_identity(self) -> f32 {
+        match self {
+            ReduceOp::Min => f32::INFINITY,
+            ReduceOp::Max => f32::NEG_INFINITY,
+            ReduceOp::Sum => 0.0,
+        }
+    }
+
+    fn f32_apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Sum => a + b,
+        }
+    }
+
+    fn i32_identity(self) -> i32 {
+        match self {
+            ReduceOp::Min => i32::MAX,
+            ReduceOp::Max => i32::MIN,
+            ReduceOp::Sum => 0,
+        }
+    }
+
+    fn i32_apply(self, a: i32, b: i32) -> i32 {
+        match self {
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Sum => a.saturating_add(b),
+        }
+    }
+}
+
+/// Builds a reduction of an arbitrarily-distributed tensor to a 1-element
+/// tensor on `out_tile`. Returns the output tensor and the program
+/// fragment (two supersteps + one gather exchange).
+pub fn reduce_to_scalar(
+    g: &mut Graph,
+    name: &str,
+    input: Tensor,
+    op: ReduceOp,
+    out_tile: usize,
+) -> Result<(Tensor, Program), GraphError> {
+    let intervals: Vec<(usize, usize, usize)> = g.tensors[input.id].mapping.clone();
+    if intervals.is_empty() {
+        return Err(GraphError::Unmapped {
+            tensor: g.tensors[input.id].name.clone(),
+            element: 0,
+        });
+    }
+    let k = intervals.len();
+    let dtype = input.dtype();
+
+    // Partials: element i on the tile owning interval i.
+    let partials = g.add_tensor(&format!("{name}.partials"), dtype, k);
+    for (i, &(_, _, tile)) in intervals.iter().enumerate() {
+        g.map_slice(partials.element(i), tile)?;
+    }
+    // Gathered partials and the output scalar live on the collector tile.
+    let gathered = g.add_tensor(&format!("{name}.gathered"), dtype, k);
+    g.map_to_tile(gathered, out_tile)?;
+    let out = g.add_tensor(&format!("{name}.out"), dtype, 1);
+    g.map_to_tile(out, out_tile)?;
+
+    let cs_partial = g.add_compute_set(&format!("{name}.partial"));
+    for (i, &(s, e, tile)) in intervals.iter().enumerate() {
+        let v = g.add_vertex(cs_partial, tile, &format!("{name}.partial[{i}]"), {
+            move |ctx| match dtype {
+                DType::F32 => {
+                    let src = ctx.f32(0);
+                    let acc = src
+                        .iter()
+                        .fold(op.f32_identity(), |a, &b| op.f32_apply(a, b));
+                    ctx.f32_mut(1)[0] = acc;
+                    cost::f32_scan(src.len())
+                }
+                DType::I32 => {
+                    let src = ctx.i32(0);
+                    let acc = src
+                        .iter()
+                        .fold(op.i32_identity(), |a, &b| op.i32_apply(a, b));
+                    ctx.i32_mut(1)[0] = acc;
+                    cost::i32_scan(src.len())
+                }
+            }
+        })?;
+        g.connect(v, input.slice(s..e), Access::Read)?;
+        g.connect(v, partials.element(i), Access::Write)?;
+    }
+
+    // Final stage: reduce the gathered partials on the collector tile,
+    // using all hardware threads when the partial count warrants it (a
+    // single-thread scan would run at 1/6 of the tile's issue rate).
+    let final_prog = reduce_on_tile(g, &format!("{name}.final"), gathered, out, op, out_tile)?;
+
+    // One exchange phase gathers every partial to the collector.
+    let gather = Program::exchange(
+        (0..k)
+            .map(|i| (partials.element(i), gathered.element(i)))
+            .collect(),
+    );
+    let program = Program::seq(vec![Program::execute(cs_partial), gather, final_prog]);
+    Ok((out, program))
+}
+
+/// Reduces a tensor that lives entirely on `tile` into a 1-element `out`
+/// tensor on the same tile. Uses the tile's six threads (per-thread
+/// chunk vertices plus a combine vertex) when the input is long enough
+/// to amortize the extra superstep.
+pub fn reduce_on_tile(
+    g: &mut Graph,
+    name: &str,
+    input: Tensor,
+    out: Tensor,
+    op: ReduceOp,
+    tile: usize,
+) -> Result<Program, GraphError> {
+    let dtype = input.dtype();
+    if out.dtype() != dtype || out.len() != 1 {
+        return Err(GraphError::BadSlice {
+            detail: format!("{name}: output must be a 1-element tensor of the input dtype"),
+        });
+    }
+    let threads = g.config().threads_per_tile;
+    let n = input.len();
+
+    let scalar_reduce = move |ctx: &crate::VertexCtx| match dtype {
+        DType::F32 => {
+            let src = ctx.f32(0);
+            let acc = src
+                .iter()
+                .fold(op.f32_identity(), |a, &b| op.f32_apply(a, b));
+            ctx.f32_mut(1)[0] = acc;
+            cost::f32_scan(src.len())
+        }
+        DType::I32 => {
+            let src = ctx.i32(0);
+            let acc = src
+                .iter()
+                .fold(op.i32_identity(), |a, &b| op.i32_apply(a, b));
+            ctx.i32_mut(1)[0] = acc;
+            cost::i32_scan(src.len())
+        }
+    };
+
+    // Short inputs: a single vertex is cheaper than an extra superstep.
+    if n <= 4 * threads {
+        let cs = g.add_compute_set(name);
+        let v = g.add_vertex(cs, tile, name, scalar_reduce)?;
+        g.connect(v, input.whole(), Access::Read)?;
+        g.connect(v, out.whole(), Access::Write)?;
+        return Ok(Program::execute(cs));
+    }
+
+    let part6 = g.add_tensor(&format!("{name}.part6"), dtype, threads);
+    g.map_to_tile(part6, tile)?;
+    let cs_chunks = g.add_compute_set(&format!("{name}.chunks"));
+    let per = n.div_ceil(threads);
+    for t in 0..threads {
+        let lo = (t * per).min(n);
+        let hi = ((t + 1) * per).min(n);
+        let v = g.add_vertex_on_thread(
+            cs_chunks,
+            tile,
+            t,
+            &format!("{name}.chunk{t}"),
+            scalar_reduce,
+        )?;
+        g.connect(v, input.slice(lo..hi), Access::Read)?;
+        g.connect(v, part6.element(t), Access::Write)?;
+    }
+    let cs_comb = g.add_compute_set(&format!("{name}.combine"));
+    let v = g.add_vertex(cs_comb, tile, &format!("{name}.combine"), scalar_reduce)?;
+    g.connect(v, part6.whole(), Access::Read)?;
+    g.connect(v, out.whole(), Access::Write)?;
+    Ok(Program::seq(vec![
+        Program::execute(cs_chunks),
+        Program::execute(cs_comb),
+    ]))
+}
+
+/// Builds a column-wise reduction over a row-major `rows x cols` matrix
+/// distributed by rows (the 1D decomposition of §IV-A): the result is a
+/// `cols`-element vector **mirrored on every row-owning tile** so each
+/// tile can use it locally (e.g. Step 1's column-minimum subtraction).
+///
+/// Returns `(mirror, program)` where `mirror` has one `cols`-sized block
+/// per owning tile, in owner order.
+pub fn reduce_columns_mirrored(
+    g: &mut Graph,
+    name: &str,
+    matrix: Tensor,
+    rows: usize,
+    cols: usize,
+    op: ReduceOp,
+) -> Result<(Tensor, Program), GraphError> {
+    if matrix.len() != rows * cols || matrix.dtype() != DType::F32 {
+        return Err(GraphError::BadSlice {
+            detail: format!("{name}: matrix must be f32 of {rows}x{cols}"),
+        });
+    }
+    // Owners: tiles holding the matrix, in interval order. With a
+    // row-block mapping each owner's interval is a whole number of rows.
+    let intervals: Vec<(usize, usize, usize)> = g.tensors[matrix.id].mapping.clone();
+    let k = intervals.len();
+    for &(s, e, _) in &intervals {
+        if s % cols != 0 || e % cols != 0 {
+            return Err(GraphError::BadSlice {
+                detail: format!("{name}: matrix mapping must align to whole rows"),
+            });
+        }
+    }
+
+    // Partial vectors: block i on owner i. Incoming buffers for the tree:
+    // only even-indexed owners ever receive.
+    let partials = g.add_tensor(&format!("{name}.colpart"), DType::F32, k * cols);
+    for (i, &(_, _, tile)) in intervals.iter().enumerate() {
+        g.map_slice(partials.slice(i * cols..(i + 1) * cols), tile)?;
+    }
+    let n_recv = k.div_ceil(2);
+    let incoming = g.add_tensor(&format!("{name}.colrecv"), DType::F32, n_recv * cols);
+    for i in 0..n_recv {
+        let tile = intervals[2 * i].2;
+        g.map_slice(incoming.slice(i * cols..(i + 1) * cols), tile)?;
+    }
+
+    // Stage 0: each owner reduces its own rows into its partial vector.
+    let cs0 = g.add_compute_set(&format!("{name}.colpartial"));
+    for (i, &(s, e, tile)) in intervals.iter().enumerate() {
+        let rows_here = (e - s) / cols;
+        let v = g.add_vertex(cs0, tile, &format!("{name}.colpartial[{i}]"), move |ctx| {
+            let src = ctx.f32(0);
+            let mut out = ctx.f32_mut(1);
+            for (c, o) in out.iter_mut().enumerate() {
+                *o = op.f32_identity();
+                for r in 0..rows_here {
+                    *o = op.f32_apply(*o, src[r * cols + c]);
+                }
+            }
+            cost::f32_scan(src.len())
+        })?;
+        g.connect(v, matrix.slice(s..e), Access::Read)?;
+        g.connect(v, partials.slice(i * cols..(i + 1) * cols), Access::Write)?;
+    }
+    let mut steps = vec![Program::execute(cs0)];
+
+    // Binary combining tree: at stage `s`, owner `i` (i % 2^(s+1) == 0)
+    // receives owner `i + 2^s`'s partial and folds it in.
+    let mut step = 1usize;
+    while step < k {
+        let mut pairs = Vec::new();
+        let cs = g.add_compute_set(&format!("{name}.colcombine[{step}]"));
+        let mut i = 0usize;
+        while i + step < k {
+            pairs.push((
+                partials.slice((i + step) * cols..(i + step + 1) * cols),
+                incoming.slice((i / 2) * cols..(i / 2 + 1) * cols),
+            ));
+            let tile = intervals[i].2;
+            let v = g.add_vertex(
+                cs,
+                tile,
+                &format!("{name}.colcombine[{step}][{i}]"),
+                move |ctx| {
+                    let inc = ctx.f32(0);
+                    let mut acc = ctx.f32_mut(1);
+                    for (a, &b) in acc.iter_mut().zip(inc.iter()) {
+                        *a = op.f32_apply(*a, b);
+                    }
+                    cost::f32_update(acc.len())
+                },
+            )?;
+            g.connect(
+                v,
+                incoming.slice((i / 2) * cols..(i / 2 + 1) * cols),
+                Access::Read,
+            )?;
+            g.connect(
+                v,
+                partials.slice(i * cols..(i + 1) * cols),
+                Access::ReadWrite,
+            )?;
+            i += 2 * step;
+        }
+        steps.push(Program::exchange(pairs));
+        steps.push(Program::execute(cs));
+        step *= 2;
+    }
+
+    // Multicast the final vector (owner 0's partial) to a per-owner
+    // mirror.
+    let mirror = g.add_tensor(&format!("{name}.colmirror"), DType::F32, k * cols);
+    for (i, &(_, _, tile)) in intervals.iter().enumerate() {
+        g.map_slice(mirror.slice(i * cols..(i + 1) * cols), tile)?;
+    }
+    steps.push(Program::broadcast(partials.slice(0..cols), mirror.whole()));
+
+    Ok((mirror, Program::seq(steps)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IpuConfig;
+
+    fn device(tiles: usize) -> Graph {
+        Graph::new(IpuConfig::tiny(tiles))
+    }
+
+    #[test]
+    fn scalar_min_over_distributed_tensor() {
+        let mut g = device(4);
+        let t = g.add_tensor("t", DType::F32, 16);
+        g.map_evenly(t).unwrap();
+        let (out, prog) = reduce_to_scalar(&mut g, "min", t, ReduceOp::Min, 0).unwrap();
+        let mut e = g.compile(prog).unwrap();
+        let data: Vec<f32> = (0..16).map(|i| 100.0 - i as f32).collect();
+        e.write_f32(t, &data).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_f32(out), vec![85.0]);
+        // Two supersteps (partials + final) and one gather exchange.
+        assert_eq!(e.stats().supersteps, 2);
+        assert_eq!(e.stats().exchanges, 1);
+    }
+
+    #[test]
+    fn scalar_sum_i32() {
+        let mut g = device(3);
+        let t = g.add_tensor("t", DType::I32, 9);
+        g.map_evenly(t).unwrap();
+        let (out, prog) = reduce_to_scalar(&mut g, "sum", t, ReduceOp::Sum, 2).unwrap();
+        let mut e = g.compile(prog).unwrap();
+        e.write_i32(t, &[1, 2, 3, 4, 5, 6, 7, 8, 9]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_i32(out), vec![45]);
+    }
+
+    #[test]
+    fn scalar_max_single_tile() {
+        let mut g = device(2);
+        let t = g.add_tensor("t", DType::I32, 5);
+        g.map_to_tile(t, 1).unwrap();
+        let (out, prog) = reduce_to_scalar(&mut g, "max", t, ReduceOp::Max, 0).unwrap();
+        let mut e = g.compile(prog).unwrap();
+        e.write_i32(t, &[-3, 9, 2, 9, 0]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_i32(out), vec![9]);
+    }
+
+    #[test]
+    fn column_min_mirrored_on_every_owner() {
+        // 6x4 matrix over 3 tiles (2 rows each).
+        let rows = 6;
+        let cols = 4;
+        let mut g = device(3);
+        let m = g.add_tensor("m", DType::F32, rows * cols);
+        g.map_chunks_round_robin(m, 2 * cols, 0, 3).unwrap();
+        let (mirror, prog) =
+            reduce_columns_mirrored(&mut g, "colmin", m, rows, cols, ReduceOp::Min).unwrap();
+        let mut e = g.compile(prog).unwrap();
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 7 + 3) % 23) as f64 as f32)
+            .collect();
+        e.write_f32(m, &data).unwrap();
+        e.run().unwrap();
+        // Expected column minima.
+        let mut expect = vec![f32::INFINITY; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                expect[c] = expect[c].min(data[r * cols + c]);
+            }
+        }
+        let got = e.read_f32(mirror);
+        for owner in 0..3 {
+            assert_eq!(&got[owner * cols..(owner + 1) * cols], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn column_sum_matches_reference_with_many_owners() {
+        // 8 owners exercises a multi-stage combining tree including the
+        // odd tail.
+        let rows = 8;
+        let cols = 3;
+        let mut g = device(8);
+        let m = g.add_tensor("m", DType::F32, rows * cols);
+        g.map_chunks_round_robin(m, cols, 0, 8).unwrap();
+        let (mirror, prog) =
+            reduce_columns_mirrored(&mut g, "colsum", m, rows, cols, ReduceOp::Sum).unwrap();
+        let mut e = g.compile(prog).unwrap();
+        let data: Vec<f32> = (0..rows * cols).map(|i| (i % 5) as f32).collect();
+        e.write_f32(m, &data).unwrap();
+        e.run().unwrap();
+        let mut expect = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                expect[c] += data[r * cols + c];
+            }
+        }
+        let got = e.read_f32(mirror);
+        assert_eq!(&got[0..cols], &expect[..]);
+        assert_eq!(&got[7 * cols..8 * cols], &expect[..]);
+    }
+
+    #[test]
+    fn misaligned_matrix_mapping_rejected() {
+        let mut g = device(2);
+        let m = g.add_tensor("m", DType::F32, 8);
+        // 2x4 matrix split mid-row.
+        g.map_slice(m.slice(0..3), 0).unwrap();
+        g.map_slice(m.slice(3..8), 1).unwrap();
+        let err = reduce_columns_mirrored(&mut g, "bad", m, 2, 4, ReduceOp::Min).unwrap_err();
+        assert!(matches!(err, GraphError::BadSlice { .. }));
+    }
+
+    #[test]
+    fn reduction_of_unmapped_tensor_rejected() {
+        let mut g = device(2);
+        let t = g.add_tensor("t", DType::F32, 4);
+        let err = reduce_to_scalar(&mut g, "r", t, ReduceOp::Min, 0).unwrap_err();
+        assert!(matches!(err, GraphError::Unmapped { .. }));
+    }
+
+    #[test]
+    fn single_row_column_reduce() {
+        let mut g = device(1);
+        let m = g.add_tensor("m", DType::F32, 4);
+        g.map_to_tile(m, 0).unwrap();
+        let (mirror, prog) =
+            reduce_columns_mirrored(&mut g, "one", m, 1, 4, ReduceOp::Min).unwrap();
+        let mut e = g.compile(prog).unwrap();
+        e.write_f32(m, &[4.0, 3.0, 2.0, 1.0]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_f32(mirror), vec![4.0, 3.0, 2.0, 1.0]);
+    }
+}

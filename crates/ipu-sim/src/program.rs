@@ -1,0 +1,145 @@
+//! Static program trees: the control-flow skeleton compiled ahead of
+//! execution, as in Poplar.
+
+use crate::graph::ComputeSetId;
+use crate::tensor::{Tensor, TensorSlice};
+
+/// A static program over a compiled graph.
+///
+/// The only data-dependent construct is [`Program::RepeatWhileTrue`],
+/// whose predicate is a device scalar — exactly the control Poplar offers.
+/// Everything else (sequences, repeats, copies) is fixed at compile time
+/// (challenge C4 of the paper).
+#[derive(Debug, Clone)]
+pub enum Program {
+    /// Run sub-programs in order.
+    Sequence(Vec<Program>),
+    /// Run all vertices of a compute set as one BSP superstep.
+    Execute(ComputeSetId),
+    /// Exchange: copy `src` into `dst` (same length and dtype, disjoint).
+    Copy {
+        /// Source region.
+        src: TensorSlice,
+        /// Destination region.
+        dst: TensorSlice,
+    },
+    /// Exchange: replicate `src` into `dst` (`dst.len()` must be a
+    /// multiple of `src.len()`), e.g. broadcasting a scalar to a per-tile
+    /// mirror.
+    Broadcast {
+        /// Source region.
+        src: TensorSlice,
+        /// Destination region (filled with repetitions of `src`).
+        dst: TensorSlice,
+    },
+    /// Exchange: perform many independent copies in **one** exchange
+    /// phase (one sync, one setup; the busiest tile bounds the duration).
+    /// This is how Poplar compiles the per-pair transfers of a reduction
+    /// tree or a gather into a single phase.
+    Exchange(Vec<(TensorSlice, TensorSlice)>),
+    /// Run `body` a fixed number of times.
+    Repeat {
+        /// Iteration count (fixed at compile time).
+        count: u64,
+        /// The loop body.
+        body: Box<Program>,
+    },
+    /// Run `body` while the device scalar `predicate` is nonzero,
+    /// checking before each iteration.
+    RepeatWhileTrue {
+        /// 1-element i32 tensor evaluated between supersteps.
+        predicate: Tensor,
+        /// The loop body.
+        body: Box<Program>,
+    },
+    /// Run `then_body` if the device scalar `predicate` is nonzero, else
+    /// `else_body` (Poplar's `program::If`).
+    If {
+        /// 1-element i32 tensor evaluated between supersteps.
+        predicate: Tensor,
+        /// Branch taken when the predicate is nonzero.
+        then_body: Box<Program>,
+        /// Branch taken when the predicate is zero.
+        else_body: Box<Program>,
+    },
+}
+
+impl Program {
+    /// A sequence of sub-programs.
+    pub fn seq(items: Vec<Program>) -> Self {
+        Program::Sequence(items)
+    }
+
+    /// Execute one compute set.
+    pub fn execute(cs: ComputeSetId) -> Self {
+        Program::Execute(cs)
+    }
+
+    /// An exchange copy.
+    pub fn copy(src: TensorSlice, dst: TensorSlice) -> Self {
+        Program::Copy { src, dst }
+    }
+
+    /// A replicating exchange copy.
+    pub fn broadcast(src: TensorSlice, dst: TensorSlice) -> Self {
+        Program::Broadcast { src, dst }
+    }
+
+    /// Many copies fused into one exchange phase.
+    pub fn exchange(pairs: Vec<(TensorSlice, TensorSlice)>) -> Self {
+        Program::Exchange(pairs)
+    }
+
+    /// A counted loop.
+    pub fn repeat(count: u64, body: Program) -> Self {
+        Program::Repeat {
+            count,
+            body: Box::new(body),
+        }
+    }
+
+    /// A device-predicated loop.
+    pub fn while_true(predicate: Tensor, body: Program) -> Self {
+        Program::RepeatWhileTrue {
+            predicate,
+            body: Box::new(body),
+        }
+    }
+
+    /// A device-predicated branch.
+    pub fn if_true(predicate: Tensor, then_body: Program) -> Self {
+        Program::If {
+            predicate,
+            then_body: Box::new(then_body),
+            else_body: Box::new(Program::Sequence(Vec::new())),
+        }
+    }
+
+    /// A device-predicated branch with an else arm.
+    pub fn if_else(predicate: Tensor, then_body: Program, else_body: Program) -> Self {
+        Program::If {
+            predicate,
+            then_body: Box::new(then_body),
+            else_body: Box::new(else_body),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_variants() {
+        let p = Program::seq(vec![Program::execute(ComputeSetId(0))]);
+        match p {
+            Program::Sequence(v) => assert_eq!(v.len(), 1),
+            _ => panic!("expected sequence"),
+        }
+        let r = Program::repeat(3, Program::seq(vec![]));
+        match r {
+            Program::Repeat { count, .. } => assert_eq!(count, 3),
+            _ => panic!("expected repeat"),
+        }
+    }
+}

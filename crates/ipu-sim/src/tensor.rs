@@ -1,0 +1,162 @@
+//! Tensors: named, typed, flat arrays whose elements are explicitly
+//! mapped to tiles.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Element type of a tensor.
+///
+/// The IPU's natural data types for this workload are 32-bit floats (the
+/// slack matrix) and 32-bit integers (indices, flags, the compressed
+/// matrix). Both occupy 4 bytes of tile SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 32-bit signed integer.
+    I32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> usize {
+        4
+    }
+}
+
+/// A handle to a tensor declared in a [`crate::Graph`].
+///
+/// Handles are `Copy` and carry the length/dtype for ergonomic slicing;
+/// all real validation happens in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tensor {
+    pub(crate) id: usize,
+    pub(crate) len: usize,
+    pub(crate) dtype: DType,
+}
+
+impl Tensor {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// A contiguous sub-range of the tensor.
+    pub fn slice(&self, range: Range<usize>) -> TensorSlice {
+        TensorSlice {
+            tensor: *self,
+            start: range.start,
+            end: range.end,
+        }
+    }
+
+    /// The whole tensor as a slice.
+    pub fn whole(&self) -> TensorSlice {
+        self.slice(0..self.len)
+    }
+
+    /// One element as a slice (useful for scalars and flags).
+    pub fn element(&self, index: usize) -> TensorSlice {
+        self.slice(index..index + 1)
+    }
+}
+
+/// A contiguous region of a tensor: the unit of vertex connection and of
+/// exchange copies.
+///
+/// Regions are deliberately restricted to *contiguous* flat ranges. The
+/// 1D row decomposition of §IV-A maps each matrix row (and each tile's
+/// block of rows) contiguously, so contiguous regions express everything
+/// HunIPU needs while keeping the race/locality validation exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorSlice {
+    pub(crate) tensor: Tensor,
+    pub(crate) start: usize,
+    pub(crate) end: usize,
+}
+
+impl TensorSlice {
+    /// Number of elements in the region.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Bytes occupied by the region.
+    pub fn bytes(&self) -> usize {
+        self.len() * self.tensor.dtype.size_bytes()
+    }
+
+    /// The underlying tensor handle.
+    pub fn tensor(&self) -> Tensor {
+        self.tensor
+    }
+
+    /// The flat element range.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// `true` if this region overlaps `other` (same tensor, intersecting
+    /// ranges).
+    pub fn overlaps(&self, other: &TensorSlice) -> bool {
+        self.tensor.id == other.tensor.id && self.start < other.end && other.start < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(len: usize) -> Tensor {
+        Tensor {
+            id: 0,
+            len,
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn slice_accessors() {
+        let t = tensor(10);
+        let s = t.slice(2..6);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.bytes(), 16);
+        assert_eq!(s.range(), 2..6);
+        assert_eq!(t.whole().len(), 10);
+        assert_eq!(t.element(3).range(), 3..4);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let t = tensor(10);
+        assert!(t.slice(0..5).overlaps(&t.slice(4..6)));
+        assert!(!t.slice(0..5).overlaps(&t.slice(5..10)));
+        let u = Tensor {
+            id: 1,
+            len: 10,
+            dtype: DType::F32,
+        };
+        assert!(!t.slice(0..5).overlaps(&u.slice(0..5)));
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I32.size_bytes(), 4);
+    }
+}

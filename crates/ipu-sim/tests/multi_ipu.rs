@@ -1,0 +1,76 @@
+//! Multi-IPU systems: one exchange address space, slower chip-crossing
+//! links (§III: "On a multi-IPU architecture, the exchange fabric
+//! extends to all tiles on all of the IPUs").
+
+use ipu_sim::{DType, Graph, IpuConfig, Program};
+
+fn copy_cycles(tiles: usize, config: IpuConfig, src_tile: usize, dst_tile: usize) -> u64 {
+    assert!(src_tile < tiles && dst_tile < tiles);
+    let mut g = Graph::new(config);
+    let a = g.add_tensor("a", DType::F32, 1024);
+    let b = g.add_tensor("b", DType::F32, 1024);
+    g.map_to_tile(a, src_tile).unwrap();
+    g.map_to_tile(b, dst_tile).unwrap();
+    let mut e = g.compile(Program::copy(a.whole(), b.whole())).unwrap();
+    e.run().unwrap();
+    e.stats().exchange_cycles
+}
+
+#[test]
+fn cross_chip_copies_cost_much_more() {
+    // 2 chips x 4 tiles. Same-chip copy: tiles 0 -> 1; cross-chip: 0 -> 4.
+    let cfg = IpuConfig::tiny_multi(2, 4);
+    let on_chip = copy_cycles(8, cfg.clone(), 0, 1);
+    let cross = copy_cycles(8, cfg, 0, 4);
+    // 4 B/cycle vs 0.16 B/cycle: ~25x on the transfer term.
+    assert!(
+        cross > 10 * on_chip,
+        "cross-chip ({cross}) must dwarf on-chip ({on_chip})"
+    );
+}
+
+#[test]
+fn chip_of_tile_mapping() {
+    let cfg = IpuConfig::mk2_multi(4);
+    assert_eq!(cfg.tiles, 4 * 1472);
+    assert_eq!(cfg.ipu_of(0), 0);
+    assert_eq!(cfg.ipu_of(1471), 0);
+    assert_eq!(cfg.ipu_of(1472), 1);
+    assert_eq!(cfg.ipu_of(4 * 1472 - 1), 3);
+}
+
+#[test]
+fn single_chip_costs_are_unchanged_by_the_multi_ipu_model() {
+    let single = copy_cycles(8, IpuConfig::tiny(8), 0, 5);
+    let multi_same_chip = copy_cycles(8, IpuConfig::tiny_multi(1, 8), 0, 5);
+    assert_eq!(single, multi_same_chip);
+}
+
+#[test]
+fn broadcast_to_replica_pays_links_once_per_remote_chip() {
+    let run = |cfg: IpuConfig| {
+        let tiles = cfg.tiles;
+        let mut g = Graph::new(cfg);
+        let src = g.add_tensor("s", DType::F32, 256);
+        g.map_to_tile(src, 0).unwrap();
+        let m = g.add_replicated("m", DType::F32, 256);
+        let mut e = g
+            .compile(Program::broadcast(src.whole(), m.whole()))
+            .unwrap();
+        e.run().unwrap();
+        let _ = tiles;
+        e.stats().exchange_cycles
+    };
+    let one_chip = run(IpuConfig::tiny_multi(1, 4));
+    let two_chips = run(IpuConfig::tiny_multi(2, 4));
+    let four_chips = run(IpuConfig::tiny_multi(4, 4));
+    assert!(two_chips > one_chip);
+    assert!(four_chips > two_chips);
+    // Cost grows with the number of *chips*, not the number of tiles:
+    // eight tiles on one chip would cost the same as four.
+    let one_chip_8 = run(IpuConfig::tiny_multi(1, 8));
+    assert_eq!(one_chip, one_chip_8);
+}
+
+// (HunIPU-on-multi-chip correctness lives in crates/hunipu/tests/ —
+// ipu-sim cannot dev-depend on hunipu without a cycle.)

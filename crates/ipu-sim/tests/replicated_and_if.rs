@@ -1,0 +1,194 @@
+//! Integration tests for replicated tensors and device-predicated
+//! branching — the features HunIPU's driver program leans on.
+
+use ipu_sim::{cost, Access, DType, Graph, GraphError, IpuConfig, Program};
+
+#[test]
+fn replicated_tensor_readable_from_every_tile() {
+    let mut g = Graph::new(IpuConfig::tiny(4));
+    let src = g.add_tensor("src", DType::I32, 3);
+    g.map_to_tile(src, 2).unwrap();
+    let mirror = g.add_replicated("mirror", DType::I32, 3);
+    let sums = g.add_tensor("sums", DType::I32, 4);
+    g.map_evenly(sums).unwrap();
+
+    let cs = g.add_compute_set("sum");
+    for tile in 0..4 {
+        let v = g
+            .add_vertex(cs, tile, "sum", |ctx| {
+                let m = ctx.i32(0);
+                ctx.i32_mut(1)[0] = m.iter().sum();
+                cost::i32_scan(m.len())
+            })
+            .unwrap();
+        g.connect(v, mirror.whole(), Access::Read).unwrap();
+        g.connect(v, sums.element(tile), Access::Write).unwrap();
+    }
+    let prog = Program::seq(vec![
+        Program::broadcast(src.whole(), mirror.whole()),
+        Program::execute(cs),
+    ]);
+    let mut e = g.compile(prog).unwrap();
+    e.write_i32(src, &[5, 6, 7]).unwrap();
+    e.run().unwrap();
+    assert_eq!(e.read_i32(sums), vec![18; 4]);
+}
+
+#[test]
+fn vertex_write_to_replica_rejected() {
+    let mut g = Graph::new(IpuConfig::tiny(2));
+    let mirror = g.add_replicated("mirror", DType::I32, 2);
+    let cs = g.add_compute_set("bad");
+    let v = g.add_vertex(cs, 0, "bad", |_| 1).unwrap();
+    g.connect(v, mirror.whole(), Access::Write).unwrap();
+    let err = g.compile(Program::execute(cs)).unwrap_err();
+    assert!(matches!(err, GraphError::ComputeSetRace { .. }));
+}
+
+#[test]
+fn plain_copy_into_replica_rejected() {
+    let mut g = Graph::new(IpuConfig::tiny(2));
+    let src = g.add_tensor("src", DType::I32, 2);
+    g.map_to_tile(src, 0).unwrap();
+    let mirror = g.add_replicated("mirror", DType::I32, 2);
+    let err = g
+        .compile(Program::copy(src.whole(), mirror.whole()))
+        .unwrap_err();
+    assert!(matches!(err, GraphError::BadSlice { .. }));
+}
+
+#[test]
+fn partial_broadcast_into_replica_rejected() {
+    let mut g = Graph::new(IpuConfig::tiny(2));
+    let src = g.add_tensor("src", DType::I32, 1);
+    g.map_to_tile(src, 0).unwrap();
+    let mirror = g.add_replicated("mirror", DType::I32, 2);
+    let err = g
+        .compile(Program::broadcast(src.whole(), mirror.slice(0..1)))
+        .unwrap_err();
+    assert!(matches!(err, GraphError::BadSlice { .. }));
+}
+
+#[test]
+fn replica_memory_is_charged_on_every_tile() {
+    // Budget check must fail even though no single mapping overflows:
+    // each of the 2 tiles pays for the whole replica.
+    let mut g = Graph::new(IpuConfig::tiny(2));
+    let big = g.add_replicated("big", DType::F32, 200_000); // 800 KB > 624 KiB
+    let _ = big;
+    let err = g.compile(Program::seq(vec![])).unwrap_err();
+    assert!(matches!(err, GraphError::TileMemoryExceeded { .. }));
+}
+
+#[test]
+fn broadcast_to_replica_charges_multicast_not_linear_fanout() {
+    // The exchange charge must not scale with tile count on the sender
+    // side: sending 1 KiB to 64 tiles costs ~1 KiB of sender time, not
+    // 64 KiB (the fabric multicasts).
+    let cycles_for = |tiles: usize| {
+        let mut g = Graph::new(IpuConfig::tiny(tiles));
+        let src = g.add_tensor("src", DType::F32, 256);
+        g.map_to_tile(src, 0).unwrap();
+        let mirror = g.add_replicated("m", DType::F32, 256);
+        let mut e = g
+            .compile(Program::broadcast(src.whole(), mirror.whole()))
+            .unwrap();
+        e.run().unwrap();
+        e.stats().exchange_cycles
+    };
+    assert_eq!(cycles_for(2), cycles_for(64));
+}
+
+#[test]
+fn if_takes_then_branch_on_nonzero() {
+    let mut g = Graph::new(IpuConfig::tiny(1));
+    let p = g.add_tensor("p", DType::I32, 1);
+    let out = g.add_tensor("out", DType::I32, 1);
+    g.map_to_tile(p, 0).unwrap();
+    g.map_to_tile(out, 0).unwrap();
+    let cs_then = g.add_compute_set("then");
+    let cs_else = g.add_compute_set("else");
+    let v = g
+        .add_vertex(cs_then, 0, "t", |ctx| {
+            ctx.i32_mut(0)[0] = 1;
+            1
+        })
+        .unwrap();
+    g.connect(v, out.whole(), Access::Write).unwrap();
+    let v = g
+        .add_vertex(cs_else, 0, "e", |ctx| {
+            ctx.i32_mut(0)[0] = 2;
+            1
+        })
+        .unwrap();
+    g.connect(v, out.whole(), Access::Write).unwrap();
+    let prog = Program::if_else(p, Program::execute(cs_then), Program::execute(cs_else));
+    let mut e = g.compile(prog).unwrap();
+    e.write_i32(p, &[1]).unwrap();
+    e.run().unwrap();
+    assert_eq!(e.read_i32(out), vec![1]);
+}
+
+#[test]
+fn if_takes_else_branch_on_zero() {
+    let mut g = Graph::new(IpuConfig::tiny(1));
+    let p = g.add_tensor("p", DType::I32, 1);
+    let out = g.add_tensor("out", DType::I32, 1);
+    g.map_to_tile(p, 0).unwrap();
+    g.map_to_tile(out, 0).unwrap();
+    let cs_else = g.add_compute_set("else");
+    let v = g
+        .add_vertex(cs_else, 0, "e", |ctx| {
+            ctx.i32_mut(0)[0] = 2;
+            1
+        })
+        .unwrap();
+    g.connect(v, out.whole(), Access::Write).unwrap();
+    let prog = Program::if_else(p, Program::seq(vec![]), Program::execute(cs_else));
+    let mut e = g.compile(prog).unwrap();
+    e.run().unwrap(); // predicate is zero-initialized
+    assert_eq!(e.read_i32(out), vec![2]);
+}
+
+#[test]
+fn if_predicate_must_be_scalar_i32() {
+    let mut g = Graph::new(IpuConfig::tiny(1));
+    let p = g.add_tensor("p", DType::I32, 2);
+    g.map_to_tile(p, 0).unwrap();
+    let err = g
+        .compile(Program::if_true(p, Program::seq(vec![])))
+        .unwrap_err();
+    assert!(matches!(err, GraphError::Invalid { .. }));
+}
+
+#[test]
+fn exchange_bundles_pairs_into_one_phase() {
+    let mut g = Graph::new(IpuConfig::tiny(4));
+    let a = g.add_tensor("a", DType::I32, 4);
+    let b = g.add_tensor("b", DType::I32, 4);
+    g.map_evenly(a).unwrap();
+    g.map_to_tile(b, 0).unwrap();
+    // Gather the 4 distributed elements of `a` into `b` on tile 0.
+    let pairs = (0..4).map(|i| (a.element(i), b.element(i))).collect();
+    let mut e = g.compile(Program::exchange(pairs)).unwrap();
+    e.write_i32(a, &[9, 8, 7, 6]).unwrap();
+    e.run().unwrap();
+    assert_eq!(e.read_i32(b), vec![9, 8, 7, 6]);
+    assert_eq!(e.stats().exchanges, 1);
+}
+
+#[test]
+fn exchange_with_overlapping_destinations_rejected() {
+    let mut g = Graph::new(IpuConfig::tiny(2));
+    let a = g.add_tensor("a", DType::I32, 4);
+    let b = g.add_tensor("b", DType::I32, 4);
+    g.map_to_tile(a, 0).unwrap();
+    g.map_to_tile(b, 1).unwrap();
+    let err = g
+        .compile(Program::exchange(vec![
+            (a.slice(0..2), b.slice(0..2)),
+            (a.slice(2..4), b.slice(1..3)),
+        ]))
+        .unwrap_err();
+    assert!(matches!(err, GraphError::BadSlice { .. }));
+}

@@ -1,0 +1,207 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+
+use crate::DenseMatrix;
+
+/// The result of [`jacobi_eigen`]: `A = V * diag(λ) * Vᵀ` with
+/// orthonormal columns in `V`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as **columns** of `vectors` (column `k` pairs with
+    /// `values[k]`).
+    pub vectors: DenseMatrix,
+}
+
+impl EigenDecomposition {
+    /// Reconstructs `V * diag(λ) * Vᵀ` (for verification).
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let n = self.values.len();
+        let mut scaled = self.vectors.clone();
+        for i in 0..n {
+            for k in 0..n {
+                scaled.set(i, k, self.vectors.get(i, k) * self.values[k]);
+            }
+        }
+        scaled.matmul(&self.vectors.transposed())
+    }
+
+    /// Maximum deviation of `VᵀV` from the identity.
+    pub fn orthonormality_error(&self) -> f64 {
+        let vtv = self.vectors.transposed().matmul(&self.vectors);
+        let n = self.values.len();
+        let mut worst: f64 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let target = f64::from(i == j);
+                worst = worst.max((vtv.get(i, j) - target).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Full eigendecomposition of a symmetric matrix by the cyclic Jacobi
+/// method.
+///
+/// Sweeps over all upper-triangle pivots, rotating each pair to zero,
+/// until the off-diagonal Frobenius mass falls below `tol * ||A||_F`
+/// (default callers use `1e-12`) or `max_sweeps` is exhausted (Jacobi
+/// converges quadratically; 5–15 sweeps cover the sizes used here).
+///
+/// # Panics
+/// Panics if `a` is not square or not symmetric to `1e-9`.
+pub fn jacobi_eigen(a: &DenseMatrix, tol: f64, max_sweeps: usize) -> EigenDecomposition {
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "eigendecomposition needs a square matrix"
+    );
+    assert!(a.is_symmetric(1e-9), "Jacobi requires a symmetric matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let norm = a.frobenius().max(1e-300);
+
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if (2.0 * off).sqrt() <= tol * norm {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol * norm / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Rotation zeroing (p, q): standard stable formulas.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of the symmetric matrix.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Extract and sort ascending, permuting vector columns alongside.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&x, &y| diag[x].total_cmp(&diag[y]));
+    let values: Vec<f64> = order.iter().map(|&k| diag[k]).collect();
+    let vectors = DenseMatrix::from_fn(n, n, |i, k| v.get(i, order[k]));
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decompose(a: &DenseMatrix) -> EigenDecomposition {
+        let e = jacobi_eigen(a, 1e-12, 30);
+        // Reconstruction and orthonormality are the decomposition's own
+        // proof of correctness.
+        let r = e.reconstruct();
+        let mut worst: f64 = 0.0;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                worst = worst.max((r.get(i, j) - a.get(i, j)).abs());
+            }
+        }
+        let scale = a.frobenius().max(1.0);
+        assert!(worst <= 1e-8 * scale, "reconstruction error {worst}");
+        assert!(e.orthonormality_error() < 1e-8);
+        e
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = DenseMatrix::from_fn(4, 4, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        let e = decompose(&a);
+        assert_eq!(e.values, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = DenseMatrix::from_fn(2, 2, |i, j| if i == j { 2.0 } else { 1.0 });
+        let e = decompose(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn path_graph_spectrum() {
+        // Adjacency of the path P4: eigenvalues 2cos(kπ/5), k=1..4.
+        let n = 4;
+        let a = DenseMatrix::from_fn(n, n, |i, j| f64::from(i.abs_diff(j) == 1));
+        let e = decompose(&a);
+        let mut expect: Vec<f64> = (1..=n)
+            .map(|k| 2.0 * (std::f64::consts::PI * k as f64 / (n + 1) as f64).cos())
+            .collect();
+        expect.sort_by(f64::total_cmp);
+        for (got, want) in e.values.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn random_symmetric_decomposes() {
+        let mut s = 0xDEADBEEFu64;
+        let n = 24;
+        let mut raw = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let x = (s % 2000) as f64 / 100.0 - 10.0;
+                raw.set(i, j, x);
+                raw.set(j, i, x);
+            }
+        }
+        let e = decompose(&raw);
+        // Trace equals the eigenvalue sum.
+        let trace: f64 = (0..n).map(|i| raw.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_rejected() {
+        let a = DenseMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        jacobi_eigen(&a, 1e-10, 10);
+    }
+}

@@ -1,0 +1,21 @@
+//! Minimal dense linear algebra for the graph-alignment use case.
+//!
+//! GRAMPA (Fan et al. 2019), the alignment algorithm the paper uses in
+//! §V-C, needs the full eigendecomposition of two symmetric adjacency
+//! matrices plus a handful of dense products. This crate supplies exactly
+//! that — a dense matrix type, a cyclic Jacobi eigensolver, and the
+//! products — with no external BLAS.
+//!
+//! Jacobi was chosen over Householder+QL because it is simple to verify
+//! (every rotation preserves the Frobenius norm and symmetry), fully
+//! deterministic, and fast enough for the paper's graph sizes
+//! (n ≤ 1 004 on MultiMagna).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod eigen;
+mod matrix;
+
+pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use matrix::DenseMatrix;

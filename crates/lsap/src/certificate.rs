@@ -1,0 +1,183 @@
+//! LP-duality optimality certificates for LSAP solutions.
+//!
+//! The LSAP is a linear program whose dual assigns a potential `u_i` to
+//! every row and `v_j` to every column, subject to `u_i + v_j <= c_ij`.
+//! By LP duality, a perfect matching `M` is optimal **iff** there exist
+//! feasible potentials with `u_i + v_j = c_ij` on every matched pair
+//! (complementary slackness). Every solver in this workspace produces such
+//! potentials, so optimality can be verified independently of any reference
+//! implementation.
+
+use crate::{Assignment, CostMatrix, LsapError};
+use serde::{Deserialize, Serialize};
+
+/// Dual potentials `(u, v)` proving optimality of an assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DualCertificate {
+    /// Row potentials, `u.len() == rows`.
+    pub u: Vec<f64>,
+    /// Column potentials, `v.len() == cols`.
+    pub v: Vec<f64>,
+}
+
+impl DualCertificate {
+    /// Creates a certificate from potential vectors.
+    pub fn new(u: Vec<f64>, v: Vec<f64>) -> Self {
+        Self { u, v }
+    }
+
+    /// The dual objective `sum(u) + sum(v)`; equals the primal optimum for
+    /// a valid certificate on a square instance.
+    pub fn dual_objective(&self) -> f64 {
+        self.u.iter().sum::<f64>() + self.v.iter().sum::<f64>()
+    }
+
+    /// Verifies that this certificate proves optimality of `assignment`
+    /// for `matrix`, within absolute tolerance `eps` (scaled by the matrix
+    /// magnitude).
+    ///
+    /// Checks:
+    /// 1. shape agreement,
+    /// 2. the assignment is a perfect matching,
+    /// 3. dual feasibility: `u_i + v_j <= c_ij + eps` for all `(i, j)`,
+    /// 4. complementary slackness: `u_i + v_j >= c_ij - eps` on matched
+    ///    pairs.
+    ///
+    /// # Errors
+    /// Returns [`LsapError::InvalidCertificate`] naming the first violated
+    /// condition, or the underlying validation error.
+    pub fn verify(
+        &self,
+        matrix: &CostMatrix,
+        assignment: &Assignment,
+        eps: f64,
+    ) -> Result<(), LsapError> {
+        if self.u.len() != matrix.rows() || self.v.len() != matrix.cols() {
+            return Err(LsapError::InvalidCertificate {
+                reason: format!(
+                    "potential shapes ({}, {}) do not match matrix {}x{}",
+                    self.u.len(),
+                    self.v.len(),
+                    matrix.rows(),
+                    matrix.cols()
+                ),
+            });
+        }
+        assignment.validate(matrix, true)?;
+
+        // Scale the tolerance with the data so that certificates for large
+        // cost ranges (the paper goes up to 10000 * n ~ 8e7) still verify.
+        let (lo, hi) = matrix.min_max();
+        let scale = 1.0_f64.max(lo.abs()).max(hi.abs());
+        let tol = eps * scale;
+
+        for (i, j, c) in matrix.entries() {
+            if self.u[i] + self.v[j] > c + tol {
+                return Err(LsapError::InvalidCertificate {
+                    reason: format!(
+                        "dual infeasible at ({i}, {j}): u + v = {} > c = {c}",
+                        self.u[i] + self.v[j]
+                    ),
+                });
+            }
+        }
+        for (i, j) in assignment.pairs() {
+            let c = matrix.get(i, j);
+            if self.u[i] + self.v[j] < c - tol {
+                return Err(LsapError::InvalidCertificate {
+                    reason: format!(
+                        "complementary slackness violated at matched pair ({i}, {j}): \
+                         u + v = {} < c = {c}",
+                        self.u[i] + self.v[j]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::COST_EPS;
+
+    fn instance() -> (CostMatrix, Assignment) {
+        let c =
+            CostMatrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]]).unwrap();
+        // Optimal: (0,1), (1,0), (2,2) with cost 5.
+        let a = Assignment::from_permutation(vec![1, 0, 2]);
+        (c, a)
+    }
+
+    #[test]
+    fn valid_certificate_verifies() {
+        let (c, a) = instance();
+        // u = (1, 0, 1), v = (2, 0, 1): feasible and tight on matches.
+        let cert = DualCertificate::new(vec![1.0, 0.0, 1.0], vec![2.0, 0.0, 1.0]);
+        cert.verify(&c, &a, COST_EPS).unwrap();
+        assert_eq!(cert.dual_objective(), 5.0);
+    }
+
+    #[test]
+    fn infeasible_certificate_rejected() {
+        let (c, a) = instance();
+        // u_0 = 2 makes u_0 + v_1 = 2 > c_01 = 1.
+        let cert = DualCertificate::new(vec![2.0, 2.0, 2.0], vec![0.0, 0.0, 0.0]);
+        let err = cert.verify(&c, &a, COST_EPS).unwrap_err();
+        assert!(matches!(err, LsapError::InvalidCertificate { .. }));
+        assert!(err.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn slack_on_matched_pair_rejected() {
+        let (c, a) = instance();
+        // Feasible but not tight on matched pair (0, 1): u_0 + v_1 = 0 < 1.
+        let cert = DualCertificate::new(vec![0.0, 0.0, 1.0], vec![2.0, 0.0, 1.0]);
+        let err = cert.verify(&c, &a, COST_EPS).unwrap_err();
+        assert!(err.to_string().contains("complementary slackness"));
+    }
+
+    #[test]
+    fn certificate_for_suboptimal_assignment_cannot_exist() {
+        let (c, _) = instance();
+        // Suboptimal assignment (0,0), (1,1), (2,2) with cost 6; the
+        // optimal certificate is not tight on (0, 0).
+        let sub = Assignment::from_permutation(vec![0, 1, 2]);
+        let cert = DualCertificate::new(vec![1.0, 0.0, 1.0], vec![2.0, 0.0, 1.0]);
+        assert!(cert.verify(&c, &sub, COST_EPS).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (c, a) = instance();
+        let cert = DualCertificate::new(vec![0.0; 2], vec![0.0; 3]);
+        let err = cert.verify(&c, &a, COST_EPS).unwrap_err();
+        assert!(err.to_string().contains("shapes"));
+    }
+
+    #[test]
+    fn imperfect_assignment_rejected() {
+        let (c, _) = instance();
+        let partial = Assignment::from_row_to_col(vec![Some(1), Some(0), None]);
+        let cert = DualCertificate::new(vec![1.0, 2.0, 2.0], vec![0.0, 0.0, 0.0]);
+        assert!(matches!(
+            cert.verify(&c, &partial, COST_EPS),
+            Err(LsapError::NotPerfect { row: 2 })
+        ));
+    }
+
+    #[test]
+    fn tolerance_scales_with_magnitude() {
+        // A certificate off by 1e-4 absolute on entries of magnitude 1e7
+        // should still verify (relative error 1e-11 < COST_EPS).
+        let n = 3;
+        let big = 1e7;
+        let c = CostMatrix::from_fn(n, n, |i, j| big + ((i + j) % n) as f64).unwrap();
+        let a = Assignment::from_permutation(vec![0, 2, 1]);
+        // Genuine certificate u_i = big, v_j = 0 (matched entries all equal
+        // big), with u_0 perturbed by +1e-4.
+        let cert = DualCertificate::new(vec![big + 1e-4, big, big], vec![0.0; 3]);
+        cert.verify(&c, &a, COST_EPS).unwrap();
+    }
+}

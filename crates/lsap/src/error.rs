@@ -1,0 +1,117 @@
+//! Error types shared across the LSAP workspace.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating LSAP data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LsapError {
+    /// A matrix was constructed with inconsistent dimensions.
+    ShapeMismatch {
+        /// What was expected, e.g. "3 columns in every row".
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A matrix dimension was zero.
+    EmptyMatrix,
+    /// An entry was NaN (costs must be totally ordered).
+    NanCost {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// An assignment referenced a row or column outside the matrix.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The dimension bound it violated.
+        bound: usize,
+    },
+    /// An assignment mapped two rows to the same column.
+    DuplicateColumn {
+        /// The column assigned twice.
+        col: usize,
+    },
+    /// An assignment left some row unmatched where a perfect matching was
+    /// required.
+    NotPerfect {
+        /// The first unmatched row.
+        row: usize,
+    },
+    /// A dual certificate violated feasibility or complementary slackness.
+    InvalidCertificate {
+        /// Human-readable description of the violated condition.
+        reason: String,
+    },
+    /// A solver was given a non-square matrix but only supports square
+    /// instances.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A device/backend failure (e.g. the IPU or GPU simulator rejected
+    /// the generated program, or the instance exceeds device limits).
+    Backend {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LsapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsapError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            LsapError::EmptyMatrix => write!(f, "matrix must have nonzero dimensions"),
+            LsapError::NanCost { row, col } => {
+                write!(
+                    f,
+                    "cost at ({row}, {col}) is NaN; costs must be totally ordered"
+                )
+            }
+            LsapError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+            LsapError::DuplicateColumn { col } => {
+                write!(f, "column {col} is assigned to more than one row")
+            }
+            LsapError::NotPerfect { row } => {
+                write!(f, "assignment is not perfect: row {row} is unmatched")
+            }
+            LsapError::InvalidCertificate { reason } => {
+                write!(f, "invalid optimality certificate: {reason}")
+            }
+            LsapError::NotSquare { rows, cols } => {
+                write!(f, "solver requires a square matrix, got {rows}x{cols}")
+            }
+            LsapError::Backend { detail } => write!(f, "backend failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LsapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = LsapError::NanCost { row: 3, col: 7 };
+        assert!(e.to_string().contains("(3, 7)"));
+        let e = LsapError::DuplicateColumn { col: 5 };
+        assert!(e.to_string().contains('5'));
+        let e = LsapError::NotSquare { rows: 2, cols: 4 };
+        assert!(e.to_string().contains("2x4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LsapError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! Graph alignment — the paper's real-world use case (§V-C).
+//!
+//! Aligns the synthetic Voles contact network against a noisy copy of
+//! itself (90 % of edges kept), exactly the Table III pipeline:
+//! GRAMPA similarity (η = 0.2) → cost conversion → Hungarian solve,
+//! once with HunIPU and once with FastHA (on the power-of-two padded
+//! matrix), then compares modeled runtimes and recovered accuracy.
+//!
+//! ```text
+//! cargo run --release --example graph_alignment
+//! ```
+
+use align::{grampa_similarity, node_correctness, pad_for_pow2_solver, DEFAULT_ETA};
+use fastha::FastHa;
+use graphs::{keep_edge_fraction, realworld};
+use hunipu::HunIpu;
+use lsap::LsapSolver;
+
+fn main() {
+    let seed = 1;
+    let g = realworld::synthetic_voles(seed);
+    println!(
+        "Voles (synthetic equivalent): n = {}, m = {}, avg degree {:.1}",
+        g.n(),
+        g.m(),
+        g.avg_degree()
+    );
+
+    let noisy = keep_edge_fraction(&g, 0.90, seed + 100);
+    println!("noisy copy keeps {} of {} edges (90%)", noisy.m(), g.m());
+
+    println!(
+        "computing GRAMPA similarity (two {0}x{0} eigendecompositions)...",
+        g.n()
+    );
+    let sim = grampa_similarity(&g, &noisy, DEFAULT_ETA);
+    let cost = sim.similarity_to_cost();
+
+    // HunIPU solves the n x n problem directly.
+    let hun = HunIpu::new().solve(&cost).expect("hunipu");
+    // FastHA needs 2^m: pad the similarity with zero rows/columns.
+    let (padded_sim, orig) = pad_for_pow2_solver(&sim);
+    let fast = FastHa::new()
+        .solve(&padded_sim.similarity_to_cost())
+        .expect("fastha");
+    let fast_matching = fast.assignment.truncated(orig, orig);
+
+    let truth: Vec<usize> = (0..g.n()).collect();
+    println!("\n{:<8} {:>12} {:>12}", "engine", "modeled", "node acc.");
+    println!(
+        "{:<8} {:>10.1}ms {:>11.1}%",
+        "HunIPU",
+        hun.stats.modeled_seconds.unwrap() * 1e3,
+        node_correctness(&hun.assignment, &truth) * 100.0
+    );
+    println!(
+        "{:<8} {:>10.1}ms {:>11.1}%",
+        "FastHA",
+        fast.stats.modeled_seconds.unwrap() * 1e3,
+        node_correctness(&fast_matching, &truth) * 100.0
+    );
+    println!(
+        "\nHunIPU speedup over FastHA: {:.1}x (paper's Voles row: 26-33x)",
+        fast.stats.modeled_seconds.unwrap() / hun.stats.modeled_seconds.unwrap()
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: solve a linear sum assignment problem on the simulated
+//! IPU and verify the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hunipu::{HunIpu, F32_VERIFY_EPS};
+use lsap::{CostMatrix, LsapSolver};
+
+fn main() {
+    // A tiny task-assignment instance: 5 workers x 5 tasks, cost =
+    // hours each worker needs per task.
+    let costs = CostMatrix::from_rows(&[
+        &[9.0, 2.0, 7.0, 8.0, 6.0],
+        &[6.0, 4.0, 3.0, 7.0, 5.0],
+        &[5.0, 8.0, 1.0, 8.0, 4.0],
+        &[7.0, 6.0, 9.0, 4.0, 2.0],
+        &[3.0, 5.0, 8.0, 2.0, 8.0],
+    ])
+    .unwrap();
+
+    // HunIpu::new() targets the paper's 1472-tile Colossus Mk2.
+    let mut solver = HunIpu::new();
+    let report = solver.solve(&costs).expect("solvable instance");
+
+    println!("optimal assignment (worker -> task):");
+    for (worker, task) in report.assignment.pairs() {
+        println!(
+            "  worker {worker} -> task {task} ({}h)",
+            costs.get(worker, task)
+        );
+    }
+    println!("total cost: {} hours", report.objective);
+
+    // Every solve carries an LP-duality certificate: optimality is
+    // checkable without trusting the solver.
+    report
+        .verify(&costs, F32_VERIFY_EPS)
+        .expect("certificate proves optimality");
+    println!("certificate: verified optimal");
+
+    let stats = &report.stats;
+    println!(
+        "modeled IPU time: {:.1} µs over {} BSP supersteps \
+         ({} augmentations, {} dual updates)",
+        stats.modeled_seconds.unwrap() * 1e6,
+        stats.device_steps,
+        stats.augmentations,
+        stats.dual_updates,
+    );
+}

@@ -1,0 +1,29 @@
+//! Facade crate for the HunIPU reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so the examples and the
+//! cross-crate integration tests have a single dependency, and so users
+//! can depend on the whole system with one line.
+//!
+//! The interesting entry points:
+//!
+//! - [`hunipu::HunIpu`] — the paper's algorithm on the IPU simulator,
+//! - [`fastha::FastHa`] — the GPU baseline on the SIMT simulator,
+//! - [`cpu_hungarian`] — the sequential baselines and ground truth,
+//! - [`align`] — the GRAMPA graph-alignment use case,
+//! - [`datasets`] — the paper's synthetic instance generators,
+//! - [`ipu_sim`] / [`gpu_sim`] — the machine models themselves.
+//!
+//! See README.md for a tour and DESIGN.md for the architecture.
+
+#![warn(missing_docs)]
+
+pub use align;
+pub use cpu_hungarian;
+pub use datasets;
+pub use fastha;
+pub use gpu_sim;
+pub use graphs;
+pub use hunipu;
+pub use ipu_sim;
+pub use linalg;
+pub use lsap;

@@ -1,0 +1,174 @@
+//! Cross-engine integration: every solver in the workspace — CPU
+//! (classic + indexed Munkres, Jonker–Volgenant), the simulated GPU
+//! (FastHA), and the simulated IPU (HunIPU) — must agree on the optimum
+//! across instance families, and every exact engine must prove its own
+//! result with an LP-duality certificate.
+
+use cpu_hungarian::{Auction, JonkerVolgenant, Munkres};
+use datasets::{gaussian_cost_matrix, uniform_cost_matrix};
+use fastha::FastHa;
+use hunipu::HunIpu;
+use ipu_sim::IpuConfig;
+use lsap::{CostMatrix, LsapSolver, COST_EPS};
+
+/// Runs all exact engines on `m` and asserts agreement + certificates.
+/// Uses a small simulated IPU so tests stay fast; the algorithm is
+/// identical at any tile count.
+fn assert_all_engines_agree(m: &CostMatrix) {
+    let truth = {
+        let rep = JonkerVolgenant::new().solve(m).unwrap();
+        rep.verify(m, COST_EPS).unwrap();
+        rep.objective
+    };
+
+    let rep = Munkres::new().solve(m).unwrap();
+    rep.verify(m, COST_EPS).unwrap();
+    assert_eq!(rep.objective, truth, "classic munkres");
+
+    let rep = Munkres::indexed().solve(m).unwrap();
+    rep.verify(m, COST_EPS).unwrap();
+    assert_eq!(rep.objective, truth, "indexed munkres");
+
+    let mut hun = HunIpu::with_config(IpuConfig::tiny(10));
+    let rep = hun.solve(m).unwrap();
+    rep.verify(m, hunipu::F32_VERIFY_EPS).unwrap();
+    assert_eq!(rep.objective, truth, "hunipu");
+
+    if m.n().is_power_of_two() {
+        let rep = FastHa::new().solve(m).unwrap();
+        rep.verify(m, fastha::F32_VERIFY_EPS).unwrap();
+        assert_eq!(rep.objective, truth, "fastha");
+    }
+}
+
+#[test]
+fn gaussian_instances_all_ks() {
+    // The paper's distribution at every k (tiny n keeps this quick; all
+    // values stay f32-exact).
+    for &k in &datasets::PAPER_KS {
+        let m = gaussian_cost_matrix(16, k, 7 + k);
+        assert_all_engines_agree(&m);
+    }
+}
+
+#[test]
+fn uniform_instances() {
+    for seed in 0..4 {
+        let m = uniform_cost_matrix(16, 100, seed);
+        assert_all_engines_agree(&m);
+    }
+}
+
+#[test]
+fn adversarial_tie_structures() {
+    // Constant matrix: everything ties.
+    assert_all_engines_agree(&CostMatrix::filled(8, 3.0).unwrap());
+    // Product matrix: guarantees dual updates.
+    assert_all_engines_agree(
+        &CostMatrix::from_fn(8, 8, |i, j| ((i + 1) * (j + 1)) as f64).unwrap(),
+    );
+    // Two-value matrix with a thin optimal structure.
+    assert_all_engines_agree(
+        &CostMatrix::from_fn(8, 8, |i, j| if (i + j) % 4 == 0 { 1.0 } else { 9.0 }).unwrap(),
+    );
+}
+
+#[test]
+fn non_power_of_two_sizes() {
+    for n in [3usize, 5, 11, 17] {
+        let m = CostMatrix::from_fn(n, n, |i, j| ((i * 13 + j * 29) % 37) as f64).unwrap();
+        assert_all_engines_agree(&m);
+    }
+}
+
+#[test]
+fn auction_tracks_the_same_optimum_within_eps() {
+    let m = gaussian_cost_matrix(16, 10, 3);
+    let truth = JonkerVolgenant::new().solve(&m).unwrap().objective;
+    let mut auction = Auction::with_eps(1e-6);
+    let rep = auction.solve(&m).unwrap();
+    assert!(rep.objective >= truth - 1e-9);
+    assert!(rep.objective <= truth + 16.0 * 1e-6 + 1e-9);
+}
+
+#[test]
+fn padded_solve_recovers_unpadded_optimum() {
+    // Solve an 11x11 instance on FastHA via zero-padding to 16 and
+    // compare the truncated matching with the direct optimum — the
+    // Table III pipeline in miniature. Padding a *minimization* problem
+    // needs care: pad as similarities (zeros), then convert.
+    let n = 11;
+    let sim = CostMatrix::from_fn(n, n, |i, j| (((i * 7 + j * 3) % 13) + 1) as f64).unwrap();
+    let direct = JonkerVolgenant::new()
+        .solve(&sim.similarity_to_cost())
+        .unwrap();
+
+    let (padded_sim, orig) = sim.padded_to_pow2(0.0);
+    let rep = FastHa::new()
+        .solve(&padded_sim.similarity_to_cost())
+        .unwrap();
+    let truncated = rep.assignment.truncated(orig, orig);
+    assert_eq!(
+        truncated.matched_count(),
+        n,
+        "padding must not steal real rows"
+    );
+    let cost = truncated.cost(&sim.similarity_to_cost()).unwrap();
+    assert!((cost - direct.objective).abs() < 1e-6);
+}
+
+#[test]
+fn alignment_pipeline_end_to_end_small() {
+    // Mini Table III: ER graph vs noisy copy, both device engines.
+    let g = graphs::erdos_renyi_gnm(24, 90, 5);
+    let noisy = graphs::keep_edge_fraction(&g, 0.95, 6);
+    let sim = align::grampa_similarity(&g, &noisy, align::DEFAULT_ETA);
+    let cost = sim.similarity_to_cost();
+
+    let mut hun = HunIpu::with_config(IpuConfig::tiny(8));
+    let hrep = hun.solve(&cost).unwrap();
+    let truth = JonkerVolgenant::new().solve(&cost).unwrap();
+    let scale = cost.min_max().1.abs().max(1.0) * 24.0;
+    assert!((hrep.objective - truth.objective).abs() <= 1e-5 * scale);
+
+    let (padded_sim, orig) = align::pad_for_pow2_solver(&sim);
+    let frep = FastHa::new()
+        .solve(&padded_sim.similarity_to_cost())
+        .unwrap();
+    let trunc = frep.assignment.truncated(orig, orig);
+    assert_eq!(trunc.matched_count(), orig);
+    let fcost = trunc.cost(&cost).unwrap();
+    assert!((fcost - truth.objective).abs() <= 1e-5 * scale);
+}
+
+#[test]
+fn rectangular_reduction_works_on_every_engine() {
+    // 5 workers x 9 tasks: the dummy-row reduction of `lsap` must give
+    // the same restricted cost through JV and through HunIPU.
+    let m = CostMatrix::from_fn(5, 9, |i, j| (((i * 11 + j * 7) % 23) + 1) as f64).unwrap();
+    let (_, jv_cost) = lsap::solve_rectangular(&m, &mut JonkerVolgenant::new()).unwrap();
+    let mut hun = HunIpu::with_config(IpuConfig::tiny(8));
+    let (a, hun_cost) = lsap::solve_rectangular(&m, &mut hun).unwrap();
+    assert_eq!(a.matched_count(), 5, "every worker matched");
+    assert_eq!(jv_cost, hun_cost);
+}
+
+#[test]
+fn device_stats_expose_the_expected_shape() {
+    // HunIPU on a 2^m instance: FastHA must pay host syncs, HunIPU must
+    // not (its control flow is on-device).
+    let m = gaussian_cost_matrix(16, 10, 11);
+    let (hrep, engine) = HunIpu::with_config(IpuConfig::tiny(8))
+        .solve_with_engine(&m)
+        .unwrap();
+    assert!(engine.stats().supersteps > 0);
+    assert!(engine.stats().host_bytes > 0); // instance upload
+    assert!(hrep.stats.modeled_seconds.unwrap() > 0.0);
+
+    let (frep, gpu) = FastHa::new().solve_with_device(&m).unwrap();
+    assert!(
+        gpu.stats().host_syncs > 0,
+        "FastHA's loop syncs to the host"
+    );
+    assert!(frep.stats.modeled_seconds.unwrap() > 0.0);
+}

@@ -1,0 +1,78 @@
+//! Determinism: simulators and generators must be bit-reproducible —
+//! same instance, same device, same result and same modeled cycles.
+//! (BSP execution has no host-order dependence by construction; this
+//! locks that property in.)
+
+use fastha::FastHa;
+use hunipu::HunIpu;
+use ipu_sim::IpuConfig;
+use lsap::LsapSolver;
+
+#[test]
+fn hunipu_runs_are_bit_reproducible() {
+    let m = datasets::gaussian_cost_matrix(24, 100, 5);
+    let run = || {
+        let (rep, engine) = HunIpu::with_config(IpuConfig::tiny(7))
+            .solve_with_engine(&m)
+            .unwrap();
+        (
+            rep.objective,
+            rep.assignment.clone(),
+            engine.stats().total_cycles(),
+            engine.stats().supersteps,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fastha_runs_are_bit_reproducible() {
+    let m = datasets::gaussian_cost_matrix(16, 100, 5);
+    let run = || {
+        let (rep, gpu) = FastHa::new().solve_with_device(&m).unwrap();
+        (
+            rep.objective,
+            rep.assignment.clone(),
+            gpu.stats().warp_cycles,
+            gpu.stats().launches,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dataset_and_graph_generators_are_reproducible() {
+    assert_eq!(
+        datasets::gaussian_cost_matrix(64, 500, 9),
+        datasets::gaussian_cost_matrix(64, 500, 9)
+    );
+    assert_eq!(
+        graphs::realworld::synthetic_multimagna(3),
+        graphs::realworld::synthetic_multimagna(3)
+    );
+    let g = graphs::erdos_renyi_gnm(40, 100, 2);
+    assert_eq!(
+        graphs::keep_edge_fraction(&g, 0.9, 4),
+        graphs::keep_edge_fraction(&g, 0.9, 4)
+    );
+}
+
+#[test]
+fn modeled_time_is_independent_of_host_machine() {
+    // Two separate engines over the same program must charge identical
+    // cycles — the model must never read wall clocks.
+    let m = datasets::uniform_cost_matrix(20, 10, 1);
+    let (r1, e1) = HunIpu::with_config(IpuConfig::tiny(6))
+        .solve_with_engine(&m)
+        .unwrap();
+    let (r2, e2) = HunIpu::with_config(IpuConfig::tiny(6))
+        .solve_with_engine(&m)
+        .unwrap();
+    assert_eq!(e1.stats().total_cycles(), e2.stats().total_cycles());
+    assert_eq!(
+        r1.stats.modeled_seconds.unwrap().to_bits(),
+        r2.stats.modeled_seconds.unwrap().to_bits()
+    );
+}
