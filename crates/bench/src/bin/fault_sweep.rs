@@ -1,0 +1,197 @@
+//! Fault-injection sweep: measures how often the resilient solver recovers
+//! a verified-optimal assignment as the simulated IPU's soft-error rate
+//! grows, and what the recovery costs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fault_sweep
+//! cargo run --release -p bench --bin fault_sweep -- --n 64 --runs 20 \
+//!     --rates 0,0.002,0.01,0.05 --retries 5 --require-success
+//! ```
+//!
+//! For every bit-flip rate, `--runs` independent seeded instances are
+//! solved by a chain (faulty HunIPU → CPU JV) under a retry policy. Each
+//! run is fully deterministic in `--seed`. The table reports how many runs
+//! succeeded on the first try, recovered via retry, fell back to the CPU
+//! solver, or exhausted the chain, plus the mean attempt count and the
+//! wall-clock overhead relative to the fault-free baseline row.
+//!
+//! `--require-success` exits nonzero if any run exhausts its chain — used
+//! as a CI smoke test: with a CPU fallback in the chain, eventual success
+//! must be 100%.
+
+use cpu_hungarian::JonkerVolgenant;
+use hunipu::HunIpu;
+use ipu_sim::FaultPlan;
+use lsap::{LsapSolver, ResilientSolver, RetryPolicy};
+
+struct Row {
+    rate: f64,
+    first_try: usize,
+    retried: usize,
+    fallback: usize,
+    exhausted: usize,
+    total_attempts: usize,
+    total_wall: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fault_sweep [--n N] [--runs R] [--rates r1,r2,...] \
+         [--retries K] [--seed S] [--target NAME] [--require-success]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut n = 48usize;
+    let mut runs = 10usize;
+    let mut rates = vec![0.0, 0.002, 0.01, 0.05];
+    let mut retries = 5u32;
+    let mut seed = 1u64;
+    let mut target = String::from("slack");
+    let mut require_success = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => {
+                n = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--rates" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                rates = v
+                    .split(',')
+                    .map(|x| x.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--retries" => {
+                retries = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--target" => target = it.next().unwrap_or_else(|| usage()),
+            "--require-success" => require_success = true,
+            _ => usage(),
+        }
+    }
+
+    println!(
+        "fault sweep: n={n}, {runs} runs/rate, retries={retries}, \
+         flips target `{target}`, chain hunipu -> jv, seed {seed}"
+    );
+    println!();
+    println!(
+        "{:>8}  {:>9}  {:>7}  {:>8}  {:>9}  {:>9}  {:>12}  {:>11}",
+        "rate",
+        "first-try",
+        "retried",
+        "fallback",
+        "exhausted",
+        "recovery",
+        "mean attempts",
+        "overhead"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &rate in &rates {
+        let mut row = Row {
+            rate,
+            first_try: 0,
+            retried: 0,
+            fallback: 0,
+            exhausted: 0,
+            total_attempts: 0,
+            total_wall: 0.0,
+        };
+        for run in 0..runs {
+            let matrix = datasets::gaussian_cost_matrix(n, 100, seed.wrapping_add(run as u64));
+            // Derive a distinct fault seed per (rate, run) so rows are
+            // independent samples of the same error process.
+            let fault_seed = seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add(run as u64)
+                .wrapping_add((rate * 1e6) as u64);
+            let primary = HunIpu::new().with_fault_plan(
+                FaultPlan::new(fault_seed)
+                    .with_bit_flips(rate)
+                    .targeting(&target),
+            );
+            let mut solver = ResilientSolver::new(primary)
+                .with_fallback(JonkerVolgenant::new())
+                .with_policy(RetryPolicy::attempts(retries))
+                .with_eps(1e-5);
+            let outcome = solver.solve(&matrix);
+            let history = solver.history();
+            row.total_attempts += history.len();
+            row.total_wall += history.iter().map(|a| a.wall_seconds).sum::<f64>();
+            match (&outcome, history) {
+                (Err(_), _) => row.exhausted += 1,
+                (Ok(_), [only]) if only.succeeded() => row.first_try += 1,
+                (Ok(_), h) if h.last().is_some_and(|a| a.solver == "jv") => row.fallback += 1,
+                (Ok(_), _) => row.retried += 1,
+            }
+            if let Ok(report) = &outcome {
+                // Belt and braces: re-verify what the wrapper accepted.
+                report
+                    .verify(&matrix, 1e-5)
+                    .expect("accepted result must re-verify");
+            }
+        }
+        rows.push(row);
+    }
+
+    // Overhead is relative to the first fault-free row if present,
+    // otherwise to the cheapest row.
+    let baseline = rows
+        .iter()
+        .find(|r| r.rate == 0.0)
+        .map(|r| r.total_wall)
+        .unwrap_or_else(|| {
+            rows.iter()
+                .map(|r| r.total_wall)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .max(1e-12);
+
+    let mut any_exhausted = false;
+    for r in &rows {
+        let recovered = runs - r.exhausted;
+        any_exhausted |= r.exhausted > 0;
+        println!(
+            "{:>8}  {:>9}  {:>7}  {:>8}  {:>9}  {:>8.1}%  {:>13.2}  {:>10.2}x",
+            r.rate,
+            r.first_try,
+            r.retried,
+            r.fallback,
+            r.exhausted,
+            100.0 * recovered as f64 / runs as f64,
+            r.total_attempts as f64 / runs as f64,
+            r.total_wall / baseline,
+        );
+    }
+
+    if require_success && any_exhausted {
+        eprintln!("FAIL: some runs exhausted their fallback chain");
+        std::process::exit(1);
+    }
+    if require_success {
+        println!();
+        println!("OK: every run recovered a verified-optimal assignment");
+    }
+}

@@ -5,21 +5,33 @@
 //! cargo run --release -p bench --bin solve -- --engine hunipu --csv costs.csv
 //! cargo run --release -p bench --bin solve -- --engine fastha --random 256 --k 10
 //! cargo run --release -p bench --bin solve -- --engine jv --random 64 --pairs
+//! cargo run --release -p bench --bin solve -- --engine hunipu --random 64 \
+//!     --faults seed=7,flip=0.001@slack --retries 5
 //! ```
 //!
 //! Engines: `hunipu` (modeled Mk2), `fastha` (modeled A100, 2^m sizes),
 //! `cpu` (classic Munkres), `indexed` (index-accelerated Munkres),
 //! `jv` (Jonker–Volgenant), `auction`.
+//!
+//! Resilience: `--faults <spec>` arms a deterministic fault plan on the
+//! simulated IPU (hunipu only) — e.g.
+//! `seed=42,flip=0.02@slack,straggler=0.01@4,exchange=0.005,diverge=0.001,after=10`.
+//! `--retries N` and `--timeout S` wrap the engine in a self-verifying
+//! `ResilientSolver` with a fallback chain (primary → fastha → jv) and
+//! print the per-attempt history.
 
 use cpu_hungarian::{Auction, JonkerVolgenant, Munkres};
 use fastha::FastHa;
 use hunipu::HunIpu;
-use lsap::{CostMatrix, LsapSolver};
+use ipu_sim::FaultPlan;
+use lsap::{CostMatrix, LsapSolver, ResilientSolver, RetryPolicy};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: solve --engine <hunipu|fastha|cpu|indexed|jv|auction> \
-         (--csv FILE | --random N [--k K] [--seed S]) [--pairs]"
+         (--csv FILE | --random N [--k K] [--seed S]) [--pairs] \
+         [--faults SPEC] [--retries N] [--timeout SECONDS]"
     );
     std::process::exit(2)
 }
@@ -58,6 +70,9 @@ fn main() {
     let mut k = 10u64;
     let mut seed = 1u64;
     let mut show_pairs = false;
+    let mut faults: Option<FaultPlan> = None;
+    let mut retries: Option<u32> = None;
+    let mut timeout: Option<f64> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -83,8 +98,35 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--pairs" => show_pairs = true,
+            "--faults" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                faults = Some(spec.parse().unwrap_or_else(|e| {
+                    eprintln!("bad --faults spec: {e}");
+                    std::process::exit(2)
+                }));
+            }
+            "--retries" => {
+                retries = Some(
+                    it.next()
+                        .and_then(|x| x.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--timeout" => {
+                timeout = Some(
+                    it.next()
+                        .and_then(|x| x.parse().ok())
+                        .filter(|&s: &f64| s > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
+    }
+    if faults.is_some() && engine != "hunipu" {
+        eprintln!("--faults targets the simulated IPU; it requires --engine hunipu");
+        std::process::exit(2);
     }
 
     let matrix = match (csv, random) {
@@ -99,8 +141,15 @@ fn main() {
         matrix.min_max()
     );
 
-    let mut solver: Box<dyn LsapSolver> = match engine.as_str() {
-        "hunipu" => Box::new(HunIpu::new()),
+    let primary: Box<dyn LsapSolver> = match engine.as_str() {
+        "hunipu" => {
+            let mut s = HunIpu::new();
+            if let Some(plan) = faults.clone() {
+                println!("fault plan: {plan}");
+                s = s.with_fault_plan(plan);
+            }
+            Box::new(s)
+        }
         "fastha" => Box::new(FastHa::new()),
         "cpu" => Box::new(Munkres::new()),
         "indexed" => Box::new(Munkres::indexed()),
@@ -108,11 +157,56 @@ fn main() {
         "auction" => Box::new(Auction::new()),
         _ => usage(),
     };
-    let report = match solver.solve(&matrix) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{engine} failed: {e}");
-            std::process::exit(1)
+
+    // Faults, retries, or a deadline all imply supervision: wrap the
+    // engine in a verifying, fallback-chained resilient solver.
+    let resilient = faults.is_some() || retries.is_some() || timeout.is_some();
+    let mut winner = engine.clone();
+    let report = if resilient {
+        let mut policy = RetryPolicy::attempts(retries.unwrap_or(3));
+        if let Some(s) = timeout {
+            policy = policy.with_deadline(Duration::from_secs_f64(s));
+        }
+        let mut chain = ResilientSolver::new(primary)
+            .with_policy(policy)
+            .with_eps(1e-5);
+        for (name, fallback) in [
+            ("fastha", Box::new(FastHa::new()) as Box<dyn LsapSolver>),
+            ("jv", Box::new(JonkerVolgenant::new())),
+        ] {
+            if name != engine {
+                chain = chain.with_fallback_boxed(fallback);
+            }
+        }
+        println!("resilient chain: {:?}", chain.chain_names());
+        let outcome = chain.solve(&matrix);
+        for a in chain.history() {
+            println!(
+                "  attempt {}#{} ({:.3}s): {}",
+                a.solver,
+                a.attempt,
+                a.wall_seconds,
+                a.error.as_deref().unwrap_or("ok")
+            );
+        }
+        if let Some(a) = chain.history().last() {
+            winner = a.solver.clone();
+        }
+        match outcome {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("resilient solve failed: {e}");
+                std::process::exit(1)
+            }
+        }
+    } else {
+        let mut solver = primary;
+        match solver.solve(&matrix) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{engine} failed: {e}");
+                std::process::exit(1)
+            }
         }
     };
     if show_pairs {
@@ -129,7 +223,7 @@ fn main() {
     }
     if let Some(s) = report.stats.modeled_seconds {
         println!(
-            "modeled {engine} time: {:.3} ms (host simulation took {:.3} s)",
+            "modeled {winner} time: {:.3} ms (host simulation took {:.3} s)",
             s * 1e3,
             report.stats.wall_seconds
         );

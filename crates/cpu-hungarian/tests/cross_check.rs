@@ -16,9 +16,9 @@ fn matrices() -> impl Strategy<Value = CostMatrix> {
             // Small integers: heavy tie density, stresses zero handling.
             (0i32..5).prop_map(|x| x as f64),
             // Wide floats, mimicking the paper's large value ranges.
-            (1.0f64..1e6),
+            1.0f64..1e6,
             // Negatives allowed (the algorithms never assume positivity).
-            (-100.0f64..100.0),
+            -100.0f64..100.0,
         ];
         proptest::collection::vec(entry, n * n)
             .prop_map(move |data| CostMatrix::from_vec(n, n, data).unwrap())

@@ -4,10 +4,11 @@
 
 use crate::build::Builder;
 use crate::layout::Layout;
-use ipu_sim::IpuConfig;
+use ipu_sim::{FaultPlan, IpuConfig};
 use lsap::{
     Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver, SolveReport, SolverStats,
 };
+use std::cell::Cell;
 use std::time::Instant;
 
 /// Relative tolerance for verifying HunIPU results: the device computes
@@ -28,6 +29,10 @@ pub struct HunIpu {
     config: IpuConfig,
     col_seg: usize,
     ablation: crate::ablation::AblationConfig,
+    fault_plan: Option<FaultPlan>,
+    /// Number of solves already launched with faults armed; decorrelates
+    /// the fault stream across retries (see [`HunIpu::with_fault_plan`]).
+    fault_epoch: Cell<u64>,
 }
 
 impl Default for HunIpu {
@@ -43,6 +48,8 @@ impl HunIpu {
             config: IpuConfig::mk2(),
             col_seg: crate::COL_SEG_DEFAULT,
             ablation: Default::default(),
+            fault_plan: None,
+            fault_epoch: Cell::new(0),
         }
     }
 
@@ -51,8 +58,7 @@ impl HunIpu {
     pub fn with_config(config: IpuConfig) -> Self {
         Self {
             config,
-            col_seg: crate::COL_SEG_DEFAULT,
-            ablation: Default::default(),
+            ..Self::new()
         }
     }
 
@@ -69,6 +75,26 @@ impl HunIpu {
     pub fn with_ablation(mut self, ablation: crate::ablation::AblationConfig) -> Self {
         self.ablation = ablation;
         self
+    }
+
+    /// Arms a [`FaultPlan`] on every engine this solver builds, simulating
+    /// a faulty device.
+    ///
+    /// The plan's seed is the seed of the *first* solve; each subsequent
+    /// solve on the same `HunIpu` derives a fresh seed from it, so a retry
+    /// (e.g. driven by [`lsap::ResilientSolver`]) sees a different fault
+    /// pattern rather than deterministically replaying the corruption that
+    /// just killed it — matching real soft-error behavior while keeping
+    /// whole-experiment reproducibility.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self.fault_epoch.set(0);
+        self
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The device configuration this solver targets.
@@ -111,6 +137,16 @@ impl HunIpu {
         let Builder { g, t, .. } = builder;
         let mut engine = g.compile(program).map_err(backend)?;
 
+        if let Some(plan) = &self.fault_plan {
+            // Decorrelate retries: attempt k runs under seed ^ k·φ64 (the
+            // first attempt uses the plan's own seed unchanged).
+            let epoch = self.fault_epoch.get();
+            self.fault_epoch.set(epoch.wrapping_add(1));
+            let mut derived = plan.clone();
+            derived.seed ^= epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            engine.set_fault_plan(derived);
+        }
+
         // Load the instance (cast to the device's f32, as the real
         // implementation does) and the -1-initialized matching state.
         let slack_f32: Vec<f32> = matrix.as_slice().iter().map(|&x| x as f32).collect();
@@ -131,8 +167,14 @@ impl HunIpu {
         let objective = assignment.cost(matrix)?;
         let u: Vec<f64> = engine.read_f32(t.u).iter().map(|&x| x as f64).collect();
         let v: Vec<f64> = engine.read_f32(t.v).iter().map(|&x| x as f64).collect();
-        let augmentations = engine.read_i32(t.ctr_aug)[0] as u64;
-        let dual_updates = engine.read_i32(t.ctr_dual)[0] as u64;
+        // Each augmentation grows the matching by one row, so a sane run
+        // records at most n; each dual update visits at least one new
+        // column between augmentations, bounding the total by n per
+        // augmentation. Anything outside these bounds (negative included —
+        // a naive `as u64` cast would wrap a corrupted -1 to 2^64-1) means
+        // the counter itself was hit by a fault.
+        let augmentations = read_counter(&mut engine, t.ctr_aug, "ctr_aug", n as u64)?;
+        let dual_updates = read_counter(&mut engine, t.ctr_dual, "ctr_dual", (n as u64).pow(2))?;
 
         let stats = SolverStats {
             modeled_seconds: Some(engine.modeled_seconds()),
@@ -152,6 +194,35 @@ impl HunIpu {
             engine,
         ))
     }
+}
+
+/// Reads a device step counter and validates it against its theoretical
+/// bound, turning corrupted values into [`LsapError::Backend`] instead of
+/// nonsense statistics.
+fn read_counter(
+    engine: &mut ipu_sim::Engine,
+    tensor: ipu_sim::Tensor,
+    name: &str,
+    max_plausible: u64,
+) -> Result<u64, LsapError> {
+    let raw = engine.read_i32(tensor)[0];
+    if raw < 0 {
+        return Err(LsapError::Backend {
+            detail: format!(
+                "device counter `{name}` read back negative ({raw}); memory corruption suspected"
+            ),
+        });
+    }
+    let value = raw as u64;
+    if value > max_plausible {
+        return Err(LsapError::Backend {
+            detail: format!(
+                "device counter `{name}` = {value} exceeds its theoretical bound \
+                 {max_plausible}; memory corruption suspected"
+            ),
+        });
+    }
+    Ok(value)
 }
 
 impl LsapSolver for HunIpu {

@@ -37,6 +37,12 @@ pub struct IpuConfig {
     /// Per-tile bandwidth for bytes crossing a chip boundary, bytes per
     /// cycle (IPU-Link share; see `calibration`).
     pub inter_ipu_bytes_per_cycle: f64,
+    /// Iteration guard for `RepeatWhileTrue`: the watchdog that turns a
+    /// stuck device loop into [`crate::GraphError::Divergence`] instead of
+    /// hanging the host. The default is generous (the paper's largest
+    /// instances stay far below it); tests and resilience supervisors
+    /// lower it to fail fast.
+    pub max_while_iterations: u64,
 }
 
 impl IpuConfig {
@@ -54,6 +60,7 @@ impl IpuConfig {
             ipus: 1,
             tiles_per_ipu: calibration_tiles(),
             inter_ipu_bytes_per_cycle: crate::calibration::INTER_IPU_BYTES_PER_CYCLE,
+            max_while_iterations: 100_000_000,
         }
     }
 

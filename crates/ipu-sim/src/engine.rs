@@ -4,6 +4,7 @@
 use crate::calibration::VERTEX_OVERHEAD;
 use crate::codelet::{FieldBuf, VertexCtx};
 use crate::error::GraphError;
+use crate::fault::{FaultPlan, FaultState};
 use crate::graph::Graph;
 use crate::program::Program;
 use crate::stats::{CycleStats, StepBreakdown};
@@ -11,9 +12,23 @@ use crate::tensor::{DType, Tensor, TensorSlice};
 use std::collections::HashMap;
 
 /// Typed storage for one tensor.
+#[derive(Clone)]
 enum Buffer {
     F32(Vec<f32>),
     I32(Vec<i32>),
+}
+
+/// A checkpoint of device memory and accounting, taken with
+/// [`Engine::snapshot`] and reinstated with [`Engine::restore`].
+///
+/// Snapshots are opaque and tied to the engine (same graph, same tensor
+/// set) that produced them. The fault RNG is deliberately *not* part of a
+/// snapshot — see [`crate::FaultPlan`] — so a retry after `restore` draws
+/// fresh faults instead of deterministically replaying the ones that
+/// forced the rewind.
+pub struct EngineSnapshot {
+    buffers: Vec<Buffer>,
+    stats: CycleStats,
 }
 
 /// Raw view of a buffer, used to hand out disjoint slices to vertex
@@ -48,8 +63,11 @@ pub struct Engine {
     /// semantics simple when source and destination share a tensor).
     scratch_f32: Vec<f32>,
     scratch_i32: Vec<i32>,
-    /// Iteration guard for `RepeatWhileTrue`.
+    /// Iteration guard for `RepeatWhileTrue`, initialized from
+    /// [`crate::IpuConfig::max_while_iterations`] (overridable per engine).
     pub max_while_iterations: u64,
+    /// Installed fault-injection state, if any.
+    faults: Option<FaultState>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -101,6 +119,7 @@ impl Engine {
             ..Default::default()
         };
         let thread_load = vec![0u64; graph.config.tiles * tpt];
+        let max_while_iterations = graph.config.max_while_iterations;
         Self {
             graph,
             program,
@@ -112,7 +131,8 @@ impl Engine {
             copy_cost: HashMap::new(),
             scratch_f32: Vec::new(),
             scratch_i32: Vec::new(),
-            max_while_iterations: 100_000_000,
+            max_while_iterations,
+            faults: None,
         }
     }
 
@@ -136,6 +156,62 @@ impl Engine {
     /// The device configuration.
     pub fn config(&self) -> &crate::IpuConfig {
         &self.graph.config
+    }
+
+    /// Installs a fault plan: subsequent execution draws from the plan's
+    /// deterministic fault stream (see [`FaultPlan`]). Replaces any
+    /// previously installed plan and resets its RNG stream.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let flip_targets = self
+            .graph
+            .tensors
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.len > 0
+                    && plan
+                        .flip_target
+                        .as_deref()
+                        .is_none_or(|needle| t.name.contains(needle))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        self.faults = Some(FaultState::new(plan, flip_targets));
+    }
+
+    /// Removes the installed fault plan; execution becomes fault-free.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Checkpoints device memory and accounting.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            buffers: self.buffers.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Reinstates a checkpoint taken with [`Engine::snapshot`] on this
+    /// engine: tensor contents and cycle accounting rewind; the fault RNG
+    /// keeps advancing (see [`EngineSnapshot`]).
+    ///
+    /// # Panics
+    /// Panics if the snapshot came from an engine with a different tensor
+    /// set (a static programming error).
+    pub fn restore(&mut self, snapshot: &EngineSnapshot) {
+        assert_eq!(
+            self.buffers.len(),
+            snapshot.buffers.len(),
+            "snapshot is from a different graph"
+        );
+        self.buffers.clone_from(&snapshot.buffers);
+        self.stats.clone_from(&snapshot.stats);
     }
 
     /// Host → device write of a whole f32 tensor (not charged to device
@@ -232,12 +308,14 @@ impl Engine {
             Program::Copy { src, dst } => {
                 self.move_data(src, dst, 1);
                 self.charge_exchange(std::slice::from_ref(&(*src, *dst)));
+                self.inject_exchange_fault(std::slice::from_ref(dst));
                 Ok(())
             }
             Program::Broadcast { src, dst } => {
                 let reps = dst.len() / src.len();
                 self.move_data(src, dst, reps);
                 self.charge_exchange(std::slice::from_ref(&(*src, *dst)));
+                self.inject_exchange_fault(std::slice::from_ref(dst));
                 Ok(())
             }
             Program::Exchange(pairs) => {
@@ -245,6 +323,10 @@ impl Engine {
                     self.move_data(src, dst, 1);
                 }
                 self.charge_exchange(pairs);
+                if self.faults.is_some() {
+                    let dsts: Vec<TensorSlice> = pairs.iter().map(|&(_, dst)| dst).collect();
+                    self.inject_exchange_fault(&dsts);
+                }
                 Ok(())
             }
             Program::Repeat { count, body } => {
@@ -270,6 +352,23 @@ impl Engine {
                 }
             }
             Program::RepeatWhileTrue { predicate, body } => {
+                // Fault: the loop is declared non-convergent up front. The
+                // watchdog would fire after `max_while_iterations` wasted
+                // iterations; model that terminal state directly instead of
+                // simulating millions of no-progress supersteps.
+                if let Some(fs) = self.faults.as_mut() {
+                    if fs.plan.diverge_rate > 0.0
+                        && fs.armed(self.stats.supersteps)
+                        && fs.draw() < fs.plan.diverge_rate
+                    {
+                        self.stats.faults.forced_divergences += 1;
+                        self.stats.control_cycles += self.graph.config.control_cycles;
+                        return Err(GraphError::Divergence {
+                            limit: self.max_while_iterations,
+                            context: self.loop_context(body),
+                        });
+                    }
+                }
                 let mut iterations = 0u64;
                 loop {
                     self.stats.control_cycles += self.graph.config.control_cycles;
@@ -284,6 +383,7 @@ impl Engine {
                     if iterations > self.max_while_iterations {
                         return Err(GraphError::Divergence {
                             limit: self.max_while_iterations,
+                            context: self.loop_context(body),
                         });
                     }
                     self.exec(body)?;
@@ -384,6 +484,95 @@ impl Engine {
         let b = &mut self.stats.per_compute_set[cs];
         b.executions += 1;
         b.compute_cycles += superstep;
+        if self.faults.is_some() {
+            self.inject_superstep_faults(cs, superstep);
+        }
+    }
+
+    /// Fault hook run after each superstep: straggler inflation and SRAM
+    /// bit flips (see [`FaultPlan`]).
+    fn inject_superstep_faults(&mut self, cs: usize, superstep: u64) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        if !fs.armed(self.stats.supersteps) {
+            return;
+        }
+        if fs.plan.straggler_rate > 0.0 && fs.draw() < fs.plan.straggler_rate {
+            // The slowest tile ran `straggler_factor` times slower; under
+            // BSP the whole chip waits for it (C3).
+            let extra = (superstep as f64 * (fs.plan.straggler_factor - 1.0)).ceil() as u64;
+            self.stats.compute_cycles += extra;
+            self.stats.per_compute_set[cs].compute_cycles += extra;
+            self.stats.faults.stragglers += 1;
+            self.stats.faults.straggler_cycles += extra;
+        }
+        if fs.plan.bit_flip_rate > 0.0
+            && !fs.flip_targets.is_empty()
+            && fs.draw() < fs.plan.bit_flip_rate
+        {
+            let target = fs.draw_index(fs.flip_targets.len());
+            let tensor = fs.flip_targets[target];
+            let (element, bit) = match &self.buffers[tensor] {
+                Buffer::F32(v) => (fs.draw_index(v.len()), fs.draw_index(32)),
+                Buffer::I32(v) => (fs.draw_index(v.len()), fs.draw_index(32)),
+            };
+            Self::flip_bit(&mut self.buffers[tensor], element, bit);
+            self.stats.faults.bit_flips += 1;
+        }
+    }
+
+    /// Fault hook run after each exchange phase: corrupts one delivered
+    /// element of one destination slice.
+    fn inject_exchange_fault(&mut self, dsts: &[TensorSlice]) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        if fs.plan.exchange_rate == 0.0
+            || dsts.is_empty()
+            || !fs.armed(self.stats.supersteps)
+            || fs.draw() >= fs.plan.exchange_rate
+        {
+            return;
+        }
+        let slice = dsts[fs.draw_index(dsts.len())];
+        if slice.is_empty() {
+            return;
+        }
+        let element = slice.start + fs.draw_index(slice.len());
+        let bit = fs.draw_index(32);
+        Self::flip_bit(&mut self.buffers[slice.tensor.id], element, bit);
+        self.stats.faults.exchange_corruptions += 1;
+    }
+
+    fn flip_bit(buffer: &mut Buffer, element: usize, bit: usize) {
+        match buffer {
+            Buffer::F32(v) => v[element] = f32::from_bits(v[element].to_bits() ^ (1u32 << bit)),
+            Buffer::I32(v) => v[element] ^= 1i32 << bit,
+        }
+    }
+
+    /// Diagnostic label for a diverging loop: the name of the first
+    /// compute set executed in its body.
+    fn loop_context(&self, body: &Program) -> String {
+        fn first_cs(p: &Program) -> Option<usize> {
+            match p {
+                Program::Execute(cs) => Some(cs.0),
+                Program::Sequence(items) => items.iter().find_map(first_cs),
+                Program::Repeat { body, .. } => first_cs(body),
+                Program::RepeatWhileTrue { body, .. } => first_cs(body),
+                Program::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => first_cs(then_body).or_else(|| first_cs(else_body)),
+                _ => None,
+            }
+        }
+        match first_cs(body) {
+            Some(cs) => self.graph.compute_sets[cs].name.clone(),
+            None => "<empty loop body>".to_string(),
+        }
     }
 
     /// Moves data for one copy: `dst` receives `reps` repetitions of
@@ -675,8 +864,34 @@ mod tests {
         e.write_i32(flag, &[1]).unwrap();
         assert!(matches!(
             e.run(),
-            Err(GraphError::Divergence { limit: 100 })
+            Err(GraphError::Divergence { limit: 100, .. })
         ));
+    }
+
+    #[test]
+    fn divergence_guard_comes_from_config_and_names_the_loop() {
+        let mut g = Graph::new(IpuConfig {
+            max_while_iterations: 25,
+            ..IpuConfig::tiny(1)
+        });
+        let flag = g.add_tensor("flag", DType::I32, 1);
+        g.map_to_tile(flag, 0).unwrap();
+        let cs = g.add_compute_set("spin_step");
+        let v = g.add_vertex(cs, 0, "noop", |_| 1).unwrap();
+        g.connect(v, flag.whole(), Access::Read).unwrap();
+        let mut e = g
+            .compile(Program::while_true(flag, Program::execute(cs)))
+            .unwrap();
+        e.write_i32(flag, &[1]).unwrap();
+        let err = e.run().unwrap_err();
+        match &err {
+            GraphError::Divergence { limit, context } => {
+                assert_eq!(*limit, 25);
+                assert_eq!(context, "spin_step");
+            }
+            other => panic!("expected Divergence, got {other:?}"),
+        }
+        assert!(err.to_string().contains("spin_step"));
     }
 
     #[test]

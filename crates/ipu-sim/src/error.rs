@@ -69,6 +69,10 @@ pub enum GraphError {
     Divergence {
         /// The iteration limit that was hit.
         limit: u64,
+        /// The name of the first compute set inside the diverging loop's
+        /// body (or a placeholder when the body executes none), so logs
+        /// identify *which* device loop got stuck.
+        context: String,
     },
 }
 
@@ -100,10 +104,11 @@ impl fmt::Display for GraphError {
                 write!(f, "tile {tile} out of range (device has {tiles} tiles)")
             }
             GraphError::Invalid { detail } => write!(f, "invalid graph/program: {detail}"),
-            GraphError::Divergence { limit } => {
+            GraphError::Divergence { limit, context } => {
                 write!(
                     f,
-                    "RepeatWhileTrue exceeded {limit} iterations; program diverged"
+                    "RepeatWhileTrue around `{context}` exceeded {limit} iterations; \
+                     program diverged"
                 )
             }
         }

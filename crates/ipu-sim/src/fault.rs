@@ -1,0 +1,373 @@
+//! Deterministic, seed-driven fault injection for the simulated device.
+//!
+//! Real IPUs fail in ways the static graph cannot rule out: a bit flips in
+//! tile SRAM, one tile runs slow and stalls the BSP superstep, an exchange
+//! delivers a corrupted word, a data-dependent loop stops converging. This
+//! module models those four failure classes as a [`FaultPlan`] the
+//! [`crate::Engine`] consults between supersteps. Everything is driven by a
+//! splitmix64 stream seeded from the plan, so a given `(plan, program,
+//! input)` triple produces the *same* faults on every run — failures are
+//! reproducible and testable, never flaky.
+//!
+//! Injected faults are counted in [`crate::CycleStats::faults`], and
+//! [`crate::Engine::snapshot`]/[`crate::Engine::restore`] checkpoint device
+//! memory so a host-side supervisor can rewind and retry. The fault RNG
+//! deliberately survives a restore: a retry replays the program against a
+//! *fresh* slice of the fault stream, so a one-off corruption does not
+//! deterministically recur on every attempt.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A deterministic schedule of runtime faults for one engine.
+///
+/// Rates are per *opportunity*: `bit_flip_rate` and `straggler_rate` are
+/// checked once per executed compute set (superstep), `exchange_rate` once
+/// per exchange phase, and `diverge_rate` once per `RepeatWhileTrue` loop
+/// entry. All faults stay disarmed until `after_supersteps` supersteps have
+/// executed, which is how tests target "mid-run" corruption rather than
+/// clobbering freshly-loaded inputs.
+///
+/// Plans parse from compact spec strings (see [`FaultPlan::from_str`]):
+///
+/// ```
+/// use ipu_sim::FaultPlan;
+/// let plan: FaultPlan = "seed=42,flip=0.02@slack,straggler=0.01@4,after=10"
+///     .parse()
+///     .unwrap();
+/// assert_eq!(plan.seed, 42);
+/// assert_eq!(plan.flip_target.as_deref(), Some("slack"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG stream.
+    pub seed: u64,
+    /// Probability per superstep of flipping one random bit in one mapped
+    /// tensor (filtered by [`FaultPlan::flip_target`]).
+    pub bit_flip_rate: f64,
+    /// Substring filter on tensor debug names for bit flips; `None` makes
+    /// every tensor eligible.
+    pub flip_target: Option<String>,
+    /// Probability per superstep that the slowest tile runs
+    /// [`FaultPlan::straggler_factor`] times slower, inflating the
+    /// superstep.
+    pub straggler_rate: f64,
+    /// Cycle multiplier applied to a straggler superstep (≥ 1).
+    pub straggler_factor: f64,
+    /// Probability per exchange phase of corrupting one delivered element.
+    pub exchange_rate: f64,
+    /// Probability per `RepeatWhileTrue` entry that the loop never
+    /// converges and the divergence watchdog fires.
+    pub diverge_rate: f64,
+    /// Supersteps that must execute before any fault can fire.
+    pub after_supersteps: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            bit_flip_rate: 0.0,
+            flip_target: None,
+            straggler_rate: 0.0,
+            straggler_factor: 4.0,
+            exchange_rate: 0.0,
+            diverge_rate: 0.0,
+            after_supersteps: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An inert plan (no faults) with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Enables SRAM bit flips at `rate` per superstep.
+    pub fn with_bit_flips(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.bit_flip_rate = rate;
+        self
+    }
+
+    /// Restricts bit flips to tensors whose debug name contains `substr`.
+    pub fn targeting(mut self, substr: impl Into<String>) -> Self {
+        self.flip_target = Some(substr.into());
+        self
+    }
+
+    /// Enables straggler tiles at `rate` per superstep with the given
+    /// slowdown factor.
+    pub fn with_stragglers(mut self, rate: f64, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(factor >= 1.0, "a straggler cannot speed the tile up");
+        self.straggler_rate = rate;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Enables exchange corruption at `rate` per exchange phase.
+    pub fn with_exchange_corruption(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.exchange_rate = rate;
+        self
+    }
+
+    /// Enables forced loop divergence at `rate` per `RepeatWhileTrue`
+    /// entry.
+    pub fn with_forced_divergence(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.diverge_rate = rate;
+        self
+    }
+
+    /// Keeps all faults disarmed for the first `supersteps` supersteps.
+    pub fn after_supersteps(mut self, supersteps: u64) -> Self {
+        self.after_supersteps = supersteps;
+        self
+    }
+
+    /// `true` if no fault can ever fire under this plan.
+    pub fn is_inert(&self) -> bool {
+        self.bit_flip_rate == 0.0
+            && self.straggler_rate == 0.0
+            && self.exchange_rate == 0.0
+            && self.diverge_rate == 0.0
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        if self.bit_flip_rate > 0.0 {
+            write!(f, ",flip={}", self.bit_flip_rate)?;
+            if let Some(t) = &self.flip_target {
+                write!(f, "@{t}")?;
+            }
+        }
+        if self.straggler_rate > 0.0 {
+            write!(
+                f,
+                ",straggler={}@{}",
+                self.straggler_rate, self.straggler_factor
+            )?;
+        }
+        if self.exchange_rate > 0.0 {
+            write!(f, ",exchange={}", self.exchange_rate)?;
+        }
+        if self.diverge_rate > 0.0 {
+            write!(f, ",diverge={}", self.diverge_rate)?;
+        }
+        if self.after_supersteps > 0 {
+            write!(f, ",after={}", self.after_supersteps)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`FaultPlan`] spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// What went wrong, mentioning the offending clause.
+    pub detail: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.detail)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn bad(detail: impl Into<String>) -> FaultSpecError {
+    FaultSpecError {
+        detail: detail.into(),
+    }
+}
+
+fn parse_rate(clause: &str, value: &str) -> Result<f64, FaultSpecError> {
+    let rate: f64 = value
+        .parse()
+        .map_err(|_| bad(format!("`{clause}`: rate `{value}` is not a number")))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(bad(format!("`{clause}`: rate {rate} outside [0, 1]")));
+    }
+    Ok(rate)
+}
+
+impl FromStr for FaultPlan {
+    type Err = FaultSpecError;
+
+    /// Parses specs like `seed=42,flip=0.02@slack,straggler=0.01@4,
+    /// exchange=0.01,diverge=0.005,after=10`. Clauses may appear in any
+    /// order; unspecified clauses keep their defaults.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::default();
+        for clause in s.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| bad(format!("`{clause}` is not `key=value`")))?;
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| bad(format!("`{clause}`: seed must be a u64")))?;
+                }
+                "flip" => {
+                    let (rate, target) = match value.split_once('@') {
+                        Some((r, t)) => (r, Some(t)),
+                        None => (value, None),
+                    };
+                    plan.bit_flip_rate = parse_rate(clause, rate)?;
+                    plan.flip_target = target.map(str::to_string);
+                }
+                "straggler" => {
+                    let (rate, factor) = match value.split_once('@') {
+                        Some((r, f)) => (r, Some(f)),
+                        None => (value, None),
+                    };
+                    plan.straggler_rate = parse_rate(clause, rate)?;
+                    if let Some(factor) = factor {
+                        plan.straggler_factor = factor.parse().map_err(|_| {
+                            bad(format!("`{clause}`: factor `{factor}` is not a number"))
+                        })?;
+                        if plan.straggler_factor < 1.0 {
+                            return Err(bad(format!("`{clause}`: factor must be >= 1")));
+                        }
+                    }
+                }
+                "exchange" => plan.exchange_rate = parse_rate(clause, value)?,
+                "diverge" => plan.diverge_rate = parse_rate(clause, value)?,
+                "after" => {
+                    plan.after_supersteps = value
+                        .parse()
+                        .map_err(|_| bad(format!("`{clause}`: after must be a u64")))?;
+                }
+                other => {
+                    return Err(bad(format!(
+                        "unknown clause `{other}` (expected seed/flip/straggler/\
+                         exchange/diverge/after)"
+                    )))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Live fault-injection state owned by an [`crate::Engine`].
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    /// splitmix64 stream state; advances monotonically across restores.
+    rng: u64,
+    /// Tensor ids eligible for SRAM bit flips (name filter pre-resolved).
+    pub(crate) flip_targets: Vec<usize>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, flip_targets: Vec<usize>) -> Self {
+        Self {
+            // Pre-mix so seed=0 and seed=1 give unrelated streams.
+            rng: plan.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x853c_49e6_748f_ea9b,
+            plan,
+            flip_targets,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub(crate) fn draw(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub(crate) fn draw_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Whether faults are armed after `supersteps` executed supersteps.
+    pub(crate) fn armed(&self, supersteps: u64) -> bool {
+        supersteps >= self.plan.after_supersteps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_display() {
+        let spec = "seed=42,flip=0.02@slack,straggler=0.01@4,exchange=0.005,diverge=0.001,after=10";
+        let plan: FaultPlan = spec.parse().unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.bit_flip_rate, 0.02);
+        assert_eq!(plan.flip_target.as_deref(), Some("slack"));
+        assert_eq!(plan.straggler_rate, 0.01);
+        assert_eq!(plan.straggler_factor, 4.0);
+        assert_eq!(plan.exchange_rate, 0.005);
+        assert_eq!(plan.diverge_rate, 0.001);
+        assert_eq!(plan.after_supersteps, 10);
+        let reparsed: FaultPlan = plan.to_string().parse().unwrap();
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for (spec, needle) in [
+            ("flip", "key=value"),
+            ("flip=2.0", "outside"),
+            ("flip=abc", "not a number"),
+            ("straggler=0.1@0.5", ">= 1"),
+            ("warp=0.1", "unknown clause"),
+            ("seed=-3", "u64"),
+        ] {
+            let err = spec.parse::<FaultPlan>().unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "spec `{spec}` gave `{err}`, expected mention of `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn default_plan_is_inert_and_builders_arm_it() {
+        assert!(FaultPlan::default().is_inert());
+        assert!(FaultPlan::new(7).is_inert());
+        assert!(!FaultPlan::new(7).with_bit_flips(0.1).is_inert());
+        assert!(!FaultPlan::new(7).with_stragglers(0.1, 2.0).is_inert());
+        assert!(!FaultPlan::new(7).with_exchange_corruption(0.1).is_inert());
+        assert!(!FaultPlan::new(7).with_forced_divergence(0.1).is_inert());
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_per_seed() {
+        let mut a = FaultState::new(FaultPlan::new(9), vec![]);
+        let mut b = FaultState::new(FaultPlan::new(9), vec![]);
+        let mut c = FaultState::new(FaultPlan::new(10), vec![]);
+        let sa: Vec<f64> = (0..32).map(|_| a.draw()).collect();
+        let sb: Vec<f64> = (0..32).map(|_| b.draw()).collect();
+        let sc: Vec<f64> = (0..32).map(|_| c.draw()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+        assert!(sa.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn empty_spec_parses_to_default() {
+        let plan: FaultPlan = "".parse().unwrap();
+        assert_eq!(plan, FaultPlan::default());
+    }
+}

@@ -61,6 +61,7 @@ mod codelet;
 mod config;
 mod engine;
 mod error;
+mod fault;
 mod graph;
 pub mod poplib;
 mod program;
@@ -69,9 +70,10 @@ mod tensor;
 
 pub use codelet::{cost, Codelet, VertexCtx};
 pub use config::IpuConfig;
-pub use engine::Engine;
+pub use engine::{Engine, EngineSnapshot};
 pub use error::GraphError;
+pub use fault::{FaultPlan, FaultSpecError};
 pub use graph::{Access, ComputeSetId, Graph, VertexId};
 pub use program::Program;
-pub use stats::{CycleStats, StepBreakdown};
+pub use stats::{CycleStats, FaultStats, StepBreakdown};
 pub use tensor::{DType, Tensor, TensorSlice};

@@ -14,6 +14,33 @@ pub struct StepBreakdown {
     pub compute_cycles: u64,
 }
 
+/// Counts of injected faults, by class (see [`crate::FaultPlan`]).
+///
+/// All zeros unless a fault plan is installed on the engine. Restoring a
+/// snapshot rewinds these together with the rest of the stats: they
+/// describe the *current* timeline, not the union of all attempts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// SRAM bit flips injected into mapped tensors.
+    pub bit_flips: u64,
+    /// Elements corrupted in transit during exchange phases.
+    pub exchange_corruptions: u64,
+    /// Supersteps stretched by a straggler tile.
+    pub stragglers: u64,
+    /// Extra compute cycles charged to straggler supersteps.
+    pub straggler_cycles: u64,
+    /// `RepeatWhileTrue` loops forced into divergence.
+    pub forced_divergences: u64,
+}
+
+impl FaultStats {
+    /// Total discrete fault events (straggler cycles are a magnitude, not
+    /// an event count, so they are excluded).
+    pub fn total_events(&self) -> u64 {
+        self.bit_flips + self.exchange_corruptions + self.stragglers + self.forced_divergences
+    }
+}
+
 /// Accumulated device-time model for one engine run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CycleStats {
@@ -37,6 +64,8 @@ pub struct CycleStats {
     pub host_bytes: u64,
     /// Per-compute-set breakdown, in declaration order.
     pub per_compute_set: Vec<StepBreakdown>,
+    /// Injected-fault accounting (all zero without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl CycleStats {

@@ -38,9 +38,12 @@ impl DualCertificate {
     ///
     /// Checks:
     /// 1. shape agreement,
-    /// 2. the assignment is a perfect matching,
-    /// 3. dual feasibility: `u_i + v_j <= c_ij + eps` for all `(i, j)`,
-    /// 4. complementary slackness: `u_i + v_j >= c_ij - eps` on matched
+    /// 2. every potential is finite (NaN potentials would satisfy both
+    ///    inequality checks vacuously — every comparison with NaN is
+    ///    false — and silently launder a corrupt result),
+    /// 3. the assignment is a perfect matching,
+    /// 4. dual feasibility: `u_i + v_j <= c_ij + eps` for all `(i, j)`,
+    /// 5. complementary slackness: `u_i + v_j >= c_ij - eps` on matched
     ///    pairs.
     ///
     /// # Errors
@@ -62,6 +65,19 @@ impl DualCertificate {
                     matrix.cols()
                 ),
             });
+        }
+        // Reject non-finite potentials up front. The feasibility and
+        // slackness loops below compare with `>` / `<`, and *every*
+        // comparison involving NaN is false — a certificate of all-NaN
+        // potentials would otherwise sail through both loops and "prove"
+        // optimality of anything. Bit flips in device memory produce
+        // exactly this kind of value.
+        for (name, vals) in [("u", &self.u), ("v", &self.v)] {
+            if let Some(k) = vals.iter().position(|x| !x.is_finite()) {
+                return Err(LsapError::InvalidCertificate {
+                    reason: format!("{name}[{k}] is not finite: {}", vals[k]),
+                });
+            }
         }
         assignment.validate(matrix, true)?;
 
@@ -165,6 +181,98 @@ mod tests {
             cert.verify(&c, &partial, COST_EPS),
             Err(LsapError::NotPerfect { row: 2 })
         ));
+    }
+
+    #[test]
+    fn nan_potentials_are_rejected_not_vacuously_accepted() {
+        // NaN compares false against everything, so without an explicit
+        // finiteness check an all-NaN certificate passes both inequality
+        // loops. This is the exact signature of a bit flip landing in the
+        // exponent of a dual potential.
+        let (c, a) = instance();
+        let cert = DualCertificate::new(vec![f64::NAN; 3], vec![f64::NAN; 3]);
+        let err = cert.verify(&c, &a, COST_EPS).unwrap_err();
+        assert!(err.to_string().contains("not finite"), "{err}");
+
+        // A single NaN hiding among good values must also be caught.
+        let cert = DualCertificate::new(vec![1.0, f64::NAN, 1.0], vec![2.0, 0.0, 1.0]);
+        let err = cert.verify(&c, &a, COST_EPS).unwrap_err();
+        assert!(err.to_string().contains("u[1]"), "{err}");
+
+        // Infinities too: -inf potentials are trivially feasible but can
+        // never be tight, and +inf is caught the same way.
+        let cert = DualCertificate::new(vec![1.0, 0.0, 1.0], vec![f64::NEG_INFINITY, 0.0, 1.0]);
+        let err = cert.verify(&c, &a, COST_EPS).unwrap_err();
+        assert!(err.to_string().contains("v[0]"), "{err}");
+    }
+
+    #[test]
+    fn perturbed_duals_beyond_tolerance_are_rejected() {
+        let (c, a) = instance();
+        // The genuine certificate, with each potential nudged well past
+        // the scaled tolerance in turn. Upward nudges break feasibility
+        // somewhere; downward nudges break tightness on that row/col's
+        // matched pair.
+        let u0 = [1.0, 0.0, 1.0];
+        let v0 = [2.0, 0.0, 1.0];
+        for k in 0..3 {
+            for delta in [1e-3, -1e-3] {
+                let mut u = u0.to_vec();
+                u[k] += delta;
+                let cert = DualCertificate::new(u, v0.to_vec());
+                assert!(
+                    cert.verify(&c, &a, COST_EPS).is_err(),
+                    "u[{k}] {delta:+} must not verify"
+                );
+                let mut v = v0.to_vec();
+                v[k] += delta;
+                let cert = DualCertificate::new(u0.to_vec(), v);
+                assert!(
+                    cert.verify(&c, &a, COST_EPS).is_err(),
+                    "v[{k}] {delta:+} must not verify"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_assignment_entries_are_rejected() {
+        let (c, a) = instance();
+        let cert = DualCertificate::new(vec![1.0, 0.0, 1.0], vec![2.0, 0.0, 1.0]);
+        cert.verify(&c, &a, COST_EPS).unwrap();
+        // Swap two rows' columns: still a perfect matching, no longer the
+        // optimum — slackness must fail on at least one pair.
+        let perms: [[usize; 3]; 2] = [[0, 1, 2], [1, 2, 0]];
+        for p in perms {
+            let swapped = Assignment::from_permutation(p.to_vec());
+            let err = cert.verify(&c, &swapped, COST_EPS).unwrap_err();
+            assert!(
+                err.to_string().contains("complementary slackness"),
+                "permutation {p:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn off_by_epsilon_duals_straddle_the_tolerance() {
+        let (c, a) = instance();
+        let tol = COST_EPS; // scale is 5.0 -> effective tol 5e-7; test both sides of it.
+                            // Just inside the scaled tolerance: accepted.
+        let cert = DualCertificate::new(vec![1.0 + 0.1 * tol, 0.0, 1.0], vec![2.0, 0.0, 1.0]);
+        cert.verify(&c, &a, COST_EPS).unwrap();
+        // Far outside it: rejected.
+        let cert = DualCertificate::new(vec![1.0 + 100.0 * tol, 0.0, 1.0], vec![2.0, 0.0, 1.0]);
+        assert!(cert.verify(&c, &a, COST_EPS).is_err());
+    }
+
+    #[test]
+    fn length_mismatched_potentials_rejected_in_both_directions() {
+        let (c, a) = instance();
+        for (nu, nv) in [(2usize, 3usize), (4, 3), (3, 2), (3, 4), (0, 0)] {
+            let cert = DualCertificate::new(vec![0.0; nu], vec![0.0; nv]);
+            let err = cert.verify(&c, &a, COST_EPS).unwrap_err();
+            assert!(err.to_string().contains("shapes"), "({nu}, {nv}): {err}");
+        }
     }
 
     #[test]

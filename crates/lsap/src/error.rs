@@ -1,5 +1,6 @@
 //! Error types shared across the LSAP workspace.
 
+use crate::resilient::AttemptRecord;
 use std::fmt;
 
 /// Errors raised while constructing or validating LSAP data.
@@ -58,6 +59,32 @@ pub enum LsapError {
         /// Human-readable description.
         detail: String,
     },
+    /// A solve attempt exceeded its per-attempt deadline (see
+    /// [`crate::RetryPolicy::attempt_deadline`]).
+    Timeout {
+        /// Wall-clock seconds the attempt actually took.
+        seconds: f64,
+        /// The deadline it violated, in seconds.
+        limit_seconds: f64,
+    },
+    /// A solver returned a result that failed independent verification —
+    /// the assignment was not a perfect matching, the claimed objective
+    /// disagreed with the assignment's cost, or the dual certificate did
+    /// not prove optimality. This is how runtime corruption (bit flips,
+    /// exchange errors) surfaces: the solver *thinks* it finished, but the
+    /// LP-duality check catches the lie.
+    VerificationFailed {
+        /// Name of the solver whose result failed verification.
+        solver: String,
+        /// The underlying verification error, rendered.
+        reason: String,
+    },
+    /// Every solver and attempt in a resilient fallback chain failed; the
+    /// full per-attempt history is attached for diagnosis.
+    Exhausted {
+        /// One record per attempt, in execution order.
+        attempts: Vec<AttemptRecord>,
+    },
 }
 
 impl fmt::Display for LsapError {
@@ -89,6 +116,29 @@ impl fmt::Display for LsapError {
                 write!(f, "solver requires a square matrix, got {rows}x{cols}")
             }
             LsapError::Backend { detail } => write!(f, "backend failure: {detail}"),
+            LsapError::Timeout {
+                seconds,
+                limit_seconds,
+            } => write!(
+                f,
+                "attempt exceeded its deadline: took {seconds:.3}s, limit {limit_seconds:.3}s"
+            ),
+            LsapError::VerificationFailed { solver, reason } => {
+                write!(f, "result from `{solver}` failed verification: {reason}")
+            }
+            LsapError::Exhausted { attempts } => {
+                write!(f, "all {} solve attempts failed:", attempts.len())?;
+                for a in attempts {
+                    write!(
+                        f,
+                        " [{} #{}: {}]",
+                        a.solver,
+                        a.attempt,
+                        a.error.as_deref().unwrap_or("ok")
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -35,6 +35,7 @@ mod certificate;
 mod error;
 mod matrix;
 mod rectangular;
+mod resilient;
 mod solver;
 
 pub use assignment::Assignment;
@@ -42,6 +43,7 @@ pub use certificate::DualCertificate;
 pub use error::LsapError;
 pub use matrix::CostMatrix;
 pub use rectangular::solve_rectangular;
+pub use resilient::{AttemptRecord, ResilientSolver, RetryPolicy};
 pub use solver::{LsapSolver, SolveReport, SolverStats};
 
 /// Default absolute tolerance used when comparing floating-point costs.

@@ -388,7 +388,7 @@ mod tests {
 
     #[test]
     fn implements_serde_traits() {
-        fn assert_serde<T: Serialize + for<'de> Deserialize<'de>>() {}
+        fn assert_serde<T: Serialize + Deserialize>() {}
         assert_serde::<CostMatrix>();
     }
 }

@@ -81,6 +81,16 @@ pub trait LsapSolver {
     fn solve(&mut self, matrix: &CostMatrix) -> Result<SolveReport, LsapError>;
 }
 
+impl<S: LsapSolver + ?Sized> LsapSolver for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn solve(&mut self, matrix: &CostMatrix) -> Result<SolveReport, LsapError> {
+        (**self).solve(matrix)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

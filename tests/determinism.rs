@@ -6,7 +6,6 @@
 use fastha::FastHa;
 use hunipu::HunIpu;
 use ipu_sim::IpuConfig;
-use lsap::LsapSolver;
 
 #[test]
 fn hunipu_runs_are_bit_reproducible() {

@@ -1,0 +1,152 @@
+//! End-to-end resilience: a seeded fault plan corrupts the simulated IPU
+//! mid-run, and the self-verifying resilient solver still delivers a
+//! verified-optimal assignment — the acceptance scenario for the fault
+//! subsystem.
+
+use cpu_hungarian::JonkerVolgenant;
+use hunipu::HunIpu;
+use ipu_sim::{FaultPlan, IpuConfig};
+use lsap::{CostMatrix, LsapSolver, ResilientSolver, RetryPolicy};
+
+const N: usize = 32;
+const EPS: f64 = 1e-5;
+
+fn instance(seed: u64) -> CostMatrix {
+    datasets::gaussian_cost_matrix(N, 100, seed)
+}
+
+/// A small device with a *tight* divergence watchdog. Corrupted matching
+/// state can trap the device program in a `RepeatWhileTrue` that never
+/// settles; the default guard (10^8 iterations) is calibrated for real
+/// workloads and takes far too long under host simulation, so tests dial
+/// it down and let the watchdog convert the hang into a retryable
+/// divergence error within milliseconds.
+fn test_device() -> IpuConfig {
+    IpuConfig {
+        max_while_iterations: 20_000,
+        ..IpuConfig::tiny(8)
+    }
+}
+
+/// The true optimum, from an independent CPU solver on clean memory.
+fn reference_objective(m: &CostMatrix) -> f64 {
+    let report = JonkerVolgenant::new().solve(m).unwrap();
+    report.verify(m, EPS).unwrap();
+    report.objective
+}
+
+#[test]
+fn seeded_bit_flips_in_slack_are_survived_and_result_is_optimal() {
+    let m = instance(11);
+    let want = reference_objective(&m);
+
+    // An aggressive plan: one bit flip per armed superstep into the slack
+    // matrix, armed only after 50 supersteps so the algorithm is already
+    // deep in augmentation when corruption starts.
+    let plan = FaultPlan::new(42)
+        .with_bit_flips(0.05)
+        .targeting("slack")
+        .after_supersteps(50);
+    let primary = HunIpu::with_config(test_device()).with_fault_plan(plan);
+    let mut solver = ResilientSolver::new(primary)
+        .with_fallback(JonkerVolgenant::new())
+        .with_policy(RetryPolicy::attempts(4))
+        .with_eps(EPS);
+
+    let report = solver.solve(&m).expect("chain must eventually recover");
+    report.verify(&m, EPS).unwrap();
+    assert_eq!(report.objective, want, "recovered result must be optimal");
+
+    let history = solver.history();
+    assert!(
+        history.len() >= 2,
+        "this seed must actually corrupt the first attempt; history: {history:?}"
+    );
+    assert!(history.last().unwrap().succeeded());
+    for failed in &history[..history.len() - 1] {
+        let msg = failed.error.as_deref().unwrap();
+        assert!(
+            msg.contains("verification") || msg.contains("backend") || msg.contains("corrupt"),
+            "failures must be detection events, not silent wrong answers: {msg}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_matching_state_cannot_produce_a_wrong_accepted_answer() {
+    let m = instance(5);
+    let want = reference_objective(&m);
+
+    // Flip bits in the matching tensors themselves (`row_star`,
+    // `col_star`): i32 corruption yields bogus column indices or broken
+    // matchings, which the validity/certificate checks must catch.
+    let plan = FaultPlan::new(9)
+        .with_bit_flips(0.05)
+        .targeting("star")
+        .after_supersteps(20);
+    let primary = HunIpu::with_config(test_device()).with_fault_plan(plan);
+    let mut solver = ResilientSolver::new(primary)
+        .with_fallback(JonkerVolgenant::new())
+        .with_policy(RetryPolicy::attempts(4))
+        .with_eps(EPS);
+
+    let report = solver.solve(&m).expect("chain must eventually recover");
+    assert_eq!(report.objective, want);
+    report.verify(&m, EPS).unwrap();
+}
+
+#[test]
+fn retry_outcome_is_deterministic_for_a_fixed_seed() {
+    let run = || {
+        let m = instance(11);
+        let primary = HunIpu::with_config(test_device()).with_fault_plan(
+            FaultPlan::new(42)
+                .with_bit_flips(0.05)
+                .targeting("slack")
+                .after_supersteps(50),
+        );
+        let mut solver = ResilientSolver::new(primary)
+            .with_fallback(JonkerVolgenant::new())
+            .with_policy(RetryPolicy::attempts(4))
+            .with_eps(EPS);
+        let objective = solver.solve(&m).unwrap().objective;
+        let trace: Vec<(String, u32, Option<String>)> = solver
+            .history()
+            .iter()
+            .map(|a| (a.solver.clone(), a.attempt, a.error.clone()))
+            .collect();
+        (objective, trace)
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "same seed must reproduce the same recovery path"
+    );
+}
+
+#[test]
+fn wrapper_with_faults_disabled_changes_nothing_about_the_solve() {
+    let m = instance(3);
+
+    let mut bare = HunIpu::with_config(test_device());
+    let bare_report = bare.solve(&m).unwrap();
+
+    let mut wrapped = ResilientSolver::new(HunIpu::with_config(test_device()))
+        .with_fallback(JonkerVolgenant::new())
+        .with_eps(EPS);
+    let wrapped_report = wrapped.solve(&m).unwrap();
+
+    // Same device work, same answer, one attempt: the resilience layer is
+    // pure supervision — zero modeled overhead unless something fails.
+    assert_eq!(wrapped_report.objective, bare_report.objective);
+    assert_eq!(
+        wrapped_report.stats.modeled_cycles,
+        bare_report.stats.modeled_cycles
+    );
+    assert_eq!(
+        wrapped_report.stats.device_steps,
+        bare_report.stats.device_steps
+    );
+    assert_eq!(wrapped.history().len(), 1);
+    assert!(wrapped.history()[0].succeeded());
+}

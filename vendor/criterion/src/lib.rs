@@ -1,0 +1,137 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each benchmark closure a few times and prints the median wall time —
+//! no statistics, plots, or baselines. It exists so `cargo bench` (and
+//! `cargo test --benches`) compile and run offline; the workspace's real
+//! performance numbers come from the cycle-accurate simulator, not from here.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark identifier: a function name plus a displayed parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    last_nanos: u128,
+}
+
+impl Bencher {
+    /// Time `f` over a handful of iterations, recording the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut samples: Vec<u128> = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = f();
+            samples.push(start.elapsed().as_nanos());
+            drop(out);
+        }
+        samples.sort_unstable();
+        self.last_nanos = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; sample counts are fixed here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            iters: 3,
+            last_nanos: 0,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{}: median {:.3} ms",
+            self.name,
+            id,
+            b.last_nanos as f64 / 1e6
+        );
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.name.clone();
+        self.run(&name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        self.run(&name, f);
+        self
+    }
+
+    /// End the group (no-op; printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Benchmark a plain closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: "default".into(),
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:ident),+ $(,)?) => {
+        fn main() {
+            $($g();)+
+        }
+    };
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input with nothing but `proc_macro` token streams (no
+//! `syn`/`quote`), which is enough because every derived type in this
+//! workspace is either a named-field struct or a unit-variant enum. Anything
+//! fancier (generics, tuple structs, data-carrying enum variants) panics with
+//! a clear message at macro-expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Enum with unit variants only: variant identifiers.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Attribute: `#` followed by a bracket group (also covers doc comments).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                match iter.peek() {
+                    Some(TokenTree::Punct(bang)) if bang.as_char() == '!' => {
+                        iter.next();
+                    }
+                    _ => {}
+                }
+                iter.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Possible `pub(crate)` / `pub(super)` restriction group.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" => kind = Some("struct"),
+                    "enum" => kind = Some("enum"),
+                    _ if kind.is_some() && name.is_none() => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("vendored serde_derive does not support generic types");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let kind = kind.expect("vendored serde_derive: expected `struct` or `enum`");
+    let name = name.expect("vendored serde_derive: missing type name");
+    let body = body.unwrap_or_else(|| {
+        panic!("vendored serde_derive: `{name}` has no braced body (tuple/unit types unsupported)")
+    });
+
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_struct_fields(body))
+    } else {
+        Shape::Enum(parse_enum_variants(body, &name))
+    };
+    Input { name, shape }
+}
+
+/// Extract field names from a named-field struct body.
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field identifier.
+        let ident = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next(); // [...]
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("vendored serde_derive: unexpected token `{other}` in struct body")
+                }
+            }
+        };
+        fields.push(ident);
+        // Consume `: Type` up to the next top-level comma. Generic arguments
+        // like `Vec<(u32, u32)>` arrive as separate punct tokens, so track
+        // angle-bracket depth to avoid splitting on commas inside them.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Extract variant names from a unit-variant enum body.
+fn parse_enum_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // attribute payload, e.g. `#[default]` or doc comment
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        iter.next();
+                    }
+                    Some(other) => panic!(
+                        "vendored serde_derive: enum `{enum_name}` variant `{id}` is not a unit \
+                         variant (found `{other}`)"
+                    ),
+                }
+            }
+            other => {
+                panic!("vendored serde_derive: unexpected token `{other}` in enum `{enum_name}`")
+            }
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Obj(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "serde::Value::Str(match self {{ {} }}.to_string())",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("vendored serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::obj_field(v, \"{f}\")?"))
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match serde::expect_str(v)? {{ {}, other => Err(format!(\
+                 \"unknown variant `{{other}}` for {name}\")) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, String> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("vendored serde_derive: generated Deserialize impl failed to parse")
+}
