@@ -45,6 +45,7 @@ fn main() {
         .unwrap_or(10);
     let m = gaussian_cost_matrix(n, k, args.seed);
     let mut record = ExperimentRecord::new("ablation", format!("n={n} k={k}"), args.seed);
+    let ipu_threads = ipu_sim::IpuConfig::mk2().resolved_host_threads();
 
     for name in &which {
         match name.as_str() {
@@ -67,6 +68,7 @@ fn main() {
                         wall_seconds: 0.0,
                         objective: obj as f64,
                         extrapolated: false,
+                        host_threads: ipu_threads,
                     });
                 }
             }
@@ -84,6 +86,7 @@ fn main() {
                         wall_seconds: 0.0,
                         objective: obj as f64,
                         extrapolated: false,
+                        host_threads: ipu_threads,
                     });
                 }
             }
@@ -108,6 +111,7 @@ fn main() {
                         wall_seconds: 0.0,
                         objective: obj as f64,
                         extrapolated: false,
+                        host_threads: ipu_threads,
                     });
                 }
             }

@@ -39,6 +39,7 @@ fn main() {
             wall_seconds: 0.0,
             objective: g.m() as f64,
             extrapolated: false,
+            host_threads: 1,
         });
     }
     let path = record.save().expect("write record");

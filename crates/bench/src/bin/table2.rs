@@ -38,6 +38,7 @@ fn main() {
         format!("sizes={sizes:?} ks={ks:?} cpu_cutoff={cpu_cutoff}"),
         args.seed,
     );
+    let ipu_threads = ipu_sim::IpuConfig::mk2().resolved_host_threads();
 
     let dist = if args.uniform { "uniform" } else { "Gaussian" };
     println!("Table II: runtime gain of HunIPU vs CPU Hungarian ({dist} data)");
@@ -74,6 +75,7 @@ fn main() {
                 wall_seconds: hun.stats.wall_seconds,
                 objective: hun.objective,
                 extrapolated: false,
+                host_threads: ipu_threads,
             });
 
             let (cpu_s, extrapolated, cpu_obj) = if n <= cpu_cutoff {
@@ -106,6 +108,7 @@ fn main() {
                 wall_seconds: 0.0,
                 objective: cpu_obj.unwrap_or(f64::NAN),
                 extrapolated,
+                host_threads: 1,
             });
 
             // Cross-check optimality whenever f32 is exact for this range.

@@ -27,6 +27,7 @@ fn main() {
     };
 
     let mut record = ExperimentRecord::new("table3", format!("datasets={datasets:?}"), args.seed);
+    let ipu_threads = ipu_sim::IpuConfig::mk2().resolved_host_threads();
 
     println!("Table III: alignment runtime (ms, modeled) — HunIPU vs FastHA");
     for name in &datasets {
@@ -105,6 +106,8 @@ fn main() {
                     wall_seconds: wall,
                     objective: obj,
                     extrapolated: false,
+                    // The GPU simulator runs the host loop sequentially.
+                    host_threads: if engine == "hunipu" { ipu_threads } else { 1 },
                 });
             }
         }

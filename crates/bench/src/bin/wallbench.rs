@@ -1,0 +1,123 @@
+//! Host wall-clock benchmark for the tile-parallel simulator engine.
+//!
+//! Solves the same Gaussian instances sequentially and with the parallel
+//! host engine, verifies the results are **bit-identical** (objective
+//! bits, assignment, cycle counts — the engine's determinism contract),
+//! and reports the wall-clock speedup. Exits nonzero on any divergence,
+//! so CI can use it as a smoke test.
+//!
+//! ```text
+//! cargo run --release -p bench --bin wallbench
+//! cargo run --release -p bench --bin wallbench -- --sizes 512,1024 --threads 1,4,0
+//! ```
+//!
+//! `--threads` takes host worker counts; `0` means auto-detect (the
+//! `SIM_THREADS` environment variable, else the machine). The first
+//! entry — conventionally 1 — is the baseline the others are verified
+//! against and timed relative to.
+
+use bench::{Args, ExperimentRecord, Measurement};
+use datasets::gaussian_cost_matrix;
+use hunipu::HunIpu;
+use ipu_sim::IpuConfig;
+
+/// What must match bit-for-bit across thread counts: objective bits,
+/// assignment pairs, total cycles, supersteps.
+type Fingerprint = (u64, Vec<(usize, usize)>, u64, u64);
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<usize> = args.sizes.clone().unwrap_or_else(|| {
+        if args.full {
+            vec![512, 1024, 2048]
+        } else {
+            vec![256, 512]
+        }
+    });
+    let threads: Vec<usize> = args.threads.clone().unwrap_or_else(|| vec![1, 0]);
+    assert!(
+        !threads.is_empty(),
+        "--threads must name at least one count"
+    );
+    let k = args
+        .ks
+        .as_ref()
+        .and_then(|s| s.first().copied())
+        .unwrap_or(10);
+
+    let mut record = ExperimentRecord::new(
+        "wallbench",
+        format!("sizes={sizes:?} threads={threads:?} k={k}"),
+        args.seed,
+    );
+
+    println!("wallbench: host wall seconds of the IPU simulator, sequential vs parallel");
+    println!(
+        "{:>6} {:>8} | {:>10} {:>9} {:>12}",
+        "n", "threads", "wall", "speedup", "identical?"
+    );
+    println!("{}", "-".repeat(55));
+
+    let mut divergences = 0usize;
+    for &n in &sizes {
+        let m = gaussian_cost_matrix(n, k, args.seed);
+        let mut baseline: Option<Fingerprint> = None;
+        let mut baseline_wall = 0.0f64;
+
+        for &t in &threads {
+            let solver = HunIpu::with_config(IpuConfig {
+                host_threads: t,
+                ..IpuConfig::mk2()
+            });
+            let (rep, engine) = solver.solve_with_engine(&m).expect("solve failed");
+            let used = engine.host_threads();
+            let stats = engine.stats();
+            let fingerprint = (
+                rep.objective.to_bits(),
+                rep.assignment.pairs().collect::<Vec<_>>(),
+                stats.total_cycles(),
+                stats.supersteps,
+            );
+            let wall = rep.stats.wall_seconds;
+
+            let (speedup, identical) = match &baseline {
+                None => {
+                    baseline = Some(fingerprint);
+                    baseline_wall = wall;
+                    (1.0, true)
+                }
+                Some(b) => (baseline_wall / wall, *b == fingerprint),
+            };
+            if !identical {
+                divergences += 1;
+            }
+            println!(
+                "{:>6} {:>8} | {:>9.3}s {:>8.2}x {:>12}",
+                n,
+                format!("{t}({used})"),
+                wall,
+                speedup,
+                if identical { "yes" } else { "DIVERGED" }
+            );
+            record.push(Measurement {
+                engine: "hunipu".into(),
+                n,
+                k,
+                label: format!("threads/{t}"),
+                modeled_seconds: rep.stats.modeled_seconds.unwrap_or(0.0),
+                wall_seconds: wall,
+                objective: rep.objective,
+                extrapolated: false,
+                host_threads: used,
+            });
+        }
+    }
+
+    let path = record.save().expect("write record");
+    println!("\nrecord: {}", path.display());
+    if divergences > 0 {
+        eprintln!("wallbench: {divergences} thread count(s) diverged from the sequential baseline");
+        std::process::exit(1);
+    }
+    println!("all thread counts bit-identical to the sequential baseline");
+}

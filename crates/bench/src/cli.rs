@@ -22,6 +22,10 @@ pub struct Args {
     pub sizes: Option<Vec<usize>>,
     /// Override for the k (value-range) sweep.
     pub ks: Option<Vec<u64>>,
+    /// `--threads 1,4,0`: host worker-thread counts to sweep (0 = auto).
+    /// Only wall-clock changes with the thread count — modeled results
+    /// are bit-identical — so only wall-benchmarking binaries consume it.
+    pub threads: Option<Vec<usize>>,
     /// Dataset seed.
     pub seed: u64,
     /// Positional arguments.
@@ -62,6 +66,14 @@ impl Args {
                             .collect(),
                     );
                 }
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a comma-separated list");
+                    out.threads = Some(
+                        v.split(',')
+                            .map(|x| x.trim().parse().expect("bad thread count"))
+                            .collect(),
+                    );
+                }
                 "--seed" => {
                     out.seed = it
                         .next()
@@ -70,7 +82,10 @@ impl Args {
                         .expect("bad seed");
                 }
                 other if other.starts_with("--") => {
-                    panic!("unknown flag {other}; supported: --full --uniform --sizes --ks --seed")
+                    panic!(
+                        "unknown flag {other}; supported: \
+                         --full --uniform --sizes --ks --threads --seed"
+                    )
                 }
                 other => out.positional.push(other.to_string()),
             }
@@ -103,6 +118,12 @@ mod tests {
         assert_eq!(a.ks.as_deref(), Some(&[10, 500][..]));
         assert_eq!(a.seed, 7);
         assert_eq!(a.positional, vec!["highschool"]);
+    }
+
+    #[test]
+    fn threads_sweep_parses_with_auto_sentinel() {
+        let a = parse("--threads 1,4,0");
+        assert_eq!(a.threads.as_deref(), Some(&[1, 4, 0][..]));
     }
 
     #[test]

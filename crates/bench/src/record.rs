@@ -22,6 +22,16 @@ pub struct Measurement {
     pub objective: f64,
     /// Whether the value was extrapolated rather than executed.
     pub extrapolated: bool,
+    /// Host worker threads the simulator used for this measurement.
+    /// Affects `wall_seconds` only — modeled results are bit-identical
+    /// at every thread count. Records written before this field existed
+    /// deserialize as 1 (the simulator was sequential then).
+    #[serde(default = "default_host_threads")]
+    pub host_threads: usize,
+}
+
+fn default_host_threads() -> usize {
+    1
 }
 
 /// A whole experiment's record.
@@ -80,10 +90,23 @@ mod tests {
             wall_seconds: 3.0,
             objective: 42.0,
             extrapolated: false,
+            host_threads: 4,
         });
         let s = serde_json::to_string(&r).unwrap();
         let back: ExperimentRecord = serde_json::from_str(&s).unwrap();
         assert_eq!(back.measurements.len(), 1);
         assert_eq!(back.measurements[0].n, 512);
+        assert_eq!(back.measurements[0].host_threads, 4);
+    }
+
+    #[test]
+    fn records_without_host_threads_deserialize_as_sequential() {
+        // A record written before `host_threads` existed: the simulator
+        // was sequential, so the field must default to 1.
+        let s = r#"{"engine":"hunipu","n":64,"k":10,"label":"",
+                    "modeled_seconds":0.1,"wall_seconds":0.2,
+                    "objective":7.0,"extrapolated":false}"#;
+        let m: Measurement = serde_json::from_str(s).unwrap();
+        assert_eq!(m.host_threads, 1);
     }
 }

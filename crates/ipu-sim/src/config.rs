@@ -43,6 +43,13 @@ pub struct IpuConfig {
     /// instances stay far below it); tests and resilience supervisors
     /// lower it to fail fast.
     pub max_while_iterations: u64,
+    /// Host worker threads for superstep execution. `0` (the default)
+    /// means: use the `SIM_THREADS` environment variable if set, else
+    /// auto-detect from the machine. Any nonzero value wins over both.
+    /// This affects **wall-clock only** — buffers, `CycleStats`, and
+    /// fault behaviour are bit-identical at every thread count.
+    #[serde(default)]
+    pub host_threads: usize,
 }
 
 impl IpuConfig {
@@ -61,6 +68,7 @@ impl IpuConfig {
             tiles_per_ipu: calibration_tiles(),
             inter_ipu_bytes_per_cycle: crate::calibration::INTER_IPU_BYTES_PER_CYCLE,
             max_while_iterations: 100_000_000,
+            host_threads: 0,
         }
     }
 
@@ -112,6 +120,14 @@ impl IpuConfig {
     /// Converts device cycles to modeled seconds at this clock.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / self.clock_hz
+    }
+
+    /// The host worker-thread count an engine built from this config will
+    /// use: [`host_threads`](Self::host_threads) if nonzero, else the
+    /// `SIM_THREADS` environment variable, else auto-detection (clamped).
+    /// Useful for recording provenance next to wall-clock measurements.
+    pub fn resolved_host_threads(&self) -> usize {
+        crate::engine::resolve_host_threads(self)
     }
 }
 

@@ -1,15 +1,44 @@
 //! The execution engine: interprets a compiled program against tensor
 //! buffers, enforcing BSP semantics and charging the cycle model.
+//!
+//! Supersteps are executed **tile-parallel on the host** when the engine
+//! resolves more than one host thread (see [`Engine::host_threads`]): each
+//! compute set's vertices are partitioned by tile into contiguous shards
+//! (precomputed once at construction), shards run on a persistent scoped
+//! worker pool, and per-worker partial results are merged on the main
+//! thread. Results are **bit-identical** to sequential execution at any
+//! thread count: vertices within a compute set touch pairwise-disjoint
+//! write regions (proved by `Graph::validate_races` at compile), per-slot
+//! instruction loads are u64 sums (commutative and associative — exact in
+//! any order), the superstep cost is a max-reduction over those sums, and
+//! fault draws stay on the serial post-join path in program order.
 
 use crate::calibration::VERTEX_OVERHEAD;
 use crate::codelet::{FieldBuf, VertexCtx};
+use crate::config::IpuConfig;
 use crate::error::GraphError;
+use crate::exec::{self, ExecNode};
 use crate::fault::{FaultPlan, FaultState};
-use crate::graph::Graph;
+use crate::graph::{Graph, VertexInfo};
+use crate::pool::{PoolSync, ShutdownGuard};
 use crate::program::Program;
 use crate::stats::{CycleStats, StepBreakdown};
 use crate::tensor::{DType, Tensor, TensorSlice};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Default minimum vertices in a compute set before a superstep is worth
+/// dispatching to the worker pool (below this, pool handoff latency beats
+/// the win; override per engine with [`Engine::set_parallel_threshold`]).
+const PARALLEL_THRESHOLD: usize = 128;
+
+/// Hard cap on host worker lanes (shard bookkeeping stays negligible).
+const MAX_HOST_THREADS: usize = 64;
+
+/// Cap applied when the thread count is auto-detected — beyond this the
+/// merge path dominates and extra lanes stop paying for themselves.
+const AUTO_THREAD_CAP: usize = 16;
 
 /// Typed storage for one tensor.
 #[derive(Clone)]
@@ -39,51 +68,732 @@ enum RawBuf {
     I32(*mut i32, usize),
 }
 
+/// Raw base pointers for every tensor buffer, hoisted out of the superstep
+/// hot path: built once at [`Engine::new`] and rebuilt only on
+/// [`Engine::restore`]. All post-construction buffer mutation (host
+/// writes, exchanges, bit flips, vertex fields) goes through this view, so
+/// the pointers stay valid for the engine's whole lifetime.
+struct RawBufs(Vec<RawBuf>);
+
+// SAFETY: the pointers target heap allocations owned by the engine's
+// `buffers`, which outlive every view and are not reallocated while views
+// exist. Sharing across worker threads during a superstep is race-free
+// because `Graph::validate_races` proved, at compile time, that within a
+// compute set every write-connected region is disjoint from every other
+// field region — so any partition of a compute set's vertices over
+// threads touches pairwise-disjoint memory through this view.
+unsafe impl Send for RawBufs {}
+unsafe impl Sync for RawBufs {}
+
+impl RawBufs {
+    fn of(buffers: &mut [Buffer]) -> Self {
+        Self(
+            buffers
+                .iter_mut()
+                .map(|b| match b {
+                    Buffer::F32(v) => RawBuf::F32(v.as_mut_ptr(), v.len()),
+                    Buffer::I32(v) => RawBuf::I32(v.as_mut_ptr(), v.len()),
+                })
+                .collect(),
+        )
+    }
+
+    fn tensor_len(&self, id: usize) -> usize {
+        match self.0[id] {
+            RawBuf::F32(_, n) | RawBuf::I32(_, n) => n,
+        }
+    }
+
+    /// # Safety
+    /// `id` must be an f32 tensor with `start + len` in bounds, and no
+    /// aliasing mutable view of the region may be alive.
+    unsafe fn f32(&self, id: usize, start: usize, len: usize) -> &[f32] {
+        match self.0[id] {
+            RawBuf::F32(p, n) => {
+                debug_assert!(start + len <= n);
+                std::slice::from_raw_parts(p.add(start), len)
+            }
+            RawBuf::I32(..) => unreachable!("dtype validated at compile"),
+        }
+    }
+
+    /// # Safety
+    /// As [`RawBufs::f32`], plus: no other view of the region (shared or
+    /// mutable) may be alive.
+    #[allow(clippy::mut_from_ref)] // raw-pointer view; aliasing is the caller's obligation
+    unsafe fn f32_mut(&self, id: usize, start: usize, len: usize) -> &mut [f32] {
+        match self.0[id] {
+            RawBuf::F32(p, n) => {
+                debug_assert!(start + len <= n);
+                std::slice::from_raw_parts_mut(p.add(start), len)
+            }
+            RawBuf::I32(..) => unreachable!("dtype validated at compile"),
+        }
+    }
+
+    /// # Safety
+    /// `id` must be an i32 tensor with `start + len` in bounds, and no
+    /// aliasing mutable view of the region may be alive.
+    unsafe fn i32(&self, id: usize, start: usize, len: usize) -> &[i32] {
+        match self.0[id] {
+            RawBuf::I32(p, n) => {
+                debug_assert!(start + len <= n);
+                std::slice::from_raw_parts(p.add(start), len)
+            }
+            RawBuf::F32(..) => unreachable!("dtype validated at compile"),
+        }
+    }
+
+    /// # Safety
+    /// As [`RawBufs::i32`], plus: no other view of the region (shared or
+    /// mutable) may be alive.
+    #[allow(clippy::mut_from_ref)] // raw-pointer view; aliasing is the caller's obligation
+    unsafe fn i32_mut(&self, id: usize, start: usize, len: usize) -> &mut [i32] {
+        match self.0[id] {
+            RawBuf::I32(p, n) => {
+                debug_assert!(start + len <= n);
+                std::slice::from_raw_parts_mut(p.add(start), len)
+            }
+            RawBuf::F32(..) => unreachable!("dtype validated at compile"),
+        }
+    }
+
+    /// # Safety
+    /// `element` must be in bounds of tensor `id`, and no view of that
+    /// element may be alive.
+    unsafe fn flip_bit(&self, id: usize, element: usize, bit: usize) {
+        match self.0[id] {
+            RawBuf::F32(p, n) => {
+                debug_assert!(element < n);
+                let q = p.add(element);
+                *q = f32::from_bits((*q).to_bits() ^ (1u32 << bit));
+            }
+            RawBuf::I32(p, n) => {
+                debug_assert!(element < n);
+                let q = p.add(element);
+                *q ^= 1i32 << bit;
+            }
+        }
+    }
+}
+
+/// One compute set's host-parallel decomposition: vertices stably sorted
+/// by tile, plus per-lane cut points. Precomputed at [`Engine::new`] and
+/// recut (bounds only) when the lane count changes.
+struct CsShards {
+    /// Vertex ids of the compute set, stably sorted by tile.
+    order: Vec<u32>,
+    /// `workers + 1` monotone cut indices into `order`; lane `w` executes
+    /// `order[bounds[w]..bounds[w + 1]]`. Cuts fall on tile boundaries so
+    /// one tile's vertices never split across lanes.
+    bounds: Vec<u32>,
+}
+
+/// The parts of the engine shared read-only with worker threads during a
+/// superstep.
+struct Shared {
+    graph: Graph,
+    /// Round-robin-resolved hardware thread of each vertex.
+    vertex_thread: Vec<usize>,
+    /// Per-compute-set shard decomposition (parallel to
+    /// `graph.compute_sets`).
+    shards: Vec<CsShards>,
+    /// Resolved host worker lanes (1 = sequential).
+    workers: usize,
+    /// Minimum vertices before a superstep is dispatched to the pool.
+    parallel_threshold: usize,
+}
+
+/// The mutable run state, kept separate from [`Shared`] so the main
+/// thread can update accounting while workers hold `&Shared`.
+struct RunState {
+    stats: CycleStats,
+    /// Scratch: instruction load per (tile, thread) during a superstep.
+    thread_load: Vec<u64>,
+    /// Scratch: (tile, thread) slots touched in the current superstep —
+    /// lets the hot path avoid sweeping all 8832 slots per superstep.
+    touched_slots: Vec<u32>,
+    /// Memoized exchange cost per lowered copy node, indexed by the dense
+    /// `cost_id` assigned in `exec::lower` (the mapping is static, so two
+    /// executions of one node always move the same bytes).
+    copy_cost: Vec<Option<u64>>,
+    /// Reused staging buffers for exchanges (copies go through staging,
+    /// mirroring the real hardware's send/receive and keeping the
+    /// semantics simple when source and destination share a tensor).
+    scratch_f32: Vec<f32>,
+    scratch_i32: Vec<i32>,
+    /// Installed fault-injection state, if any.
+    faults: Option<FaultState>,
+}
+
+/// One worker lane's result slot for the current superstep.
+#[derive(Default)]
+struct ShardSlot {
+    /// `(slot, instructions)` per executed vertex, in shard order.
+    loads: Vec<(u32, u64)>,
+    /// Payload of a codelet panic, re-raised by the main thread.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Handle to the live worker pool, present only inside `run` when the
+/// engine decided to parallelize.
+#[derive(Clone, Copy)]
+struct Pool<'a> {
+    sync: &'a PoolSync,
+    slots: &'a [Mutex<ShardSlot>],
+}
+
 /// A compiled, runnable IPU program with its device state.
 ///
 /// Obtained from [`Graph::compile`]; by then every static property
 /// (mapping, memory, locality, race-freedom) has been validated, so
 /// `run` can only fail on divergence of `RepeatWhileTrue`.
 pub struct Engine {
-    graph: Graph,
-    program: Program,
+    sh: Shared,
     buffers: Vec<Buffer>,
-    stats: CycleStats,
-    /// Round-robin-resolved hardware thread of each vertex.
-    vertex_thread: Vec<usize>,
-    /// Scratch: instruction load per (tile, thread) during a superstep.
-    thread_load: Vec<u64>,
-    /// Scratch: (tile, thread) slots touched in the current superstep —
-    /// lets the hot path avoid sweeping all 8832 slots per superstep.
-    touched_slots: Vec<u32>,
-    /// Memoized exchange cost per set of copy endpoints.
-    copy_cost: HashMap<Vec<(TensorSlice, TensorSlice)>, u64>,
-    /// Reused staging buffers for exchanges (copies go through staging,
-    /// mirroring the real hardware's send/receive and keeping the
-    /// semantics simple when source and destination share a tensor).
-    scratch_f32: Vec<f32>,
-    scratch_i32: Vec<i32>,
+    raw: RawBufs,
+    program: ExecNode,
+    st: RunState,
     /// Iteration guard for `RepeatWhileTrue`, initialized from
     /// [`crate::IpuConfig::max_while_iterations`] (overridable per engine).
     pub max_while_iterations: u64,
-    /// Installed fault-injection state, if any.
-    faults: Option<FaultState>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("tensors", &self.graph.tensors.len())
-            .field("compute_sets", &self.graph.compute_sets.len())
-            .field("vertices", &self.graph.vertices.len())
-            .field("stats", &self.stats)
+            .field("tensors", &self.sh.graph.tensors.len())
+            .field("compute_sets", &self.sh.graph.compute_sets.len())
+            .field("vertices", &self.sh.graph.vertices.len())
+            .field("host_threads", &self.sh.workers)
+            .field("stats", &self.st.stats)
             .finish_non_exhaustive()
     }
 }
 
+/// The host thread count when none was requested explicitly.
+fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(AUTO_THREAD_CAP)
+}
+
+/// Resolves the host lane count: an explicit `config.host_threads` wins,
+/// then the `SIM_THREADS` environment variable, then auto-detection.
+pub(crate) fn resolve_host_threads(config: &IpuConfig) -> usize {
+    let requested = if config.host_threads > 0 {
+        config.host_threads
+    } else {
+        std::env::var("SIM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    let n = if requested > 0 {
+        requested
+    } else {
+        auto_threads()
+    };
+    n.clamp(1, MAX_HOST_THREADS)
+}
+
+fn build_shards(graph: &Graph, workers: usize) -> Vec<CsShards> {
+    graph
+        .compute_sets
+        .iter()
+        .map(|cs| {
+            let mut order: Vec<u32> = cs.vertices.iter().map(|&v| v as u32).collect();
+            // Stable: within a tile, program order is preserved (loads
+            // sum per slot, so any order is bit-identical anyway).
+            order.sort_by_key(|&v| graph.vertices[v as usize].tile);
+            let bounds = shard_bounds(&order, &graph.vertices, workers);
+            CsShards { order, bounds }
+        })
+        .collect()
+}
+
+/// Cuts `order` into `workers` near-even contiguous shards, each cut
+/// advanced to the next tile boundary.
+fn shard_bounds(order: &[u32], vertices: &[VertexInfo], workers: usize) -> Vec<u32> {
+    let n = order.len();
+    let mut bounds = Vec::with_capacity(workers + 1);
+    bounds.push(0u32);
+    for w in 1..workers {
+        let mut cut = (n * w / workers).max(*bounds.last().unwrap() as usize);
+        while cut > 0
+            && cut < n
+            && vertices[order[cut] as usize].tile == vertices[order[cut - 1] as usize].tile
+        {
+            cut += 1;
+        }
+        bounds.push(cut as u32);
+    }
+    bounds.push(n as u32);
+    bounds
+}
+
+/// Executes one vertex against the raw buffer views, returning the thread
+/// instructions to charge (codelet cost plus dispatch overhead).
+///
+/// # Safety
+/// `Graph::compile` validated that (a) every slice is in bounds of its
+/// tensor, and (b) within the vertex's compute set, any region connected
+/// with a write access overlaps no other connected region. The derived
+/// references are dropped (with `ctx`) before this returns, so the only
+/// simultaneous references *on this thread* are the fields of one vertex —
+/// disjoint whenever one of them is mutable, shared otherwise. Across
+/// threads, (b) guarantees any two concurrently executing vertices of one
+/// compute set touch disjoint memory whenever either writes. The caller
+/// must ensure `raw` is current (no buffer reallocation since it was
+/// built) and that no other code holds views of these regions.
+unsafe fn exec_vertex(v: &VertexInfo, raw: &RawBufs) -> u64 {
+    let mut fields = Vec::with_capacity(v.fields.len());
+    for (slice, access) in &v.fields {
+        let field = match (raw.0[slice.tensor.id], access.is_exclusive()) {
+            (RawBuf::F32(p, len), true) => {
+                debug_assert!(slice.end <= len);
+                FieldBuf::F32Mut(std::slice::from_raw_parts_mut(
+                    p.add(slice.start),
+                    slice.len(),
+                ))
+            }
+            (RawBuf::F32(p, len), false) => {
+                debug_assert!(slice.end <= len);
+                FieldBuf::F32(std::slice::from_raw_parts(p.add(slice.start), slice.len()))
+            }
+            (RawBuf::I32(p, len), true) => {
+                debug_assert!(slice.end <= len);
+                FieldBuf::I32Mut(std::slice::from_raw_parts_mut(
+                    p.add(slice.start),
+                    slice.len(),
+                ))
+            }
+            (RawBuf::I32(p, len), false) => {
+                debug_assert!(slice.end <= len);
+                FieldBuf::I32(std::slice::from_raw_parts(p.add(slice.start), slice.len()))
+            }
+        };
+        fields.push(field);
+    }
+    let ctx = VertexCtx::new(fields);
+    (v.codelet)(&ctx) + VERTEX_OVERHEAD
+}
+
+/// Executes lane `lane` of compute set `cs`, appending `(slot, load)`
+/// pairs to `out`.
+fn run_shard(sh: &Shared, raw: &RawBufs, cs: usize, lane: usize, out: &mut Vec<(u32, u64)>) {
+    let shard = &sh.shards[cs];
+    let lo = shard.bounds[lane] as usize;
+    let hi = shard.bounds[lane + 1] as usize;
+    let tpt = sh.graph.config.threads_per_tile;
+    for &vid in &shard.order[lo..hi] {
+        let vid = vid as usize;
+        let v = &sh.graph.vertices[vid];
+        // SAFETY: see `exec_vertex` — cross-thread disjointness comes from
+        // `validate_races`, and the main thread only merges after all
+        // lanes finished.
+        let instructions = unsafe { exec_vertex(v, raw) };
+        out.push(((v.tile * tpt + sh.vertex_thread[vid]) as u32, instructions));
+    }
+}
+
+/// One pool worker: waits for superstep jobs, runs its shard, publishes
+/// the per-slot loads (or a panic payload) and signals completion.
+fn worker_loop(sh: &Shared, raw: &RawBufs, sync: &PoolSync, slot: &Mutex<ShardSlot>, lane: usize) {
+    let mut seen = 0u64;
+    let mut out: Vec<(u32, u64)> = Vec::new();
+    while let Some(cs) = sync.next_job(&mut seen) {
+        out.clear();
+        let result = catch_unwind(AssertUnwindSafe(|| run_shard(sh, raw, cs, lane, &mut out)));
+        {
+            let mut s = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match result {
+                // Swap, not copy: the allocations ping-pong between the
+                // worker and its slot across supersteps.
+                Ok(()) => std::mem::swap(&mut s.loads, &mut out),
+                Err(payload) => s.panic = Some(payload),
+            }
+        }
+        sync.finish_job();
+    }
+}
+
+/// Per-run execution context: disjoint borrows of the engine's shared and
+/// mutable halves, plus the worker pool when one is live.
+struct ExecCtx<'a> {
+    sh: &'a Shared,
+    raw: &'a RawBufs,
+    st: &'a mut RunState,
+    pool: Option<Pool<'a>>,
+    max_while_iterations: u64,
+}
+
+impl ExecCtx<'_> {
+    fn exec(&mut self, node: &ExecNode) -> Result<(), GraphError> {
+        match node {
+            ExecNode::Seq(items) => {
+                for p in items {
+                    self.exec(p)?;
+                }
+                Ok(())
+            }
+            ExecNode::Execute(cs) => {
+                self.exec_compute_set(*cs);
+                Ok(())
+            }
+            ExecNode::Copy {
+                src,
+                dst,
+                reps,
+                cost_id,
+            } => {
+                self.move_data(src, dst, *reps);
+                let pair = [(*src, *dst)];
+                self.charge_exchange(*cost_id, &pair);
+                self.inject_exchange_fault(std::slice::from_ref(dst));
+                Ok(())
+            }
+            ExecNode::Exchange { pairs, cost_id } => {
+                for (src, dst) in pairs {
+                    self.move_data(src, dst, 1);
+                }
+                self.charge_exchange(*cost_id, pairs);
+                if self.st.faults.is_some() {
+                    let dsts: Vec<TensorSlice> = pairs.iter().map(|&(_, dst)| dst).collect();
+                    self.inject_exchange_fault(&dsts);
+                }
+                Ok(())
+            }
+            ExecNode::Repeat { count, body } => {
+                for _ in 0..*count {
+                    self.exec(body)?;
+                }
+                Ok(())
+            }
+            ExecNode::If {
+                predicate,
+                then_body,
+                else_body,
+            } => {
+                self.st.stats.control_cycles += self.sh.graph.config.control_cycles;
+                if self.read_flag(predicate) != 0 {
+                    self.exec(then_body)
+                } else {
+                    self.exec(else_body)
+                }
+            }
+            ExecNode::While { predicate, body } => {
+                // Fault: the loop is declared non-convergent up front. The
+                // watchdog would fire after `max_while_iterations` wasted
+                // iterations; model that terminal state directly instead of
+                // simulating millions of no-progress supersteps.
+                if let Some(fs) = self.st.faults.as_mut() {
+                    if fs.plan.diverge_rate > 0.0
+                        && fs.armed(self.st.stats.supersteps)
+                        && fs.draw() < fs.plan.diverge_rate
+                    {
+                        self.st.stats.faults.forced_divergences += 1;
+                        self.st.stats.control_cycles += self.sh.graph.config.control_cycles;
+                        return Err(GraphError::Divergence {
+                            limit: self.max_while_iterations,
+                            context: self.loop_context(body),
+                        });
+                    }
+                }
+                let mut iterations = 0u64;
+                loop {
+                    self.st.stats.control_cycles += self.sh.graph.config.control_cycles;
+                    if self.read_flag(predicate) == 0 {
+                        return Ok(());
+                    }
+                    iterations += 1;
+                    if iterations > self.max_while_iterations {
+                        return Err(GraphError::Divergence {
+                            limit: self.max_while_iterations,
+                            context: self.loop_context(body),
+                        });
+                    }
+                    self.exec(body)?;
+                }
+            }
+        }
+    }
+
+    /// Reads a device control scalar (predicate dtype/shape validated at
+    /// compile).
+    fn read_flag(&self, predicate: &Tensor) -> i32 {
+        // SAFETY: a 1-element i32 tensor, and no vertex views are alive
+        // between supersteps.
+        unsafe { self.raw.i32(predicate.id, 0, 1)[0] }
+    }
+
+    /// Executes one compute set as a BSP superstep.
+    ///
+    /// The parallel and sequential paths differ only in *who* runs the
+    /// codelets; the per-slot load sums, the max-reduction, and the fault
+    /// hook below are identical, which is what makes the two paths
+    /// bit-identical.
+    fn exec_compute_set(&mut self, cs: usize) {
+        let tpt = self.sh.graph.config.threads_per_tile;
+        debug_assert!(self.st.thread_load.iter().all(|&x| x == 0));
+        self.st.touched_slots.clear();
+        let vertices = &self.sh.graph.compute_sets[cs].vertices;
+
+        let mut dispatched = false;
+        if let Some(pool) = self.pool {
+            if vertices.len() >= self.sh.parallel_threshold {
+                pool.sync.run_superstep(cs, self.sh.workers);
+                // Merge in lane order. Order is irrelevant to the result
+                // (per-slot u64 sums commute; the reduction below is a
+                // max), but a fixed order keeps panic propagation
+                // deterministic: the lowest panicking lane wins.
+                for slot in pool.slots {
+                    let mut s = slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Some(payload) = s.panic.take() {
+                        drop(s);
+                        resume_unwind(payload);
+                    }
+                    for &(si, load) in &s.loads {
+                        let si = si as usize;
+                        if self.st.thread_load[si] == 0 {
+                            self.st.touched_slots.push(si as u32);
+                        }
+                        self.st.thread_load[si] += load;
+                    }
+                }
+                dispatched = true;
+            }
+        }
+        if !dispatched {
+            for &vid in vertices {
+                let v = &self.sh.graph.vertices[vid];
+                // SAFETY: see `exec_vertex`; vertices run one at a time
+                // on this thread and no other views are alive.
+                let instructions = unsafe { exec_vertex(v, self.raw) };
+                let slot = v.tile * tpt + self.sh.vertex_thread[vid];
+                if self.st.thread_load[slot] == 0 {
+                    self.st.touched_slots.push(slot as u32);
+                }
+                self.st.thread_load[slot] += instructions;
+            }
+        }
+
+        // Tile cost: the barrel scheduler rotates over all `tpt` thread
+        // slots, so a tile finishes after `tpt * max_thread(instructions)`
+        // cycles; the superstep lasts as long as the slowest tile (C3).
+        // The chip-wide max over tiles equals `tpt *` the max over all
+        // touched slots.
+        let mut worst = 0u64;
+        for &slot in &self.st.touched_slots {
+            worst = worst.max(self.st.thread_load[slot as usize]);
+            self.st.thread_load[slot as usize] = 0;
+        }
+        let superstep = worst * tpt as u64;
+        self.st.stats.compute_cycles += superstep;
+        self.st.stats.sync_cycles += self.sh.graph.config.sync_cycles;
+        self.st.stats.supersteps += 1;
+        let b = &mut self.st.stats.per_compute_set[cs];
+        b.executions += 1;
+        b.compute_cycles += superstep;
+        if self.st.faults.is_some() {
+            self.inject_superstep_faults(cs, superstep);
+        }
+    }
+
+    /// Fault hook run after each superstep: straggler inflation and SRAM
+    /// bit flips (see [`FaultPlan`]). Always on the serial post-join path,
+    /// so the draw sequence is independent of the host thread count.
+    fn inject_superstep_faults(&mut self, cs: usize, superstep: u64) {
+        let st = &mut *self.st;
+        let Some(fs) = st.faults.as_mut() else {
+            return;
+        };
+        if !fs.armed(st.stats.supersteps) {
+            return;
+        }
+        if fs.plan.straggler_rate > 0.0 && fs.draw() < fs.plan.straggler_rate {
+            // The slowest tile ran `straggler_factor` times slower; under
+            // BSP the whole chip waits for it (C3).
+            let extra = (superstep as f64 * (fs.plan.straggler_factor - 1.0)).ceil() as u64;
+            st.stats.compute_cycles += extra;
+            st.stats.per_compute_set[cs].compute_cycles += extra;
+            st.stats.faults.stragglers += 1;
+            st.stats.faults.straggler_cycles += extra;
+        }
+        if fs.plan.bit_flip_rate > 0.0
+            && !fs.flip_targets.is_empty()
+            && fs.draw() < fs.plan.bit_flip_rate
+        {
+            let target = fs.draw_index(fs.flip_targets.len());
+            let tensor = fs.flip_targets[target];
+            let element = fs.draw_index(self.raw.tensor_len(tensor));
+            let bit = fs.draw_index(32);
+            // SAFETY: element in bounds; no vertex views alive between
+            // supersteps.
+            unsafe { self.raw.flip_bit(tensor, element, bit) };
+            self.st.stats.faults.bit_flips += 1;
+        }
+    }
+
+    /// Fault hook run after each exchange phase: corrupts one delivered
+    /// element of one destination slice.
+    fn inject_exchange_fault(&mut self, dsts: &[TensorSlice]) {
+        let st = &mut *self.st;
+        let Some(fs) = st.faults.as_mut() else {
+            return;
+        };
+        if fs.plan.exchange_rate == 0.0
+            || dsts.is_empty()
+            || !fs.armed(st.stats.supersteps)
+            || fs.draw() >= fs.plan.exchange_rate
+        {
+            return;
+        }
+        let slice = dsts[fs.draw_index(dsts.len())];
+        if slice.is_empty() {
+            return;
+        }
+        let element = slice.start + fs.draw_index(slice.len());
+        let bit = fs.draw_index(32);
+        // SAFETY: element in bounds of the destination tensor; no vertex
+        // views alive between supersteps.
+        unsafe { self.raw.flip_bit(slice.tensor.id, element, bit) };
+        self.st.stats.faults.exchange_corruptions += 1;
+    }
+
+    /// Diagnostic label for a diverging loop: the name of the first
+    /// compute set executed in its body.
+    fn loop_context(&self, body: &ExecNode) -> String {
+        match body.first_compute_set() {
+            Some(cs) => self.sh.graph.compute_sets[cs].name.clone(),
+            None => "<empty loop body>".to_string(),
+        }
+    }
+
+    /// Moves data for one copy: `dst` receives `reps` repetitions of
+    /// `src` (1 for plain copies).
+    fn move_data(&mut self, src: &TensorSlice, dst: &TensorSlice, reps: usize) {
+        // Move the data through a temporary, which also handles
+        // broadcast replication. (Copies were validated non-overlapping.)
+        match src.tensor.dtype {
+            DType::F32 => {
+                let tmp = &mut self.st.scratch_f32;
+                tmp.clear();
+                // SAFETY: endpoints validated at compile (bounds, dtype,
+                // lengths); staging means source and destination views
+                // are never alive at once, and no vertex views exist
+                // between supersteps.
+                unsafe {
+                    tmp.extend_from_slice(self.raw.f32(src.tensor.id, src.start, src.len()));
+                    let out = self.raw.f32_mut(dst.tensor.id, dst.start, reps * tmp.len());
+                    for chunk in out.chunks_exact_mut(tmp.len()) {
+                        chunk.copy_from_slice(tmp);
+                    }
+                }
+            }
+            DType::I32 => {
+                let tmp = &mut self.st.scratch_i32;
+                tmp.clear();
+                // SAFETY: as the F32 arm.
+                unsafe {
+                    tmp.extend_from_slice(self.raw.i32(src.tensor.id, src.start, src.len()));
+                    let out = self.raw.i32_mut(dst.tensor.id, dst.start, reps * tmp.len());
+                    for chunk in out.chunks_exact_mut(tmp.len()) {
+                        chunk.copy_from_slice(tmp);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Charges one exchange phase covering all `pairs`, memoized by the
+    /// node's compile-time `cost_id` (the mapping is static, so the cost
+    /// of a lowered node never changes).
+    fn charge_exchange(&mut self, cost_id: u32, pairs: &[(TensorSlice, TensorSlice)]) {
+        let cost = match self.st.copy_cost[cost_id as usize] {
+            Some(c) => c,
+            None => {
+                let c = exchange_cost(&self.sh.graph, pairs);
+                self.st.copy_cost[cost_id as usize] = Some(c);
+                c
+            }
+        };
+        self.st.stats.exchange_cycles += cost;
+        self.st.stats.sync_cycles += self.sh.graph.config.sync_cycles;
+        self.st.stats.exchanges += 1;
+        self.st.stats.exchange_bytes +=
+            pairs.iter().map(|(_, dst)| dst.bytes() as u64).sum::<u64>();
+    }
+}
+
+/// Models the duration of one exchange phase covering all `pairs`.
+///
+/// The phase duration is bounded by the busiest tile: bytes it sends
+/// plus bytes it receives at the on-chip fabric bandwidth, plus any
+/// bytes it moves **across a chip boundary** at the (much slower)
+/// IPU-Link bandwidth — multi-IPU systems share one exchange address
+/// space (§III) but not one fabric. A broadcast source is charged
+/// once per receiving chip — the exchange is a per-tile wire every
+/// same-chip destination can listen to (multicast).
+fn exchange_cost(graph: &Graph, pairs: &[(TensorSlice, TensorSlice)]) -> u64 {
+    let config = &graph.config;
+    let tiles = config.tiles;
+    let mut local = vec![0u64; tiles];
+    let mut remote = vec![0u64; tiles];
+    for (src, dst) in pairs {
+        let si = &graph.tensors[src.tensor.id];
+        let di = &graph.tensors[dst.tensor.id];
+        if di.replicated {
+            // Every tile receives its replica on-chip; the source
+            // pushes one copy across each other chip's links.
+            let bytes = (dst.len() * dst.tensor.dtype.size_bytes()) as u64;
+            local.iter_mut().for_each(|b| *b += bytes);
+            si.bytes_per_tile(src.start, src.end, &mut local);
+            if config.ipus > 1 {
+                let mut src_only = vec![0u64; tiles];
+                si.bytes_per_tile(src.start, src.end, &mut src_only);
+                for (t, &b) in src_only.iter().enumerate() {
+                    remote[t] += b * (config.ipus as u64 - 1);
+                }
+            }
+            continue;
+        }
+        // Walk src/dst intervals in lockstep, classifying each
+        // overlapped segment as on-chip or chip-crossing.
+        let esz = src.tensor.dtype.size_bytes() as u64;
+        let mut o = 0usize;
+        while o < src.len() {
+            let (se, st) = si.interval_at(src.start + o);
+            let (de, dt) = di.interval_at(dst.start + o);
+            let seg_end = (se - src.start).min(de - dst.start).min(src.len());
+            let bytes = (seg_end - o) as u64 * esz;
+            if config.ipu_of(st) == config.ipu_of(dt) {
+                local[st] += bytes;
+                local[dt] += bytes;
+            } else {
+                remote[st] += bytes;
+                remote[dt] += bytes;
+            }
+            o = seg_end;
+        }
+    }
+    let mut worst = 0.0f64;
+    for t in 0..tiles {
+        let cycles = local[t] as f64 / config.exchange_bytes_per_cycle
+            + remote[t] as f64 / config.inter_ipu_bytes_per_cycle;
+        worst = worst.max(cycles);
+    }
+    config.exchange_setup_cycles + worst.ceil() as u64
+}
+
 impl Engine {
     pub(crate) fn new(graph: Graph, program: Program) -> Self {
-        let buffers = graph
+        let mut buffers: Vec<Buffer> = graph
             .tensors
             .iter()
             .map(|t| match t.dtype {
@@ -91,10 +801,11 @@ impl Engine {
                 DType::I32 => Buffer::I32(vec![0; t.len]),
             })
             .collect();
+        let raw = RawBufs::of(&mut buffers);
         // Resolve auto threads round-robin per (compute set, tile).
         let mut counters: HashMap<(usize, usize), usize> = HashMap::new();
         let tpt = graph.config.threads_per_tile;
-        let vertex_thread = graph
+        let vertex_thread: Vec<usize> = graph
             .vertices
             .iter()
             .map(|v| match v.thread {
@@ -120,42 +831,85 @@ impl Engine {
         };
         let thread_load = vec![0u64; graph.config.tiles * tpt];
         let max_while_iterations = graph.config.max_while_iterations;
+        let (program, cost_slots) = exec::lower(&program);
+        let workers = resolve_host_threads(&graph.config);
+        let shards = build_shards(&graph, workers);
         Self {
-            graph,
-            program,
+            sh: Shared {
+                graph,
+                vertex_thread,
+                shards,
+                workers,
+                parallel_threshold: PARALLEL_THRESHOLD,
+            },
             buffers,
-            stats,
-            vertex_thread,
-            thread_load,
-            touched_slots: Vec::new(),
-            copy_cost: HashMap::new(),
-            scratch_f32: Vec::new(),
-            scratch_i32: Vec::new(),
+            raw,
+            program,
+            st: RunState {
+                stats,
+                thread_load,
+                touched_slots: Vec::new(),
+                copy_cost: vec![None; cost_slots],
+                scratch_f32: Vec::new(),
+                scratch_i32: Vec::new(),
+                faults: None,
+            },
             max_while_iterations,
-            faults: None,
         }
     }
 
     /// The accumulated cycle statistics.
     pub fn stats(&self) -> &CycleStats {
-        &self.stats
+        &self.st.stats
     }
 
     /// Zeroes the cycle statistics (buffers are untouched).
     pub fn reset_stats(&mut self) {
-        self.stats.reset();
+        self.st.stats.reset();
     }
 
     /// Modeled device seconds for everything run so far.
     pub fn modeled_seconds(&self) -> f64 {
-        self.graph
+        self.sh
+            .graph
             .config
-            .cycles_to_seconds(self.stats.total_cycles())
+            .cycles_to_seconds(self.st.stats.total_cycles())
     }
 
     /// The device configuration.
     pub fn config(&self) -> &crate::IpuConfig {
-        &self.graph.config
+        &self.sh.graph.config
+    }
+
+    /// The resolved host worker lane count (see
+    /// [`crate::IpuConfig::host_threads`] for the resolution order). The
+    /// thread count affects wall-clock only; modeled results are
+    /// bit-identical at any value.
+    pub fn host_threads(&self) -> usize {
+        self.sh.workers
+    }
+
+    /// Overrides the host worker lane count for subsequent runs; `0`
+    /// re-resolves automatically from the machine. Values are clamped to
+    /// a sane range. Shard cuts are recomputed to match.
+    pub fn set_host_threads(&mut self, threads: usize) {
+        let workers = if threads == 0 {
+            auto_threads()
+        } else {
+            threads.clamp(1, MAX_HOST_THREADS)
+        };
+        self.sh.workers = workers;
+        let Shared { graph, shards, .. } = &mut self.sh;
+        for shard in shards.iter_mut() {
+            shard.bounds = shard_bounds(&shard.order, &graph.vertices, workers);
+        }
+    }
+
+    /// Overrides the minimum vertex count before a superstep is
+    /// dispatched to the worker pool (default tuned for real programs;
+    /// tests lower it to force parallel execution on tiny graphs).
+    pub fn set_parallel_threshold(&mut self, min_vertices: usize) {
+        self.sh.parallel_threshold = min_vertices.max(1);
     }
 
     /// Installs a fault plan: subsequent execution draws from the plan's
@@ -163,6 +917,7 @@ impl Engine {
     /// previously installed plan and resets its RNG stream.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         let flip_targets = self
+            .sh
             .graph
             .tensors
             .iter()
@@ -176,24 +931,24 @@ impl Engine {
             })
             .map(|(id, _)| id)
             .collect();
-        self.faults = Some(FaultState::new(plan, flip_targets));
+        self.st.faults = Some(FaultState::new(plan, flip_targets));
     }
 
     /// Removes the installed fault plan; execution becomes fault-free.
     pub fn clear_fault_plan(&mut self) {
-        self.faults = None;
+        self.st.faults = None;
     }
 
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
-        self.faults.as_ref().map(|f| &f.plan)
+        self.st.faults.as_ref().map(|f| &f.plan)
     }
 
     /// Checkpoints device memory and accounting.
     pub fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot {
             buffers: self.buffers.clone(),
-            stats: self.stats.clone(),
+            stats: self.st.stats.clone(),
         }
     }
 
@@ -210,27 +965,39 @@ impl Engine {
             snapshot.buffers.len(),
             "snapshot is from a different graph"
         );
-        self.buffers.clone_from(&snapshot.buffers);
-        self.stats.clone_from(&snapshot.stats);
+        for (dst, src) in self.buffers.iter_mut().zip(&snapshot.buffers) {
+            match (dst, src) {
+                (Buffer::F32(d), Buffer::F32(s)) => d.clone_from(s),
+                (Buffer::I32(d), Buffer::I32(s)) => d.clone_from(s),
+                _ => panic!("snapshot is from a different graph"),
+            }
+        }
+        self.st.stats.clone_from(&snapshot.stats);
+        // The element-wise clone keeps allocations in place for same-graph
+        // snapshots, but rebuild the raw views regardless — this is the
+        // only point (besides construction) where they may be refreshed.
+        self.raw = RawBufs::of(&mut self.buffers);
     }
 
     /// Host → device write of a whole f32 tensor (not charged to device
     /// time; bytes recorded in `stats.host_bytes`).
     pub fn write_f32(&mut self, tensor: Tensor, data: &[f32]) -> Result<(), GraphError> {
-        match &mut self.buffers[tensor.id] {
-            Buffer::F32(v) if v.len() == data.len() => {
-                v.copy_from_slice(data);
-                self.stats.host_bytes += (data.len() * 4) as u64;
+        match self.raw.0[tensor.id] {
+            RawBuf::F32(_, len) if len == data.len() => {
+                // SAFETY: whole-tensor write, in bounds; no vertex views
+                // alive outside `run`. Going through the raw view avoids
+                // re-borrowing the Vec, keeping the hoisted pointers valid.
+                unsafe { self.raw.f32_mut(tensor.id, 0, len) }.copy_from_slice(data);
+                self.st.stats.host_bytes += (data.len() * 4) as u64;
                 Ok(())
             }
-            Buffer::F32(v) => Err(GraphError::Invalid {
+            RawBuf::F32(_, len) => Err(GraphError::Invalid {
                 detail: format!(
-                    "write_f32: tensor has {} elements, data has {}",
-                    v.len(),
+                    "write_f32: tensor has {len} elements, data has {}",
                     data.len()
                 ),
             }),
-            _ => Err(GraphError::Invalid {
+            RawBuf::I32(..) => Err(GraphError::Invalid {
                 detail: "write_f32 on an i32 tensor".into(),
             }),
         }
@@ -238,20 +1005,20 @@ impl Engine {
 
     /// Host → device write of a whole i32 tensor.
     pub fn write_i32(&mut self, tensor: Tensor, data: &[i32]) -> Result<(), GraphError> {
-        match &mut self.buffers[tensor.id] {
-            Buffer::I32(v) if v.len() == data.len() => {
-                v.copy_from_slice(data);
-                self.stats.host_bytes += (data.len() * 4) as u64;
+        match self.raw.0[tensor.id] {
+            RawBuf::I32(_, len) if len == data.len() => {
+                // SAFETY: as `write_f32`.
+                unsafe { self.raw.i32_mut(tensor.id, 0, len) }.copy_from_slice(data);
+                self.st.stats.host_bytes += (data.len() * 4) as u64;
                 Ok(())
             }
-            Buffer::I32(v) => Err(GraphError::Invalid {
+            RawBuf::I32(_, len) => Err(GraphError::Invalid {
                 detail: format!(
-                    "write_i32: tensor has {} elements, data has {}",
-                    v.len(),
+                    "write_i32: tensor has {len} elements, data has {}",
                     data.len()
                 ),
             }),
-            _ => Err(GraphError::Invalid {
+            RawBuf::F32(..) => Err(GraphError::Invalid {
                 detail: "write_i32 on an f32 tensor".into(),
             }),
         }
@@ -262,7 +1029,7 @@ impl Engine {
     /// # Panics
     /// Panics if the tensor is not f32 (a static programming error).
     pub fn read_f32(&mut self, tensor: Tensor) -> Vec<f32> {
-        self.stats.host_bytes += (tensor.len * 4) as u64;
+        self.st.stats.host_bytes += (tensor.len * 4) as u64;
         match &self.buffers[tensor.id] {
             Buffer::F32(v) => v.clone(),
             _ => panic!("read_f32 on an i32 tensor"),
@@ -274,7 +1041,7 @@ impl Engine {
     /// # Panics
     /// Panics if the tensor is not i32 (a static programming error).
     pub fn read_i32(&mut self, tensor: Tensor) -> Vec<i32> {
-        self.stats.host_bytes += (tensor.len * 4) as u64;
+        self.st.stats.host_bytes += (tensor.len * 4) as u64;
         match &self.buffers[tensor.id] {
             Buffer::I32(v) => v.clone(),
             _ => panic!("read_i32 on an f32 tensor"),
@@ -283,410 +1050,63 @@ impl Engine {
 
     /// Runs the compiled program once.
     ///
+    /// With more than one host thread resolved (and at least one compute
+    /// set big enough to parallelize), a scoped worker pool is spawned
+    /// for the duration of the run and supersteps execute tile-parallel;
+    /// results are bit-identical to sequential execution either way.
+    ///
     /// # Errors
     /// [`GraphError::Divergence`] if a `RepeatWhileTrue` exceeds
     /// [`Engine::max_while_iterations`].
     pub fn run(&mut self) -> Result<(), GraphError> {
-        let program = std::mem::replace(&mut self.program, Program::Sequence(Vec::new()));
-        let result = self.exec(&program);
+        let program = std::mem::replace(&mut self.program, ExecNode::Seq(Vec::new()));
+        let sh = &self.sh;
+        let raw = &self.raw;
+        let st = &mut self.st;
+        let max_while_iterations = self.max_while_iterations;
+        let pooled = sh.workers > 1
+            && sh
+                .graph
+                .compute_sets
+                .iter()
+                .any(|cs| cs.vertices.len() >= sh.parallel_threshold);
+        let result = if !pooled {
+            ExecCtx {
+                sh,
+                raw,
+                st,
+                pool: None,
+                max_while_iterations,
+            }
+            .exec(&program)
+        } else {
+            let sync = PoolSync::new();
+            let slots: Vec<Mutex<ShardSlot>> = (0..sh.workers)
+                .map(|_| Mutex::new(ShardSlot::default()))
+                .collect();
+            std::thread::scope(|scope| {
+                for (lane, slot) in slots.iter().enumerate() {
+                    let sync = &sync;
+                    scope.spawn(move || worker_loop(sh, raw, sync, slot, lane));
+                }
+                // Shut the pool down even if a re-raised codelet panic
+                // unwinds out of `exec`, so the scope can join.
+                let _guard = ShutdownGuard(&sync);
+                ExecCtx {
+                    sh,
+                    raw,
+                    st,
+                    pool: Some(Pool {
+                        sync: &sync,
+                        slots: &slots,
+                    }),
+                    max_while_iterations,
+                }
+                .exec(&program)
+            })
+        };
         self.program = program;
         result
-    }
-
-    fn exec(&mut self, program: &Program) -> Result<(), GraphError> {
-        match program {
-            Program::Sequence(items) => {
-                for p in items {
-                    self.exec(p)?;
-                }
-                Ok(())
-            }
-            Program::Execute(cs) => {
-                self.exec_compute_set(cs.0);
-                Ok(())
-            }
-            Program::Copy { src, dst } => {
-                self.move_data(src, dst, 1);
-                self.charge_exchange(std::slice::from_ref(&(*src, *dst)));
-                self.inject_exchange_fault(std::slice::from_ref(dst));
-                Ok(())
-            }
-            Program::Broadcast { src, dst } => {
-                let reps = dst.len() / src.len();
-                self.move_data(src, dst, reps);
-                self.charge_exchange(std::slice::from_ref(&(*src, *dst)));
-                self.inject_exchange_fault(std::slice::from_ref(dst));
-                Ok(())
-            }
-            Program::Exchange(pairs) => {
-                for (src, dst) in pairs {
-                    self.move_data(src, dst, 1);
-                }
-                self.charge_exchange(pairs);
-                if self.faults.is_some() {
-                    let dsts: Vec<TensorSlice> = pairs.iter().map(|&(_, dst)| dst).collect();
-                    self.inject_exchange_fault(&dsts);
-                }
-                Ok(())
-            }
-            Program::Repeat { count, body } => {
-                for _ in 0..*count {
-                    self.exec(body)?;
-                }
-                Ok(())
-            }
-            Program::If {
-                predicate,
-                then_body,
-                else_body,
-            } => {
-                self.stats.control_cycles += self.graph.config.control_cycles;
-                let flag = match &self.buffers[predicate.id] {
-                    Buffer::I32(v) => v[0],
-                    _ => unreachable!("predicate dtype validated at compile"),
-                };
-                if flag != 0 {
-                    self.exec(then_body)
-                } else {
-                    self.exec(else_body)
-                }
-            }
-            Program::RepeatWhileTrue { predicate, body } => {
-                // Fault: the loop is declared non-convergent up front. The
-                // watchdog would fire after `max_while_iterations` wasted
-                // iterations; model that terminal state directly instead of
-                // simulating millions of no-progress supersteps.
-                if let Some(fs) = self.faults.as_mut() {
-                    if fs.plan.diverge_rate > 0.0
-                        && fs.armed(self.stats.supersteps)
-                        && fs.draw() < fs.plan.diverge_rate
-                    {
-                        self.stats.faults.forced_divergences += 1;
-                        self.stats.control_cycles += self.graph.config.control_cycles;
-                        return Err(GraphError::Divergence {
-                            limit: self.max_while_iterations,
-                            context: self.loop_context(body),
-                        });
-                    }
-                }
-                let mut iterations = 0u64;
-                loop {
-                    self.stats.control_cycles += self.graph.config.control_cycles;
-                    let flag = match &self.buffers[predicate.id] {
-                        Buffer::I32(v) => v[0],
-                        _ => unreachable!("predicate dtype validated at compile"),
-                    };
-                    if flag == 0 {
-                        return Ok(());
-                    }
-                    iterations += 1;
-                    if iterations > self.max_while_iterations {
-                        return Err(GraphError::Divergence {
-                            limit: self.max_while_iterations,
-                            context: self.loop_context(body),
-                        });
-                    }
-                    self.exec(body)?;
-                }
-            }
-        }
-    }
-
-    /// Executes one compute set as a BSP superstep.
-    fn exec_compute_set(&mut self, cs: usize) {
-        let tpt = self.graph.config.threads_per_tile;
-        debug_assert!(self.thread_load.iter().all(|&x| x == 0));
-        self.touched_slots.clear();
-
-        // Take raw base pointers once; field slices derive from these
-        // without re-borrowing the Vecs (see SAFETY below).
-        let raw: Vec<RawBuf> = self
-            .buffers
-            .iter_mut()
-            .map(|b| match b {
-                Buffer::F32(v) => RawBuf::F32(v.as_mut_ptr(), v.len()),
-                Buffer::I32(v) => RawBuf::I32(v.as_mut_ptr(), v.len()),
-            })
-            .collect();
-
-        for &vid in &self.graph.compute_sets[cs].vertices {
-            let v = &self.graph.vertices[vid];
-            let mut fields = Vec::with_capacity(v.fields.len());
-            for (slice, access) in &v.fields {
-                // SAFETY: `Graph::compile` validated that (a) every slice
-                // is in bounds of its tensor, and (b) within this compute
-                // set, any region connected with a write access overlaps
-                // no other connected region. Vertices execute one at a
-                // time and the derived references are dropped (with `ctx`)
-                // before the next vertex runs, so the only simultaneous
-                // references are the fields of one vertex — disjoint
-                // whenever one of them is mutable, shared otherwise.
-                // The raw base pointers stay valid for the whole loop:
-                // `self.buffers` is not reallocated or re-borrowed here.
-                let field = unsafe {
-                    match (raw[slice.tensor.id], access.is_exclusive()) {
-                        (RawBuf::F32(p, len), true) => {
-                            debug_assert!(slice.end <= len);
-                            FieldBuf::F32Mut(std::slice::from_raw_parts_mut(
-                                p.add(slice.start),
-                                slice.len(),
-                            ))
-                        }
-                        (RawBuf::F32(p, len), false) => {
-                            debug_assert!(slice.end <= len);
-                            FieldBuf::F32(std::slice::from_raw_parts(
-                                p.add(slice.start),
-                                slice.len(),
-                            ))
-                        }
-                        (RawBuf::I32(p, len), true) => {
-                            debug_assert!(slice.end <= len);
-                            FieldBuf::I32Mut(std::slice::from_raw_parts_mut(
-                                p.add(slice.start),
-                                slice.len(),
-                            ))
-                        }
-                        (RawBuf::I32(p, len), false) => {
-                            debug_assert!(slice.end <= len);
-                            FieldBuf::I32(std::slice::from_raw_parts(
-                                p.add(slice.start),
-                                slice.len(),
-                            ))
-                        }
-                    }
-                };
-                fields.push(field);
-            }
-            let ctx = VertexCtx::new(fields);
-            let instructions = (v.codelet)(&ctx) + VERTEX_OVERHEAD;
-            drop(ctx);
-            let slot = v.tile * tpt + self.vertex_thread[vid];
-            if self.thread_load[slot] == 0 {
-                self.touched_slots.push(slot as u32);
-            }
-            self.thread_load[slot] += instructions;
-        }
-
-        // Tile cost: the barrel scheduler rotates over all `tpt` thread
-        // slots, so a tile finishes after `tpt * max_thread(instructions)`
-        // cycles; the superstep lasts as long as the slowest tile (C3).
-        // The chip-wide max over tiles equals `tpt *` the max over all
-        // touched slots.
-        let mut worst = 0u64;
-        for &slot in &self.touched_slots {
-            worst = worst.max(self.thread_load[slot as usize]);
-            self.thread_load[slot as usize] = 0;
-        }
-        let superstep = worst * tpt as u64;
-        self.stats.compute_cycles += superstep;
-        self.stats.sync_cycles += self.graph.config.sync_cycles;
-        self.stats.supersteps += 1;
-        let b = &mut self.stats.per_compute_set[cs];
-        b.executions += 1;
-        b.compute_cycles += superstep;
-        if self.faults.is_some() {
-            self.inject_superstep_faults(cs, superstep);
-        }
-    }
-
-    /// Fault hook run after each superstep: straggler inflation and SRAM
-    /// bit flips (see [`FaultPlan`]).
-    fn inject_superstep_faults(&mut self, cs: usize, superstep: u64) {
-        let Some(fs) = self.faults.as_mut() else {
-            return;
-        };
-        if !fs.armed(self.stats.supersteps) {
-            return;
-        }
-        if fs.plan.straggler_rate > 0.0 && fs.draw() < fs.plan.straggler_rate {
-            // The slowest tile ran `straggler_factor` times slower; under
-            // BSP the whole chip waits for it (C3).
-            let extra = (superstep as f64 * (fs.plan.straggler_factor - 1.0)).ceil() as u64;
-            self.stats.compute_cycles += extra;
-            self.stats.per_compute_set[cs].compute_cycles += extra;
-            self.stats.faults.stragglers += 1;
-            self.stats.faults.straggler_cycles += extra;
-        }
-        if fs.plan.bit_flip_rate > 0.0
-            && !fs.flip_targets.is_empty()
-            && fs.draw() < fs.plan.bit_flip_rate
-        {
-            let target = fs.draw_index(fs.flip_targets.len());
-            let tensor = fs.flip_targets[target];
-            let (element, bit) = match &self.buffers[tensor] {
-                Buffer::F32(v) => (fs.draw_index(v.len()), fs.draw_index(32)),
-                Buffer::I32(v) => (fs.draw_index(v.len()), fs.draw_index(32)),
-            };
-            Self::flip_bit(&mut self.buffers[tensor], element, bit);
-            self.stats.faults.bit_flips += 1;
-        }
-    }
-
-    /// Fault hook run after each exchange phase: corrupts one delivered
-    /// element of one destination slice.
-    fn inject_exchange_fault(&mut self, dsts: &[TensorSlice]) {
-        let Some(fs) = self.faults.as_mut() else {
-            return;
-        };
-        if fs.plan.exchange_rate == 0.0
-            || dsts.is_empty()
-            || !fs.armed(self.stats.supersteps)
-            || fs.draw() >= fs.plan.exchange_rate
-        {
-            return;
-        }
-        let slice = dsts[fs.draw_index(dsts.len())];
-        if slice.is_empty() {
-            return;
-        }
-        let element = slice.start + fs.draw_index(slice.len());
-        let bit = fs.draw_index(32);
-        Self::flip_bit(&mut self.buffers[slice.tensor.id], element, bit);
-        self.stats.faults.exchange_corruptions += 1;
-    }
-
-    fn flip_bit(buffer: &mut Buffer, element: usize, bit: usize) {
-        match buffer {
-            Buffer::F32(v) => v[element] = f32::from_bits(v[element].to_bits() ^ (1u32 << bit)),
-            Buffer::I32(v) => v[element] ^= 1i32 << bit,
-        }
-    }
-
-    /// Diagnostic label for a diverging loop: the name of the first
-    /// compute set executed in its body.
-    fn loop_context(&self, body: &Program) -> String {
-        fn first_cs(p: &Program) -> Option<usize> {
-            match p {
-                Program::Execute(cs) => Some(cs.0),
-                Program::Sequence(items) => items.iter().find_map(first_cs),
-                Program::Repeat { body, .. } => first_cs(body),
-                Program::RepeatWhileTrue { body, .. } => first_cs(body),
-                Program::If {
-                    then_body,
-                    else_body,
-                    ..
-                } => first_cs(then_body).or_else(|| first_cs(else_body)),
-                _ => None,
-            }
-        }
-        match first_cs(body) {
-            Some(cs) => self.graph.compute_sets[cs].name.clone(),
-            None => "<empty loop body>".to_string(),
-        }
-    }
-
-    /// Moves data for one copy: `dst` receives `reps` repetitions of
-    /// `src` (1 for plain copies).
-    fn move_data(&mut self, src: &TensorSlice, dst: &TensorSlice, reps: usize) {
-        // Move the data through a temporary, which also handles
-        // broadcast replication. (Copies were validated non-overlapping.)
-        match src.tensor.dtype {
-            DType::F32 => {
-                let tmp = &mut self.scratch_f32;
-                tmp.clear();
-                match &self.buffers[src.tensor.id] {
-                    Buffer::F32(v) => tmp.extend_from_slice(&v[src.range()]),
-                    _ => unreachable!("dtype validated"),
-                };
-                match &mut self.buffers[dst.tensor.id] {
-                    Buffer::F32(v) => {
-                        for r in 0..reps {
-                            let off = dst.start + r * tmp.len();
-                            v[off..off + tmp.len()].copy_from_slice(tmp);
-                        }
-                    }
-                    _ => unreachable!("dtype validated"),
-                }
-            }
-            DType::I32 => {
-                let tmp = &mut self.scratch_i32;
-                tmp.clear();
-                match &self.buffers[src.tensor.id] {
-                    Buffer::I32(v) => tmp.extend_from_slice(&v[src.range()]),
-                    _ => unreachable!("dtype validated"),
-                };
-                match &mut self.buffers[dst.tensor.id] {
-                    Buffer::I32(v) => {
-                        for r in 0..reps {
-                            let off = dst.start + r * tmp.len();
-                            v[off..off + tmp.len()].copy_from_slice(tmp);
-                        }
-                    }
-                    _ => unreachable!("dtype validated"),
-                }
-            }
-        }
-    }
-
-    /// Charges one exchange phase covering all `pairs`.
-    ///
-    /// The phase duration is bounded by the busiest tile: bytes it sends
-    /// plus bytes it receives at the on-chip fabric bandwidth, plus any
-    /// bytes it moves **across a chip boundary** at the (much slower)
-    /// IPU-Link bandwidth — multi-IPU systems share one exchange address
-    /// space (§III) but not one fabric. A broadcast source is charged
-    /// once per receiving chip — the exchange is a per-tile wire every
-    /// same-chip destination can listen to (multicast). Costs are
-    /// memoized per pair set (the mapping is static).
-    fn charge_exchange(&mut self, pairs: &[(TensorSlice, TensorSlice)]) {
-        let cost = if let Some(&c) = self.copy_cost.get(pairs) {
-            c
-        } else {
-            let config = &self.graph.config;
-            let tiles = config.tiles;
-            let mut local = vec![0u64; tiles];
-            let mut remote = vec![0u64; tiles];
-            for (src, dst) in pairs {
-                let si = &self.graph.tensors[src.tensor.id];
-                let di = &self.graph.tensors[dst.tensor.id];
-                if di.replicated {
-                    // Every tile receives its replica on-chip; the source
-                    // pushes one copy across each other chip's links.
-                    let bytes = (dst.len() * dst.tensor.dtype.size_bytes()) as u64;
-                    local.iter_mut().for_each(|b| *b += bytes);
-                    si.bytes_per_tile(src.start, src.end, &mut local);
-                    if config.ipus > 1 {
-                        let mut src_only = vec![0u64; tiles];
-                        si.bytes_per_tile(src.start, src.end, &mut src_only);
-                        for (t, &b) in src_only.iter().enumerate() {
-                            remote[t] += b * (config.ipus as u64 - 1);
-                        }
-                    }
-                    continue;
-                }
-                // Walk src/dst intervals in lockstep, classifying each
-                // overlapped segment as on-chip or chip-crossing.
-                let esz = src.tensor.dtype.size_bytes() as u64;
-                let mut o = 0usize;
-                while o < src.len() {
-                    let (se, st) = si.interval_at(src.start + o);
-                    let (de, dt) = di.interval_at(dst.start + o);
-                    let seg_end = (se - src.start).min(de - dst.start).min(src.len());
-                    let bytes = (seg_end - o) as u64 * esz;
-                    if config.ipu_of(st) == config.ipu_of(dt) {
-                        local[st] += bytes;
-                        local[dt] += bytes;
-                    } else {
-                        remote[st] += bytes;
-                        remote[dt] += bytes;
-                    }
-                    o = seg_end;
-                }
-            }
-            let mut worst = 0.0f64;
-            for t in 0..tiles {
-                let cycles = local[t] as f64 / config.exchange_bytes_per_cycle
-                    + remote[t] as f64 / config.inter_ipu_bytes_per_cycle;
-                worst = worst.max(cycles);
-            }
-            let c = config.exchange_setup_cycles + worst.ceil() as u64;
-            self.copy_cost.insert(pairs.to_vec(), c);
-            c
-        };
-        self.stats.exchange_cycles += cost;
-        self.stats.sync_cycles += self.graph.config.sync_cycles;
-        self.stats.exchanges += 1;
-        self.stats.exchange_bytes += pairs.iter().map(|(_, dst)| dst.bytes() as u64).sum::<u64>();
     }
 
     /// Direct (host-side) peek at an f32 region — intended for tests and
@@ -938,5 +1358,148 @@ mod tests {
         assert!(e.write_f32(x, &[0.0; 3]).is_err());
         assert!(e.write_i32(x, &[0; 4]).is_err());
         assert!(e.write_f32(x, &[0.0; 4]).is_ok());
+    }
+
+    /// A multi-tile graph with enough per-tile state to make parallel
+    /// execution meaningful: each of `tiles` tiles owns a slice of `x`
+    /// updated by `verts_per_tile` vertices.
+    fn sharded_increment_graph(tiles: usize, verts_per_tile: usize) -> (Graph, Tensor) {
+        let mut g = Graph::new(IpuConfig::tiny(tiles));
+        let n = tiles * verts_per_tile;
+        let x = g.add_tensor("x", DType::F32, n);
+        for t in 0..tiles {
+            g.map_slice(x.slice(t * verts_per_tile..(t + 1) * verts_per_tile), t)
+                .unwrap();
+        }
+        let cs = g.add_compute_set("inc");
+        for i in 0..n {
+            let tile = i / verts_per_tile;
+            let v = g
+                .add_vertex(cs, tile, "inc", move |ctx| {
+                    ctx.f32_mut(0)[0] += (i % 7) as f32 + 1.0;
+                    // Uneven loads exercise the max-reduction.
+                    5 + (i % 11) as u64
+                })
+                .unwrap();
+            g.connect(v, x.element(i), Access::ReadWrite).unwrap();
+        }
+        (g, x)
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_sequential() {
+        let run_with = |threads: usize| {
+            let (g, x) = sharded_increment_graph(4, 16);
+            let mut e = g
+                .compile(Program::repeat(3, Program::execute(ComputeSetId(0))))
+                .unwrap();
+            e.set_host_threads(threads);
+            e.set_parallel_threshold(1);
+            e.write_f32(x, &[0.25; 64]).unwrap();
+            e.run().unwrap();
+            (e.read_f32(x), e.stats().clone())
+        };
+        let (seq_buf, seq_stats) = run_with(1);
+        for threads in [2, 3, 8] {
+            let (buf, stats) = run_with(threads);
+            let seq_bits: Vec<u32> = seq_buf.iter().map(|v| v.to_bits()).collect();
+            let bits: Vec<u32> = buf.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, seq_bits, "buffers diverged at {threads} threads");
+            assert_eq!(stats, seq_stats, "stats diverged at {threads} threads");
+        }
+    }
+
+    use crate::ComputeSetId;
+
+    #[test]
+    fn shard_bounds_are_monotone_tile_aligned_and_cover() {
+        let (g, _) = sharded_increment_graph(5, 7);
+        // 5 tiles * 7 vertices, cut for 3 lanes.
+        let order: Vec<u32> = g.compute_sets[0]
+            .vertices
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
+        let bounds = shard_bounds(&order, &g.vertices, 3);
+        assert_eq!(bounds.first(), Some(&0));
+        assert_eq!(bounds.last(), Some(&(order.len() as u32)));
+        for w in bounds.windows(2) {
+            assert!(w[0] <= w[1]);
+            let cut = w[1] as usize;
+            if cut > 0 && cut < order.len() {
+                assert_ne!(
+                    g.vertices[order[cut] as usize].tile,
+                    g.vertices[order[cut - 1] as usize].tile,
+                    "cut at {cut} splits a tile"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_lanes_than_vertices_is_harmless() {
+        let (g, x) = sharded_increment_graph(2, 2);
+        let mut e = g.compile(Program::execute(ComputeSetId(0))).unwrap();
+        e.set_host_threads(16);
+        e.set_parallel_threshold(1);
+        e.write_f32(x, &[0.0; 4]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.host_threads(), 16);
+        assert!(e.read_f32(x).iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn auto_thread_resolution_is_positive_and_clamped() {
+        let (g, _) = sharded_increment_graph(2, 2);
+        let mut e = g.compile(Program::execute(ComputeSetId(0))).unwrap();
+        e.set_host_threads(0);
+        assert!((1..=AUTO_THREAD_CAP).contains(&e.host_threads()));
+        e.set_host_threads(10_000);
+        assert_eq!(e.host_threads(), MAX_HOST_THREADS);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_shuts_down() {
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let cs = g.add_compute_set("boom");
+        for t in 0..2 {
+            g.add_vertex(cs, t, "v", move |_| {
+                if t == 1 {
+                    panic!("codelet exploded");
+                }
+                1
+            })
+            .unwrap();
+        }
+        let mut e = g.compile(Program::execute(cs)).unwrap();
+        e.set_host_threads(2);
+        e.set_parallel_threshold(1);
+        let err = catch_unwind(AssertUnwindSafe(|| e.run())).unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("codelet exploded"),
+            "got panic payload {msg:?}"
+        );
+    }
+
+    #[test]
+    fn restore_rebuilds_raw_views() {
+        let (g, x) = sharded_increment_graph(2, 4);
+        let mut e = g.compile(Program::execute(ComputeSetId(0))).unwrap();
+        e.set_host_threads(2);
+        e.set_parallel_threshold(1);
+        e.write_f32(x, &[1.0; 8]).unwrap();
+        let snap = e.snapshot();
+        e.run().unwrap();
+        let after_first = e.read_f32(x);
+        e.restore(&snap);
+        assert_eq!(e.read_f32(x), vec![1.0; 8]);
+        e.run().unwrap();
+        assert_eq!(e.read_f32(x), after_first);
     }
 }

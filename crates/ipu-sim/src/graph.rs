@@ -116,7 +116,7 @@ pub(crate) struct VertexInfo {
     /// compile time.
     pub(crate) thread: Option<usize>,
     pub(crate) name: String,
-    pub(crate) codelet: Box<dyn Fn(&VertexCtx) -> u64>,
+    pub(crate) codelet: Box<dyn Fn(&VertexCtx) -> u64 + Send + Sync>,
     pub(crate) fields: Vec<(TensorSlice, Access)>,
 }
 
@@ -298,7 +298,7 @@ impl Graph {
         cs: ComputeSetId,
         tile: usize,
         name: &str,
-        codelet: impl Fn(&VertexCtx) -> u64 + 'static,
+        codelet: impl Fn(&VertexCtx) -> u64 + Send + Sync + 'static,
     ) -> Result<VertexId, GraphError> {
         self.add_vertex_inner(cs, tile, None, name, Box::new(codelet))
     }
@@ -312,7 +312,7 @@ impl Graph {
         tile: usize,
         thread: usize,
         name: &str,
-        codelet: impl Fn(&VertexCtx) -> u64 + 'static,
+        codelet: impl Fn(&VertexCtx) -> u64 + Send + Sync + 'static,
     ) -> Result<VertexId, GraphError> {
         if thread >= self.config.threads_per_tile {
             return Err(GraphError::Invalid {
@@ -331,7 +331,7 @@ impl Graph {
         tile: usize,
         thread: Option<usize>,
         name: &str,
-        codelet: Box<dyn Fn(&VertexCtx) -> u64>,
+        codelet: Box<dyn Fn(&VertexCtx) -> u64 + Send + Sync>,
     ) -> Result<VertexId, GraphError> {
         if tile >= self.config.tiles {
             return Err(GraphError::BadTile {

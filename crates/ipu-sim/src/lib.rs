@@ -28,9 +28,17 @@
 //! hardware threads per tile, 624 KiB SRAM per tile, 1.325 GHz clock (see
 //! [`calibration`] for every constant and its rationale).
 //!
-//! Execution on the host is sequential but **bit-deterministic**: vertices
-//! within a compute set are independent by construction, so host execution
-//! order cannot affect results.
+//! Execution on the host is **tile-parallel and bit-deterministic**: when
+//! more than one host thread is available (see
+//! [`IpuConfig::host_threads`] and the `SIM_THREADS` environment
+//! variable), each superstep's vertices are sharded by tile over a scoped
+//! worker pool. Vertices within a compute set are independent by
+//! construction (the compile-time race validation proves write-connected
+//! regions disjoint), per-slot instruction loads are order-independent
+//! u64 sums, the superstep cost is a max-reduction over them, and fault
+//! injection runs serially after workers join — so buffers, cycle
+//! statistics, and fault behaviour are bit-identical at any thread count,
+//! including fully sequential execution.
 //!
 //! # Quick example
 //!
@@ -61,8 +69,10 @@ mod codelet;
 mod config;
 mod engine;
 mod error;
+mod exec;
 mod fault;
 mod graph;
+mod pool;
 pub mod poplib;
 mod program;
 mod stats;

@@ -1,0 +1,158 @@
+//! Synchronization plumbing for the host-side superstep worker pool.
+//!
+//! The engine spawns one scoped worker thread per host execution lane at
+//! the start of [`crate::Engine::run`] (see `engine.rs`); the workers stay
+//! parked on a condvar between supersteps, so dispatching a compute set
+//! costs two lock round-trips instead of a thread spawn. This module owns
+//! only the epoch/done protocol — what a worker *does* with a job is the
+//! engine's business.
+//!
+//! Protocol: the main thread publishes a job `(epoch + 1, compute set)` and
+//! waits until `remaining` drops to zero; each worker wakes on the epoch
+//! change, executes its shard, and decrements `remaining`. Shutdown is a
+//! flag checked whenever a worker is between jobs, and is raised both on
+//! the orderly path and (via [`ShutdownGuard`]) when the main thread
+//! unwinds, so a panicking codelet can never leave workers parked forever.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Shared job slot + condvars for one run's worker pool.
+pub(crate) struct PoolSync {
+    job: Mutex<Job>,
+    /// Signaled by the main thread on a new job or shutdown.
+    go: Condvar,
+    /// Signaled by the last worker to finish the current job.
+    done: Condvar,
+}
+
+struct Job {
+    epoch: u64,
+    cs: usize,
+    remaining: usize,
+    shutdown: bool,
+}
+
+/// Ignore mutex poisoning: a worker panic is recorded in its result slot
+/// and re-raised deterministically by the engine; the job protocol itself
+/// holds no invariants a panic could break.
+fn lock_job(m: &Mutex<Job>) -> MutexGuard<'_, Job> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl PoolSync {
+    pub(crate) fn new() -> Self {
+        Self {
+            job: Mutex::new(Job {
+                epoch: 0,
+                cs: 0,
+                remaining: 0,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Main thread: publish `cs` to `workers` lanes and block until all of
+    /// them have called [`PoolSync::finish_job`].
+    pub(crate) fn run_superstep(&self, cs: usize, workers: usize) {
+        let mut j = lock_job(&self.job);
+        j.epoch += 1;
+        j.cs = cs;
+        j.remaining = workers;
+        self.go.notify_all();
+        while j.remaining > 0 {
+            j = self
+                .done
+                .wait(j)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Worker: block until a job newer than `*seen` is published (updating
+    /// `*seen`), or return `None` on shutdown.
+    pub(crate) fn next_job(&self, seen: &mut u64) -> Option<usize> {
+        let mut j = lock_job(&self.job);
+        loop {
+            if j.shutdown {
+                return None;
+            }
+            if j.epoch != *seen {
+                *seen = j.epoch;
+                return Some(j.cs);
+            }
+            j = self
+                .go
+                .wait(j)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Worker: mark this lane's shard of the current job complete.
+    pub(crate) fn finish_job(&self) {
+        let mut j = lock_job(&self.job);
+        j.remaining -= 1;
+        if j.remaining == 0 {
+            self.done.notify_one();
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut j = lock_job(&self.job);
+        j.shutdown = true;
+        self.go.notify_all();
+    }
+}
+
+/// Raises shutdown when dropped — on the orderly exit *and* when the main
+/// thread unwinds out of the execution scope, so `std::thread::scope` can
+/// always join the workers.
+pub(crate) struct ShutdownGuard<'a>(pub(crate) &'a PoolSync);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn supersteps_run_to_completion_and_shutdown_releases_workers() {
+        let sync = PoolSync::new();
+        let hits = AtomicU64::new(0);
+        let workers = 3;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut seen = 0u64;
+                    while let Some(cs) = sync.next_job(&mut seen) {
+                        hits.fetch_add(cs as u64, Ordering::Relaxed);
+                        sync.finish_job();
+                    }
+                });
+            }
+            let _guard = ShutdownGuard(&sync);
+            sync.run_superstep(5, workers);
+            sync.run_superstep(7, workers);
+            // All lanes completed both supersteps before run_superstep
+            // returned.
+            assert_eq!(hits.load(Ordering::Relaxed), (5 + 7) * workers as u64);
+        });
+    }
+
+    #[test]
+    fn guard_unparks_workers_even_without_jobs() {
+        let sync = PoolSync::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut seen = 0u64;
+                assert!(sync.next_job(&mut seen).is_none());
+            });
+            let _guard = ShutdownGuard(&sync);
+        });
+    }
+}

@@ -52,6 +52,21 @@ pub fn obj_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, String> {
     }
 }
 
+/// Like [`obj_field`], but a missing field is `Ok(None)` instead of an
+/// error. Used by the derive-generated code for `#[serde(default)]`
+/// fields; not part of real serde's API.
+pub fn obj_field_opt<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, String> {
+    match v {
+        Value::Obj(pairs) => match pairs.iter().find(|(k, _)| k == name) {
+            Some((_, field)) => T::from_value(field)
+                .map(Some)
+                .map_err(|e| format!("field `{name}`: {e}")),
+            None => Ok(None),
+        },
+        other => Err(format!("expected object, got {other:?}")),
+    }
+}
+
 /// Expect a string value (used for unit-enum deserialization).
 pub fn expect_str(v: &Value) -> Result<&str, String> {
     match v {

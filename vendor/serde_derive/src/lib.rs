@@ -9,10 +9,18 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Shape {
-    /// Named-field struct: field identifiers in declaration order.
-    Struct(Vec<String>),
+    /// Named-field struct: fields in declaration order.
+    Struct(Vec<Field>),
     /// Enum with unit variants only: variant identifiers.
     Enum(Vec<String>),
+}
+
+struct Field {
+    name: String,
+    /// `None`: field required. `Some(None)`: `#[serde(default)]` —
+    /// missing field falls back to `Default::default()`. `Some(Some(path))`:
+    /// `#[serde(default = "path")]` — missing field falls back to `path()`.
+    default: Option<Option<String>>,
 }
 
 struct Input {
@@ -80,17 +88,63 @@ fn parse_input(input: TokenStream) -> Input {
     Input { name, shape }
 }
 
-/// Extract field names from a named-field struct body.
-fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+/// If `attr` is the payload of a `#[serde(...)]` attribute carrying
+/// `default`, return the parsed default (see [`Field::default`]).
+fn parse_serde_default(attr: &proc_macro::Group) -> Option<Option<String>> {
+    let mut it = attr.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None, // doc comment or some other attribute
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let mut it = inner.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        Some(other) => {
+            panic!("vendored serde_derive: unsupported serde attribute `{other}` (only `default`)")
+        }
+        None => return None,
+    }
+    match it.next() {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match it.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let s = lit.to_string();
+                Some(Some(s.trim_matches('"').to_string()))
+            }
+            other => panic!(
+                "vendored serde_derive: malformed #[serde(default = ...)] (found `{other:?}`)"
+            ),
+        },
+        Some(other) => {
+            panic!("vendored serde_derive: unsupported token `{other}` in #[serde(default)]")
+        }
+    }
+}
+
+/// Extract fields (name + optional serde default) from a named-field
+/// struct body.
+fn parse_struct_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        // Skip attributes and visibility before the field identifier.
+        // Skip attributes and visibility before the field identifier,
+        // remembering any `#[serde(default)]` / `#[serde(default = "path")]`.
+        let mut default = None;
         let ident = loop {
             match iter.next() {
                 None => return fields,
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    iter.next(); // [...]
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        if g.delimiter() == Delimiter::Bracket {
+                            if let Some(d) = parse_serde_default(&g) {
+                                default = Some(d);
+                            }
+                        }
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     if let Some(TokenTree::Group(g)) = iter.peek() {
@@ -105,7 +159,10 @@ fn parse_struct_fields(body: TokenStream) -> Vec<String> {
                 }
             }
         };
-        fields.push(ident);
+        fields.push(Field {
+            name: ident,
+            default,
+        });
         // Consume `: Type` up to the next top-level comma. Generic arguments
         // like `Vec<(u32, u32)>` arrive as separate punct tokens, so track
         // angle-bracket depth to avoid splitting on commas inside them.
@@ -153,14 +210,17 @@ fn parse_enum_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
     variants
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let Input { name, shape } = parse_input(input);
     let body = match shape {
         Shape::Struct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                })
                 .collect();
             format!("serde::Value::Obj(vec![{}])", entries.join(", "))
         }
@@ -184,14 +244,27 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("vendored serde_derive: generated Serialize impl failed to parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let Input { name, shape } = parse_input(input);
     let body = match shape {
         Shape::Struct(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: serde::obj_field(v, \"{f}\")?"))
+                .map(|f| {
+                    let n = &f.name;
+                    match &f.default {
+                        None => format!("{n}: serde::obj_field(v, \"{n}\")?"),
+                        Some(None) => format!(
+                            "{n}: match serde::obj_field_opt(v, \"{n}\")? \
+                             {{ Some(x) => x, None => Default::default() }}"
+                        ),
+                        Some(Some(path)) => format!(
+                            "{n}: match serde::obj_field_opt(v, \"{n}\")? \
+                             {{ Some(x) => x, None => {path}() }}"
+                        ),
+                    }
+                })
                 .collect();
             format!("Ok(Self {{ {} }})", inits.join(", "))
         }
