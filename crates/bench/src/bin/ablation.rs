@@ -69,6 +69,8 @@ fn main() {
                         objective: obj as f64,
                         extrapolated: false,
                         host_threads: ipu_threads,
+                        device_steps: 0,
+                        profile_events: 0,
                     });
                 }
             }
@@ -87,6 +89,8 @@ fn main() {
                         objective: obj as f64,
                         extrapolated: false,
                         host_threads: ipu_threads,
+                        device_steps: 0,
+                        profile_events: 0,
                     });
                 }
             }
@@ -112,6 +116,8 @@ fn main() {
                         objective: obj as f64,
                         extrapolated: false,
                         host_threads: ipu_threads,
+                        device_steps: 0,
+                        profile_events: 0,
                     });
                 }
             }

@@ -77,6 +77,8 @@ fn main() {
                     extrapolated: false,
                     // The GPU simulator runs the host loop sequentially.
                     host_threads: if engine == "hunipu" { ipu_threads } else { 1 },
+                    device_steps: rep.stats.device_steps,
+                    profile_events: rep.stats.profile_events,
                 });
             }
         }

@@ -40,6 +40,8 @@ fn main() {
             objective: g.m() as f64,
             extrapolated: false,
             host_threads: 1,
+            device_steps: 0,
+            profile_events: 0,
         });
     }
     let path = record.save().expect("write record");

@@ -76,6 +76,8 @@ fn main() {
                 objective: hun.objective,
                 extrapolated: false,
                 host_threads: ipu_threads,
+                device_steps: hun.stats.device_steps,
+                profile_events: hun.stats.profile_events,
             });
 
             let (cpu_s, extrapolated, cpu_obj) = if n <= cpu_cutoff {
@@ -109,6 +111,8 @@ fn main() {
                 objective: cpu_obj.unwrap_or(f64::NAN),
                 extrapolated,
                 host_threads: 1,
+                device_steps: 0,
+                profile_events: 0,
             });
 
             // Cross-check optimality whenever f32 is exact for this range.

@@ -93,21 +93,20 @@ fn main() {
                 acc * 100.0,
                 acc_fast * 100.0
             );
-            for (engine, secs, wall, obj) in [
-                ("hunipu", hs, hun.stats.wall_seconds, hun.objective),
-                ("fastha", fs, fast.stats.wall_seconds, fast.objective),
-            ] {
+            for (engine, rep, secs) in [("hunipu", &hun, hs), ("fastha", &fast, fs)] {
                 record.push(Measurement {
                     engine: engine.into(),
                     n: g.n(),
                     k: 0,
                     label: format!("{name}/{label}"),
                     modeled_seconds: secs,
-                    wall_seconds: wall,
-                    objective: obj,
+                    wall_seconds: rep.stats.wall_seconds,
+                    objective: rep.objective,
                     extrapolated: false,
                     // The GPU simulator runs the host loop sequentially.
                     host_threads: if engine == "hunipu" { ipu_threads } else { 1 },
+                    device_steps: rep.stats.device_steps,
+                    profile_events: rep.stats.profile_events,
                 });
             }
         }

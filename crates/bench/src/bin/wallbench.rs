@@ -109,6 +109,8 @@ fn main() {
                 objective: rep.objective,
                 extrapolated: false,
                 host_threads: used,
+                device_steps: rep.stats.device_steps,
+                profile_events: rep.stats.profile_events,
             });
         }
     }

@@ -28,6 +28,14 @@ pub struct Args {
     pub threads: Option<Vec<usize>>,
     /// Dataset seed.
     pub seed: u64,
+    /// `--tile-sample N`: per-tile detail stride for the IPU profiler
+    /// (1 = every tile; larger strides bound trace size on big devices).
+    pub tile_sample: Option<u32>,
+    /// `--max-events N`: timeline ring-buffer capacity for the profilers.
+    pub max_events: Option<usize>,
+    /// `--out PATH`: output path override (e.g. where `bench profile`
+    /// writes its merged Chrome trace).
+    pub out: Option<String>,
     /// Positional arguments.
     pub positional: Vec<String>,
 }
@@ -81,10 +89,31 @@ impl Args {
                         .parse()
                         .expect("bad seed");
                 }
+                "--tile-sample" => {
+                    let v: u32 = it
+                        .next()
+                        .expect("--tile-sample needs a value")
+                        .parse()
+                        .expect("bad tile-sample stride");
+                    assert!(v >= 1, "--tile-sample must be >= 1");
+                    out.tile_sample = Some(v);
+                }
+                "--max-events" => {
+                    out.max_events = Some(
+                        it.next()
+                            .expect("--max-events needs a value")
+                            .parse()
+                            .expect("bad max-events capacity"),
+                    );
+                }
+                "--out" => {
+                    out.out = Some(it.next().expect("--out needs a path"));
+                }
                 other if other.starts_with("--") => {
                     panic!(
                         "unknown flag {other}; supported: \
-                         --full --uniform --sizes --ks --threads --seed"
+                         --full --uniform --sizes --ks --threads --seed \
+                         --tile-sample --max-events --out"
                     )
                 }
                 other => out.positional.push(other.to_string()),
@@ -130,5 +159,27 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         parse("--bogus");
+    }
+
+    #[test]
+    fn profiler_flags_parse() {
+        let a = parse("--tile-sample 4 --max-events 1024 --out /tmp/t.json");
+        assert_eq!(a.tile_sample, Some(4));
+        assert_eq!(a.max_events, Some(1024));
+        assert_eq!(a.out.as_deref(), Some("/tmp/t.json"));
+    }
+
+    #[test]
+    fn profiler_flags_default_to_none() {
+        let a = parse("--seed 3");
+        assert_eq!(a.tile_sample, None);
+        assert_eq!(a.max_events, None);
+        assert_eq!(a.out, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--tile-sample must be >= 1")]
+    fn zero_tile_sample_panics() {
+        parse("--tile-sample 0");
     }
 }

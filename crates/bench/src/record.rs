@@ -28,6 +28,15 @@ pub struct Measurement {
     /// deserialize as 1 (the simulator was sequential then).
     #[serde(default = "default_host_threads")]
     pub host_threads: usize,
+    /// Device steps behind the measurement (BSP supersteps on the IPU,
+    /// kernel launches on the GPU; 0 when not applicable). Older records
+    /// deserialize as 0.
+    #[serde(default)]
+    pub device_steps: u64,
+    /// Profiler timeline events captured during the measurement (0 when
+    /// profiling was off). Older records deserialize as 0.
+    #[serde(default)]
+    pub profile_events: u64,
 }
 
 fn default_host_threads() -> usize {
@@ -91,12 +100,16 @@ mod tests {
             objective: 42.0,
             extrapolated: false,
             host_threads: 4,
+            device_steps: 120,
+            profile_events: 37,
         });
         let s = serde_json::to_string(&r).unwrap();
         let back: ExperimentRecord = serde_json::from_str(&s).unwrap();
         assert_eq!(back.measurements.len(), 1);
         assert_eq!(back.measurements[0].n, 512);
         assert_eq!(back.measurements[0].host_threads, 4);
+        assert_eq!(back.measurements[0].device_steps, 120);
+        assert_eq!(back.measurements[0].profile_events, 37);
     }
 
     #[test]
@@ -108,5 +121,7 @@ mod tests {
                     "objective":7.0,"extrapolated":false}"#;
         let m: Measurement = serde_json::from_str(s).unwrap();
         assert_eq!(m.host_threads, 1);
+        assert_eq!(m.device_steps, 0);
+        assert_eq!(m.profile_events, 0);
     }
 }

@@ -164,6 +164,7 @@ impl LsapSolver for Auction {
             augmentations: rounds,
             dual_updates: 0,
             device_steps: 0,
+            profile_events: 0,
         };
         Ok(SolveReport {
             assignment,

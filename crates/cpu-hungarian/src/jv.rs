@@ -145,6 +145,7 @@ impl LsapSolver for JonkerVolgenant {
             augmentations,
             dual_updates: 0,
             device_steps: 0,
+            profile_events: 0,
         };
         Ok(SolveReport {
             assignment,

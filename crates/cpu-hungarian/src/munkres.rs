@@ -108,6 +108,7 @@ impl LsapSolver for Munkres {
             augmentations: state.augmentations,
             dual_updates: state.dual_updates,
             device_steps: 0,
+            profile_events: 0,
         };
         Ok(SolveReport {
             assignment,

@@ -1,6 +1,6 @@
 //! The FastHA solver: Munkres phases as SIMT kernels with host control.
 
-use gpu_sim::{BufId, GpuConfig, GpuSim};
+use gpu_sim::{BufId, GpuConfig, GpuProfileConfig, GpuSim};
 use lsap::{
     Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver, SolveReport, SolverStats,
 };
@@ -16,6 +16,7 @@ const NOT_FOUND: i32 = i32::MAX;
 #[derive(Debug, Clone)]
 pub struct FastHa {
     config: GpuConfig,
+    profile: Option<GpuProfileConfig>,
 }
 
 impl Default for FastHa {
@@ -29,12 +30,31 @@ impl FastHa {
     pub fn new() -> Self {
         Self {
             config: GpuConfig::a100(),
+            profile: None,
         }
     }
 
     /// A solver targeting a custom device.
     pub fn with_config(config: GpuConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            ..Self::new()
+        }
+    }
+
+    /// Enables the per-launch profiler on every device this solver
+    /// builds. The timeline is recovered from the device returned by
+    /// [`FastHa::solve_with_device`] (via `profile_report` /
+    /// `chrome_trace`); [`lsap::SolverStats::profile_events`] counts the
+    /// captured events either way.
+    pub fn with_profiling(mut self, config: GpuProfileConfig) -> Self {
+        self.profile = Some(config);
+        self
+    }
+
+    /// The armed profiler configuration, if any.
+    pub fn profile_config(&self) -> Option<&GpuProfileConfig> {
+        self.profile.as_ref()
     }
 
     /// Builds, runs, and returns the report plus the device (for
@@ -57,6 +77,9 @@ impl FastHa {
         }
         let start = Instant::now();
         let mut run = Run::new(self.config.clone(), matrix);
+        if let Some(cfg) = &self.profile {
+            run.gpu.enable_profiling(cfg.clone());
+        }
         run.execute();
         let wall = start.elapsed().as_secs_f64();
 
@@ -78,6 +101,10 @@ impl FastHa {
             augmentations: run.augmentations,
             dual_updates: run.dual_updates,
             device_steps: run.gpu.stats().launches,
+            profile_events: run
+                .gpu
+                .profile()
+                .map_or(0, |p| p.events.len() as u64 + p.dropped),
         };
         Ok((
             SolveReport {
@@ -525,5 +552,58 @@ mod tests {
         assert!(gpu.stats().launches > 3);
         assert!(gpu.stats().host_syncs > 0);
         assert!(!gpu.stats().per_kernel.is_empty());
+    }
+
+    #[test]
+    fn per_kernel_breakdown_covers_all_phases() {
+        // A product matrix forces dual updates, so every phase kernel
+        // launches at least once and the breakdown names them all.
+        let m = CostMatrix::from_fn(8, 8, |i, j| ((i + 1) * (j + 1)) as f64).unwrap();
+        let (_, gpu) = FastHa::new().solve_with_device(&m).unwrap();
+        let per_kernel = &gpu.stats().per_kernel;
+        for name in [
+            "rowReduce",
+            "colReduce",
+            "buildZeros",
+            "initialStar",
+            "coverCols",
+            "findZero",
+            "minUncovered",
+            "dualUpdate",
+            "augmentPath",
+            "clearCovers",
+        ] {
+            let k = per_kernel
+                .iter()
+                .find(|k| k.name == name)
+                .unwrap_or_else(|| panic!("kernel {name} missing from breakdown"));
+            assert!(k.launches >= 1, "{name} never launched");
+        }
+        let launches: u64 = per_kernel.iter().map(|k| k.launches).sum();
+        let cycles: u64 = per_kernel.iter().map(|k| k.warp_cycles).sum();
+        assert_eq!(launches, gpu.stats().launches);
+        assert_eq!(cycles, gpu.stats().warp_cycles);
+    }
+
+    #[test]
+    fn profiled_solve_matches_unprofiled_and_reconciles() {
+        let m = CostMatrix::from_fn(8, 8, |i, j| ((i * 7 + j * 11) % 13) as f64).unwrap();
+        let (plain, _) = FastHa::new().solve_with_device(&m).unwrap();
+        let (rep, gpu) = FastHa::new()
+            .with_profiling(gpu_sim::GpuProfileConfig::default())
+            .solve_with_device(&m)
+            .unwrap();
+        // Profiling is pure observation.
+        assert_eq!(rep.assignment, plain.assignment);
+        assert_eq!(rep.stats.device_steps, plain.stats.device_steps);
+        assert!(rep.stats.profile_events > 0);
+        assert_eq!(plain.stats.profile_events, 0);
+        let profile = gpu.profile_report().expect("profiler enabled");
+        assert_eq!(profile.launches, gpu.stats().launches);
+        assert_eq!(profile.warp_cycles, gpu.stats().warp_cycles);
+        assert_eq!(
+            rep.stats.profile_events,
+            (profile.events_recorded as u64) + profile.events_dropped
+        );
     }
 }

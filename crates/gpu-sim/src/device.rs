@@ -1,6 +1,7 @@
 //! The simulated device: buffers, kernel launches, warp accounting.
 
 use crate::config::GpuConfig;
+use crate::profile::{GpuProfileConfig, GpuProfileReport, GpuProfiler};
 use crate::stats::{GpuStats, KernelBreakdown};
 
 /// Bytes effectively moved per 4-byte global access.
@@ -31,6 +32,8 @@ pub struct GpuSim {
     config: GpuConfig,
     buffers: Vec<Buffer>,
     stats: GpuStats,
+    /// Installed profiler, if any; recording never changes `stats`.
+    profiler: Option<GpuProfiler>,
 }
 
 impl GpuSim {
@@ -40,6 +43,7 @@ impl GpuSim {
             config,
             buffers: Vec::new(),
             stats: GpuStats::default(),
+            profiler: None,
         }
     }
 
@@ -56,6 +60,35 @@ impl GpuSim {
     /// Zeroes the statistics (buffers are untouched).
     pub fn reset_stats(&mut self) {
         self.stats = GpuStats::default();
+    }
+
+    /// Installs a profiler: subsequent launches and host syncs are
+    /// recorded on a per-kernel timeline (see [`GpuProfiler`]).
+    /// Replaces any previously installed profiler; with none installed
+    /// accounting is untouched.
+    pub fn enable_profiling(&mut self, config: GpuProfileConfig) {
+        self.profiler = Some(GpuProfiler::new(config));
+    }
+
+    /// Removes the installed profiler, returning its recordings.
+    pub fn disable_profiling(&mut self) -> Option<GpuProfiler> {
+        self.profiler.take()
+    }
+
+    /// The installed profiler's recordings so far, if any.
+    pub fn profile(&self) -> Option<&GpuProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Summary report of the installed profiler, if any.
+    pub fn profile_report(&self) -> Option<GpuProfileReport> {
+        self.profiler.as_ref().map(GpuProfiler::report)
+    }
+
+    /// Chrome-trace rendering of the installed profiler's timeline, if
+    /// any (see [`GpuProfiler::chrome_trace`]).
+    pub fn chrome_trace(&self, pid: u64, process: &str) -> Option<trace::ChromeTrace> {
+        self.profiler.as_ref().map(|p| p.chrome_trace(pid, process))
     }
 
     /// Allocates a zero-initialized f32 buffer in global memory.
@@ -144,6 +177,9 @@ impl GpuSim {
     pub fn host_sync_read_i32(&mut self, buf: BufId, idx: usize) -> i32 {
         self.stats.host_syncs += 1;
         self.stats.host_sync_seconds += self.config.host_sync_s;
+        if let Some(p) = self.profiler.as_mut() {
+            p.record_host_sync(self.config.host_sync_s);
+        }
         match &self.buffers[buf.0].data {
             Data::I32(v) => v[idx],
             _ => panic!(
@@ -172,6 +208,7 @@ impl GpuSim {
         let mut total_warp_cycles = 0u64;
         let mut total_accesses = 0u64;
         let mut total_rounds = 0u64;
+        let mut total_instr = 0u64;
 
         let mut warp_max_instr = 0u64;
         let mut warp_max_accesses = 0u64;
@@ -188,6 +225,7 @@ impl GpuSim {
             warp_max_instr = warp_max_instr.max(i);
             warp_max_accesses = warp_max_accesses.max(a);
             total_accesses += a;
+            total_instr += i;
             if tid % warp == warp - 1 || tid == threads - 1 {
                 total_warp_cycles += warp_max_instr;
                 total_rounds += warp_max_accesses;
@@ -216,12 +254,25 @@ impl GpuSim {
             Some(k) => {
                 k.launches += 1;
                 k.seconds += time;
+                k.warp_cycles += total_warp_cycles;
             }
             None => self.stats.per_kernel.push(KernelBreakdown {
                 name: name.into(),
                 launches: 1,
                 seconds: time,
+                warp_cycles: total_warp_cycles,
             }),
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            p.record_launch(
+                name,
+                threads as u64,
+                time,
+                total_warp_cycles,
+                total_instr,
+                total_accesses,
+                warp,
+            );
         }
     }
 
@@ -457,6 +508,76 @@ mod tests {
         assert_eq!(pk.len(), 2);
         assert_eq!(pk[0].launches, 2);
         assert_eq!(pk[1].launches, 1);
+    }
+
+    #[test]
+    fn per_kernel_breakdown_reconciles_with_totals() {
+        let mut g = gpu();
+        g.launch("a", 64, 32, |t| t.alu(7));
+        g.launch("a", 32, 32, |t| t.alu(3));
+        g.launch("b", 128, 32, |t| t.alu(t.tid() as u64 % 5));
+        let s = g.stats();
+        assert_eq!(
+            s.per_kernel.iter().map(|k| k.launches).sum::<u64>(),
+            s.launches
+        );
+        assert_eq!(
+            s.per_kernel.iter().map(|k| k.warp_cycles).sum::<u64>(),
+            s.warp_cycles
+        );
+        assert!(s.per_kernel.iter().all(|k| k.warp_cycles > 0));
+        let second_sum: f64 = s.per_kernel.iter().map(|k| k.seconds).sum();
+        assert!((second_sum - s.kernel_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiler_reconciles_with_stats_and_validates() {
+        let mut g = gpu();
+        g.enable_profiling(crate::GpuProfileConfig::default());
+        let x = g.alloc_f32("x", 64);
+        let flag = g.alloc_i32("flag", 1);
+        g.launch("sq", 64, 64, |t| {
+            let v = t.read_f32(x, t.tid());
+            t.write_f32(x, t.tid(), v * v);
+        });
+        let _ = g.host_sync_read_i32(flag, 0);
+        g.launch("sq", 64, 64, |t| t.alu(1));
+        let p = g.profile().unwrap().clone();
+        let s = g.stats().clone();
+        assert_eq!(p.launches, s.launches);
+        assert_eq!(p.host_syncs, s.host_syncs);
+        assert_eq!(p.warp_cycles, s.warp_cycles);
+        assert_eq!(p.kernel_seconds.to_bits(), s.kernel_seconds.to_bits());
+        assert_eq!(p.host_sync_seconds.to_bits(), s.host_sync_seconds.to_bits());
+        let r = p.report();
+        assert_eq!(
+            r.per_kernel.iter().map(|k| k.warp_cycles).sum::<u64>(),
+            s.warp_cycles
+        );
+        let json = g.chrome_trace(2, "gpu-sim").unwrap().to_json();
+        let summary = trace::ChromeTrace::validate_json(&json).expect("valid trace");
+        assert_eq!(summary.complete_events, 3);
+    }
+
+    #[test]
+    fn profiling_disabled_changes_nothing() {
+        let run = |profile: bool| {
+            let mut g = gpu();
+            if profile {
+                g.enable_profiling(crate::GpuProfileConfig::default());
+            }
+            let x = g.alloc_f32("x", 64);
+            g.fill_f32(x, 2.0);
+            g.launch("sq", 64, 64, |t| {
+                let v = t.read_f32(x, t.tid());
+                t.write_f32(x, t.tid(), v * v);
+            });
+            (g.stats().clone(), g.read_f32(x))
+        };
+        let (stats_off, buf_off) = run(false);
+        let (stats_on, buf_on) = run(true);
+        assert_eq!(stats_off, stats_on);
+        assert_eq!(buf_off, buf_on);
     }
 
     #[test]

@@ -48,8 +48,10 @@
 pub mod calibration;
 mod config;
 mod device;
+pub mod profile;
 mod stats;
 
 pub use config::GpuConfig;
 pub use device::{BufId, GpuSim, ThreadCtx};
+pub use profile::{GpuProfileConfig, GpuProfileEvent, GpuProfileReport, GpuProfiler};
 pub use stats::{GpuStats, KernelBreakdown};

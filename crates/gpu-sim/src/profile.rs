@@ -1,0 +1,387 @@
+//! Opt-in per-kernel execution profiler for the GPU simulator.
+//!
+//! The SIMT counterpart of `ipu-sim`'s per-tile profiler: a timeline of
+//! kernel launches (with per-launch warp-divergence factors) and
+//! synchronous host reads, held in a bounded ring buffer, plus exact
+//! per-kernel aggregates. Totals reconcile with
+//! [`GpuStats`](crate::GpuStats) field for field — same `f64` additions
+//! in the same order, so a profiled run's accounting is bit-identical
+//! to the stats of an unprofiled one.
+//!
+//! The **divergence factor** of a launch is
+//! `warp_cycles * warp_size / total_thread_instructions`: `1.0` means
+//! every thread of every warp did the same work (perfect lockstep
+//! utilization); `32.0` means one thread per warp did everything while
+//! 31 idled — the metric that exposes FastHA's ragged scan kernels.
+//!
+//! Export shares the Chrome `trace_event` schema with `ipu-sim` (see
+//! the `trace` crate), so one merged JSON file compares a HunIPU solve
+//! against a FastHA solve lane for lane.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use trace::{ChromeTrace, TraceEvent};
+
+/// Trace lane (`tid`) carrying kernel launches.
+const KERNEL_TID: u64 = 0;
+/// Trace lane (`tid`) carrying synchronous host reads.
+const SYNC_TID: u64 = 1;
+
+/// Profiler knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuProfileConfig {
+    /// Ring-buffer capacity for timeline events; once full, the oldest
+    /// event is dropped (and counted). `0` keeps aggregates only.
+    #[serde(default = "default_max_events")]
+    pub max_events: usize,
+}
+
+fn default_max_events() -> usize {
+    65_536
+}
+
+impl Default for GpuProfileConfig {
+    fn default() -> Self {
+        Self {
+            max_events: default_max_events(),
+        }
+    }
+}
+
+/// One kernel launch on the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchSample {
+    /// Index into [`GpuProfiler::kernel_names`].
+    pub kernel: u32,
+    /// Modeled seconds at which the launch began.
+    pub start_s: f64,
+    /// Modeled launch duration (overhead + roofline busy time).
+    pub seconds: f64,
+    /// Threads launched.
+    pub threads: u64,
+    /// Lockstep warp cycles (sum of per-warp maxima).
+    pub warp_cycles: u64,
+    /// Instructions summed over all threads.
+    pub thread_instr: u64,
+    /// Global-memory accesses summed over all threads.
+    pub accesses: u64,
+    /// Warp-divergence factor (see module docs); `1.0` is perfect
+    /// lockstep utilization.
+    pub divergence: f64,
+}
+
+/// One synchronous device→host read on the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSyncSample {
+    /// Modeled seconds at which the read began.
+    pub start_s: f64,
+    /// PCIe round-trip duration.
+    pub seconds: f64,
+}
+
+/// A timeline entry in the profiler's ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuProfileEvent {
+    /// A kernel launch.
+    Launch(LaunchSample),
+    /// A synchronous host read.
+    HostSync(HostSyncSample),
+}
+
+/// Per-kernel row of the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// Launches observed.
+    pub launches: u64,
+    /// Modeled seconds across all launches.
+    pub seconds: f64,
+    /// Lockstep warp cycles across all launches.
+    pub warp_cycles: u64,
+    /// Worst per-launch divergence factor observed.
+    pub max_divergence: f64,
+}
+
+/// Summary of a profiled GPU run; totals reconcile exactly with
+/// [`GpuStats`](crate::GpuStats).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuProfileReport {
+    /// Kernel launches observed.
+    pub launches: u64,
+    /// Synchronous host reads observed.
+    pub host_syncs: u64,
+    /// Modeled kernel seconds.
+    pub kernel_seconds: f64,
+    /// Modeled host-sync seconds.
+    pub host_sync_seconds: f64,
+    /// Lockstep warp cycles.
+    pub warp_cycles: u64,
+    /// Timeline events currently held in the ring.
+    pub events_recorded: usize,
+    /// Timeline events dropped by the ring bound.
+    pub events_dropped: u64,
+    /// Per-kernel rows in first-launch order.
+    pub per_kernel: Vec<KernelProfile>,
+}
+
+/// Per-kernel aggregate carried by the profiler.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct KernelAgg {
+    launches: u64,
+    seconds: f64,
+    warp_cycles: u64,
+    max_divergence: f64,
+}
+
+/// The recording state. Obtain one via
+/// [`GpuSim::enable_profiling`](crate::GpuSim::enable_profiling) and
+/// read it back with [`GpuSim::profile`](crate::GpuSim::profile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuProfiler {
+    /// The knobs this profiler was created with.
+    pub config: GpuProfileConfig,
+    /// Timeline ring buffer, oldest first.
+    pub events: VecDeque<GpuProfileEvent>,
+    /// Timeline events dropped by the ring bound.
+    pub dropped: u64,
+    /// Modeled-time cursor: advances with every recorded charge.
+    pub now_s: f64,
+    /// Kernel names in first-launch order (the interning table
+    /// [`LaunchSample::kernel`] indexes).
+    pub kernel_names: Vec<String>,
+    per_kernel: Vec<KernelAgg>,
+    /// Kernel launches observed.
+    pub launches: u64,
+    /// Synchronous host reads observed.
+    pub host_syncs: u64,
+    /// Modeled kernel seconds observed.
+    pub kernel_seconds: f64,
+    /// Modeled host-sync seconds observed.
+    pub host_sync_seconds: f64,
+    /// Lockstep warp cycles observed.
+    pub warp_cycles: u64,
+}
+
+impl GpuProfiler {
+    pub(crate) fn new(config: GpuProfileConfig) -> Self {
+        Self {
+            config,
+            events: VecDeque::new(),
+            dropped: 0,
+            now_s: 0.0,
+            kernel_names: Vec::new(),
+            per_kernel: Vec::new(),
+            launches: 0,
+            host_syncs: 0,
+            kernel_seconds: 0.0,
+            host_sync_seconds: 0.0,
+            warp_cycles: 0,
+        }
+    }
+
+    fn push_event(&mut self, ev: GpuProfileEvent) {
+        if self.config.max_events == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.config.max_events {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    fn kernel_id(&mut self, name: &str) -> u32 {
+        match self.kernel_names.iter().position(|n| n == name) {
+            Some(i) => i as u32,
+            None => {
+                self.kernel_names.push(name.to_string());
+                self.per_kernel.push(KernelAgg::default());
+                (self.kernel_names.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Records one kernel launch.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_launch(
+        &mut self,
+        name: &str,
+        threads: u64,
+        seconds: f64,
+        warp_cycles: u64,
+        thread_instr: u64,
+        accesses: u64,
+        warp_size: usize,
+    ) {
+        let kernel = self.kernel_id(name);
+        let divergence = if thread_instr == 0 {
+            1.0
+        } else {
+            (warp_cycles * warp_size as u64) as f64 / thread_instr as f64
+        };
+        self.launches += 1;
+        self.kernel_seconds += seconds;
+        self.warp_cycles += warp_cycles;
+        let agg = &mut self.per_kernel[kernel as usize];
+        agg.launches += 1;
+        agg.seconds += seconds;
+        agg.warp_cycles += warp_cycles;
+        agg.max_divergence = agg.max_divergence.max(divergence);
+        let start_s = self.now_s;
+        self.now_s += seconds;
+        self.push_event(GpuProfileEvent::Launch(LaunchSample {
+            kernel,
+            start_s,
+            seconds,
+            threads,
+            warp_cycles,
+            thread_instr,
+            accesses,
+            divergence,
+        }));
+    }
+
+    /// Records one synchronous device→host read.
+    pub(crate) fn record_host_sync(&mut self, seconds: f64) {
+        self.host_syncs += 1;
+        self.host_sync_seconds += seconds;
+        let start_s = self.now_s;
+        self.now_s += seconds;
+        self.push_event(GpuProfileEvent::HostSync(HostSyncSample {
+            start_s,
+            seconds,
+        }));
+    }
+
+    /// Builds the summary report.
+    pub fn report(&self) -> GpuProfileReport {
+        GpuProfileReport {
+            launches: self.launches,
+            host_syncs: self.host_syncs,
+            kernel_seconds: self.kernel_seconds,
+            host_sync_seconds: self.host_sync_seconds,
+            warp_cycles: self.warp_cycles,
+            events_recorded: self.events.len(),
+            events_dropped: self.dropped,
+            per_kernel: self
+                .kernel_names
+                .iter()
+                .zip(&self.per_kernel)
+                .map(|(name, agg)| KernelProfile {
+                    name: name.clone(),
+                    launches: agg.launches,
+                    seconds: agg.seconds,
+                    warp_cycles: agg.warp_cycles,
+                    max_divergence: agg.max_divergence,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the timeline as Chrome `trace_event` records; `pid` is
+    /// the process lane, `process` its display name.
+    pub fn chrome_trace(&self, pid: u64, process: &str) -> ChromeTrace {
+        let us = |s: f64| s * 1e6;
+        let mut t = ChromeTrace::new();
+        t.push(TraceEvent::process_name(pid, process));
+        t.push(TraceEvent::thread_name(pid, KERNEL_TID, "kernels"));
+        t.push(TraceEvent::thread_name(pid, SYNC_TID, "host sync"));
+        for ev in &self.events {
+            match ev {
+                GpuProfileEvent::Launch(l) => {
+                    let name = self
+                        .kernel_names
+                        .get(l.kernel as usize)
+                        .map(String::as_str)
+                        .unwrap_or("<unknown kernel>");
+                    t.push(
+                        TraceEvent::complete(
+                            name,
+                            "kernel",
+                            us(l.start_s),
+                            us(l.seconds),
+                            pid,
+                            KERNEL_TID,
+                        )
+                        .arg("threads", l.threads)
+                        .arg("warp_cycles", l.warp_cycles)
+                        .arg("accesses", l.accesses)
+                        .arg("divergence", l.divergence),
+                    );
+                }
+                GpuProfileEvent::HostSync(s) => {
+                    t.push(TraceEvent::complete(
+                        "host_sync_read",
+                        "sync",
+                        us(s.start_s),
+                        us(s.seconds),
+                        pid,
+                        SYNC_TID,
+                    ));
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_accounting_and_interning() {
+        let mut p = GpuProfiler::new(GpuProfileConfig::default());
+        p.record_launch("rowReduce", 64, 1e-5, 100, 3200, 64, 32);
+        p.record_launch("rowReduce", 64, 1e-5, 100, 3200, 64, 32);
+        p.record_launch("colReduce", 64, 2e-5, 50, 1600, 64, 32);
+        assert_eq!(p.launches, 3);
+        assert_eq!(p.warp_cycles, 250);
+        assert_eq!(p.kernel_names, vec!["rowReduce", "colReduce"]);
+        let r = p.report();
+        assert_eq!(r.per_kernel.len(), 2);
+        assert_eq!(r.per_kernel[0].launches, 2);
+        assert_eq!(r.per_kernel[0].warp_cycles, 200);
+        assert_eq!(
+            r.per_kernel.iter().map(|k| k.warp_cycles).sum::<u64>(),
+            r.warp_cycles
+        );
+        // Perfect lockstep: 100 warp cycles * 32 lanes == 3200 instr.
+        assert!((r.per_kernel[0].max_divergence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_flags_ragged_warps() {
+        let mut p = GpuProfiler::new(GpuProfileConfig::default());
+        // One thread did all 3200 instructions; the warp paid 3200.
+        p.record_launch("ragged", 32, 1e-5, 3200, 3231, 0, 32);
+        let r = p.report();
+        assert!(r.per_kernel[0].max_divergence > 30.0);
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest() {
+        let mut p = GpuProfiler::new(GpuProfileConfig { max_events: 2 });
+        for i in 0..5 {
+            p.record_launch("k", 1, 1e-6 * (i + 1) as f64, 1, 1, 0, 32);
+        }
+        assert_eq!(p.events.len(), 2);
+        assert_eq!(p.dropped, 3);
+        assert_eq!(p.launches, 5);
+    }
+
+    #[test]
+    fn chrome_trace_validates() {
+        let mut p = GpuProfiler::new(GpuProfileConfig::default());
+        p.record_launch("k1", 64, 1e-5, 10, 320, 8, 32);
+        p.record_host_sync(9e-6);
+        p.record_launch("k2", 64, 1e-5, 10, 320, 8, 32);
+        let json = p.chrome_trace(2, "gpu-sim").to_json();
+        let summary = ChromeTrace::validate_json(&json).expect("valid trace");
+        assert_eq!(summary.complete_events, 3);
+        assert_eq!(summary.lanes, 2);
+    }
+}

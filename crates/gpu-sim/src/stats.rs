@@ -11,6 +11,10 @@ pub struct KernelBreakdown {
     pub launches: u64,
     /// Modeled seconds across all launches.
     pub seconds: f64,
+    /// Lockstep warp cycles across all launches (pre-fix records
+    /// deserialize as 0).
+    #[serde(default)]
+    pub warp_cycles: u64,
 }
 
 /// Accumulated model state for one device.
@@ -45,5 +49,14 @@ mod tests {
         assert_eq!(s.launches, 0);
         assert_eq!(s.kernel_seconds, 0.0);
         assert!(s.per_kernel.is_empty());
+    }
+
+    #[test]
+    fn kernel_breakdown_without_cycles_deserializes_to_zero() {
+        // Records written before the per-kernel cycle column existed.
+        let json = r#"{"name":"rowReduce","launches":3,"seconds":0.5}"#;
+        let k: KernelBreakdown = serde_json::from_str(json).expect("old record readable");
+        assert_eq!(k.launches, 3);
+        assert_eq!(k.warp_cycles, 0);
     }
 }

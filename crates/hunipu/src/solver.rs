@@ -4,7 +4,7 @@
 
 use crate::build::Builder;
 use crate::layout::Layout;
-use ipu_sim::{FaultPlan, IpuConfig};
+use ipu_sim::{FaultPlan, IpuConfig, ProfileConfig};
 use lsap::{
     Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver, SolveReport, SolverStats,
 };
@@ -33,6 +33,7 @@ pub struct HunIpu {
     /// Number of solves already launched with faults armed; decorrelates
     /// the fault stream across retries (see [`HunIpu::with_fault_plan`]).
     fault_epoch: Cell<u64>,
+    profile: Option<ProfileConfig>,
 }
 
 impl Default for HunIpu {
@@ -50,6 +51,7 @@ impl HunIpu {
             ablation: Default::default(),
             fault_plan: None,
             fault_epoch: Cell::new(0),
+            profile: None,
         }
     }
 
@@ -95,6 +97,21 @@ impl HunIpu {
     /// The armed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault_plan.as_ref()
+    }
+
+    /// Enables the per-tile execution profiler on every engine this
+    /// solver builds. The timeline is recovered from the engine returned
+    /// by [`HunIpu::solve_with_engine`] (via `profile_report` /
+    /// `chrome_trace`); [`lsap::SolverStats::profile_events`] counts the
+    /// captured events either way.
+    pub fn with_profiling(mut self, config: ProfileConfig) -> Self {
+        self.profile = Some(config);
+        self
+    }
+
+    /// The armed profiler configuration, if any.
+    pub fn profile_config(&self) -> Option<&ProfileConfig> {
+        self.profile.as_ref()
     }
 
     /// The device configuration this solver targets.
@@ -146,6 +163,9 @@ impl HunIpu {
             derived.seed ^= epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
             engine.set_fault_plan(derived);
         }
+        if let Some(cfg) = &self.profile {
+            engine.enable_profiling(cfg.clone());
+        }
 
         // Load the instance (cast to the device's f32, as the real
         // implementation does) and the -1-initialized matching state.
@@ -183,6 +203,9 @@ impl HunIpu {
             augmentations,
             dual_updates,
             device_steps: engine.stats().supersteps,
+            profile_events: engine
+                .profile()
+                .map_or(0, |p| p.events.len() as u64 + p.dropped),
         };
         Ok((
             SolveReport {

@@ -21,6 +21,7 @@ use crate::exec::{self, ExecNode};
 use crate::fault::{FaultPlan, FaultState};
 use crate::graph::{Graph, VertexInfo};
 use crate::pool::{PoolSync, ShutdownGuard};
+use crate::profile::{ProfileConfig, ProfileReport, Profiler, BROADCAST_TILE};
 use crate::program::Program;
 use crate::stats::{CycleStats, StepBreakdown};
 use crate::tensor::{DType, Tensor, TensorSlice};
@@ -224,6 +225,17 @@ struct RunState {
     scratch_i32: Vec<i32>,
     /// Installed fault-injection state, if any.
     faults: Option<FaultState>,
+    /// Installed profiler, if any. Recording happens exclusively on the
+    /// serial path (after worker lanes join), so profiles are
+    /// bit-identical at any host thread count.
+    profiler: Option<Profiler>,
+}
+
+/// What the superstep fault hook actually injected (profiler input).
+#[derive(Default, Clone, Copy)]
+struct InjectedFaults {
+    straggler_extra: u64,
+    bit_flips: u64,
 }
 
 /// One worker lane's result slot for the current superstep.
@@ -478,8 +490,13 @@ impl ExecCtx<'_> {
                 then_body,
                 else_body,
             } => {
-                self.st.stats.control_cycles += self.sh.graph.config.control_cycles;
-                if self.read_flag(predicate) != 0 {
+                let cc = self.sh.graph.config.control_cycles;
+                self.st.stats.control_cycles += cc;
+                let taken = self.read_flag(predicate) != 0;
+                if let Some(p) = self.st.profiler.as_mut() {
+                    p.record_control(cc, "if", taken);
+                }
+                if taken {
                     self.exec(then_body)
                 } else {
                     self.exec(else_body)
@@ -496,7 +513,12 @@ impl ExecCtx<'_> {
                         && fs.draw() < fs.plan.diverge_rate
                     {
                         self.st.stats.faults.forced_divergences += 1;
-                        self.st.stats.control_cycles += self.sh.graph.config.control_cycles;
+                        let cc = self.sh.graph.config.control_cycles;
+                        self.st.stats.control_cycles += cc;
+                        if let Some(p) = self.st.profiler.as_mut() {
+                            p.record_control(cc, "while", true);
+                            p.record_fault("forced_divergence", 1);
+                        }
                         return Err(GraphError::Divergence {
                             limit: self.max_while_iterations,
                             context: self.loop_context(body),
@@ -505,8 +527,13 @@ impl ExecCtx<'_> {
                 }
                 let mut iterations = 0u64;
                 loop {
-                    self.st.stats.control_cycles += self.sh.graph.config.control_cycles;
-                    if self.read_flag(predicate) == 0 {
+                    let cc = self.sh.graph.config.control_cycles;
+                    self.st.stats.control_cycles += cc;
+                    let taken = self.read_flag(predicate) != 0;
+                    if let Some(p) = self.st.profiler.as_mut() {
+                        p.record_control(cc, "while", taken);
+                    }
+                    if !taken {
                         return Ok(());
                     }
                     iterations += 1;
@@ -583,6 +610,36 @@ impl ExecCtx<'_> {
             }
         }
 
+        // Profiling first, while loads are still live: per-tile barrel
+        // cost and thread occupancy. `touched_slots` arrives in a
+        // thread-count-dependent order (lane merge vs. program order), so
+        // sort — the reduction below is order-independent either way, but
+        // the recorded detail must be bit-identical at any thread count.
+        let tile_detail: Option<Vec<(u32, u64, u32)>> = self.st.profiler.is_some().then(|| {
+            self.st.touched_slots.sort_unstable();
+            let mut detail: Vec<(u32, u64, u32)> = Vec::new();
+            let mut prev_slot = u32::MAX;
+            for &slot in &self.st.touched_slots {
+                if slot == prev_slot {
+                    continue; // zero-load slots can be pushed twice
+                }
+                prev_slot = slot;
+                let tile = slot / tpt as u32;
+                let load = self.st.thread_load[slot as usize];
+                match detail.last_mut() {
+                    Some(d) if d.0 == tile => {
+                        d.1 = d.1.max(load);
+                        d.2 += 1;
+                    }
+                    _ => detail.push((tile, load, 1)),
+                }
+            }
+            for d in &mut detail {
+                d.1 *= tpt as u64;
+            }
+            detail
+        });
+
         // Tile cost: the barrel scheduler rotates over all `tpt` thread
         // slots, so a tile finishes after `tpt * max_thread(instructions)`
         // cycles; the superstep lasts as long as the slowest tile (C3).
@@ -600,21 +657,36 @@ impl ExecCtx<'_> {
         let b = &mut self.st.stats.per_compute_set[cs];
         b.executions += 1;
         b.compute_cycles += superstep;
-        if self.st.faults.is_some() {
-            self.inject_superstep_faults(cs, superstep);
+        let injected = if self.st.faults.is_some() {
+            self.inject_superstep_faults(cs, superstep)
+        } else {
+            InjectedFaults::default()
+        };
+        if let Some(detail) = tile_detail {
+            let sync = self.sh.graph.config.sync_cycles;
+            let p = self.st.profiler.as_mut().expect("profiler checked above");
+            p.record_superstep(cs, &detail, sync, injected.straggler_extra);
+            if injected.straggler_extra > 0 {
+                p.record_fault("straggler", injected.straggler_extra);
+            }
+            if injected.bit_flips > 0 {
+                p.record_fault("bit_flip", injected.bit_flips);
+            }
         }
     }
 
     /// Fault hook run after each superstep: straggler inflation and SRAM
     /// bit flips (see [`FaultPlan`]). Always on the serial post-join path,
     /// so the draw sequence is independent of the host thread count.
-    fn inject_superstep_faults(&mut self, cs: usize, superstep: u64) {
+    /// Returns what landed, for the profiler.
+    fn inject_superstep_faults(&mut self, cs: usize, superstep: u64) -> InjectedFaults {
+        let mut injected = InjectedFaults::default();
         let st = &mut *self.st;
         let Some(fs) = st.faults.as_mut() else {
-            return;
+            return injected;
         };
         if !fs.armed(st.stats.supersteps) {
-            return;
+            return injected;
         }
         if fs.plan.straggler_rate > 0.0 && fs.draw() < fs.plan.straggler_rate {
             // The slowest tile ran `straggler_factor` times slower; under
@@ -624,6 +696,7 @@ impl ExecCtx<'_> {
             st.stats.per_compute_set[cs].compute_cycles += extra;
             st.stats.faults.stragglers += 1;
             st.stats.faults.straggler_cycles += extra;
+            injected.straggler_extra = extra;
         }
         if fs.plan.bit_flip_rate > 0.0
             && !fs.flip_targets.is_empty()
@@ -637,7 +710,9 @@ impl ExecCtx<'_> {
             // supersteps.
             unsafe { self.raw.flip_bit(tensor, element, bit) };
             self.st.stats.faults.bit_flips += 1;
+            injected.bit_flips += 1;
         }
+        injected
     }
 
     /// Fault hook run after each exchange phase: corrupts one delivered
@@ -664,6 +739,9 @@ impl ExecCtx<'_> {
         // views alive between supersteps.
         unsafe { self.raw.flip_bit(slice.tensor.id, element, bit) };
         self.st.stats.faults.exchange_corruptions += 1;
+        if let Some(p) = self.st.profiler.as_mut() {
+            p.record_fault("exchange_corruption", 1);
+        }
     }
 
     /// Diagnostic label for a diverging loop: the name of the first
@@ -723,11 +801,16 @@ impl ExecCtx<'_> {
                 c
             }
         };
+        let bytes: u64 = pairs.iter().map(|(_, dst)| dst.bytes() as u64).sum();
         self.st.stats.exchange_cycles += cost;
         self.st.stats.sync_cycles += self.sh.graph.config.sync_cycles;
         self.st.stats.exchanges += 1;
-        self.st.stats.exchange_bytes +=
-            pairs.iter().map(|(_, dst)| dst.bytes() as u64).sum::<u64>();
+        self.st.stats.exchange_bytes += bytes;
+        if let Some(profiler) = self.st.profiler.as_mut() {
+            let pair_bytes = exchange_pair_bytes(&self.sh.graph, pairs);
+            let sync = self.sh.graph.config.sync_cycles;
+            profiler.record_exchange(cost, sync, bytes, &pair_bytes);
+        }
     }
 }
 
@@ -789,6 +872,61 @@ fn exchange_cost(graph: &Graph, pairs: &[(TensorSlice, TensorSlice)]) -> u64 {
         worst = worst.max(cycles);
     }
     config.exchange_setup_cycles + worst.ceil() as u64
+}
+
+/// Attributes one exchange phase's delivered bytes to `(src_tile,
+/// dst_tile)` pairs for the profiler's heatmap.
+///
+/// The returned bytes sum to **exactly** what `charge_exchange` adds to
+/// `CycleStats::exchange_bytes` (`Σ dst.bytes()` over pairs) — the
+/// profiler's accounting invariant. A replicated destination (broadcast
+/// refresh) is attributed per source segment against
+/// [`BROADCAST_TILE`]; a `Copy` with `dst.len() == reps * src.len()`
+/// maps destination element `d` to source element `d % src.len()`.
+fn exchange_pair_bytes(
+    graph: &Graph,
+    pairs: &[(TensorSlice, TensorSlice)],
+) -> Vec<(u32, u32, u64)> {
+    let mut acc: std::collections::BTreeMap<(u32, u32), u64> = std::collections::BTreeMap::new();
+    for (src, dst) in pairs {
+        if src.is_empty() || dst.is_empty() {
+            continue;
+        }
+        let si = &graph.tensors[src.tensor.id];
+        let di = &graph.tensors[dst.tensor.id];
+        let esz = dst.tensor.dtype.size_bytes() as u64;
+        if di.replicated {
+            // Every tile receives a replica; `exchange_bytes` counts one
+            // replica's worth, attributed here per source segment.
+            debug_assert_eq!(src.len(), dst.len());
+            let mut o = 0usize;
+            while o < src.len() {
+                let (se, stile) = si.interval_at(src.start + o);
+                let seg_end = (se - src.start).min(src.len());
+                *acc.entry((stile as u32, BROADCAST_TILE)).or_insert(0) +=
+                    (seg_end - o) as u64 * esz;
+                o = seg_end;
+            }
+            continue;
+        }
+        let srclen = src.len();
+        let mut o = 0usize;
+        while o < dst.len() {
+            let (de, dtile) = di.interval_at(dst.start + o);
+            let so = o % srclen;
+            let (se, stile) = si.interval_at(src.start + so);
+            // The segment ends at the first of: dst interval end, src
+            // interval end (translated), replication-chunk boundary,
+            // slice end.
+            let seg_end = (de - dst.start)
+                .min(o + (se - src.start - so))
+                .min((o / srclen + 1) * srclen)
+                .min(dst.len());
+            *acc.entry((stile as u32, dtile as u32)).or_insert(0) += (seg_end - o) as u64 * esz;
+            o = seg_end;
+        }
+    }
+    acc.into_iter().map(|((s, d), b)| (s, d, b)).collect()
 }
 
 impl Engine {
@@ -853,6 +991,7 @@ impl Engine {
                 scratch_f32: Vec::new(),
                 scratch_i32: Vec::new(),
                 faults: None,
+                profiler: None,
             },
             max_while_iterations,
         }
@@ -910,6 +1049,51 @@ impl Engine {
     /// tests lower it to force parallel execution on tiny graphs).
     pub fn set_parallel_threshold(&mut self, min_vertices: usize) {
         self.sh.parallel_threshold = min_vertices.max(1);
+    }
+
+    /// Installs a profiler: subsequent execution records a per-superstep
+    /// timeline with per-tile detail (see [`Profiler`]). Replaces any
+    /// previously installed profiler and its recordings.
+    ///
+    /// With no profiler installed the engine takes none of the recording
+    /// paths — `CycleStats` and solve results are identical either way,
+    /// and a profile recorded at any host thread count is bit-identical
+    /// to a sequential one.
+    pub fn enable_profiling(&mut self, config: ProfileConfig) {
+        let tiles = self.sh.graph.config.tiles;
+        let tpt = self.sh.graph.config.threads_per_tile;
+        self.st.profiler = Some(Profiler::new(config, tiles, tpt));
+    }
+
+    /// Removes the installed profiler, returning its recordings.
+    pub fn disable_profiling(&mut self) -> Option<Profiler> {
+        self.st.profiler.take()
+    }
+
+    /// The installed profiler's recordings so far, if any.
+    pub fn profile(&self) -> Option<&Profiler> {
+        self.st.profiler.as_ref()
+    }
+
+    /// Summary report of the installed profiler, if any.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.st.profiler.as_ref().map(Profiler::report)
+    }
+
+    /// Chrome-trace rendering of the installed profiler's timeline, if
+    /// any. `pid` is the process lane, `process` its display name in
+    /// the viewer (use distinct pids when merging several engines into
+    /// one file).
+    pub fn chrome_trace(&self, pid: u64, process: &str) -> Option<trace::ChromeTrace> {
+        let p = self.st.profiler.as_ref()?;
+        let names: Vec<String> = self
+            .sh
+            .graph
+            .compute_sets
+            .iter()
+            .map(|cs| cs.name.clone())
+            .collect();
+        Some(p.chrome_trace(pid, process, self.sh.graph.config.clock_hz, &names))
     }
 
     /// Installs a fault plan: subsequent execution draws from the plan's
@@ -1501,5 +1685,144 @@ mod tests {
         assert_eq!(e.read_f32(x), vec![1.0; 8]);
         e.run().unwrap();
         assert_eq!(e.read_f32(x), after_first);
+    }
+
+    /// A program touching every profiled path: uneven compute, a
+    /// cross-tile copy, and a repeat.
+    fn profiled_program(tiles: usize, verts_per_tile: usize) -> (Graph, Tensor, Program) {
+        let (mut g, x) = {
+            let (g, x) = sharded_increment_graph(tiles, verts_per_tile);
+            (g, x)
+        };
+        let y = g.add_tensor("y", DType::F32, verts_per_tile);
+        g.map_to_tile(y, tiles - 1).unwrap();
+        let program = Program::repeat(
+            3,
+            Program::seq(vec![
+                Program::execute(ComputeSetId(0)),
+                Program::copy(x.slice(0..verts_per_tile), y.whole()),
+            ]),
+        );
+        (g, x, program)
+    }
+
+    #[test]
+    fn profiler_reconciles_with_cycle_stats() {
+        let (g, x, program) = profiled_program(4, 8);
+        let mut e = g.compile(program).unwrap();
+        e.enable_profiling(ProfileConfig::default());
+        e.write_f32(x, &[0.0; 32]).unwrap();
+        e.run().unwrap();
+        let p = e.profile().unwrap().clone();
+        let s = e.stats().clone();
+        assert_eq!(p.compute_cycles, s.compute_cycles);
+        assert_eq!(p.sync_cycles, s.sync_cycles);
+        assert_eq!(p.exchange_cycles, s.exchange_cycles);
+        assert_eq!(p.control_cycles, s.control_cycles);
+        assert_eq!(p.supersteps, s.supersteps);
+        assert_eq!(p.exchanges, s.exchanges);
+        assert_eq!(p.exchange_bytes, s.exchange_bytes);
+        assert_eq!(p.total_cycles(), s.total_cycles());
+        assert_eq!(p.heatmap.values().sum::<u64>(), s.exchange_bytes);
+        assert_eq!(p.occupancy.iter().sum::<u64>(), p.tile_supersteps);
+        assert!(p.tile_compute.iter().sum::<u64>() > 0);
+        // Per-superstep sum over events: cycles add up to the total.
+        let event_compute: u64 = p
+            .events
+            .iter()
+            .filter_map(|ev| match ev {
+                crate::ProfileEvent::Superstep(ss) => Some(ss.cycles),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(event_compute, s.compute_cycles);
+    }
+
+    #[test]
+    fn profiling_disabled_changes_nothing() {
+        let run = |profile: bool| {
+            let (g, x, program) = profiled_program(4, 8);
+            let mut e = g.compile(program).unwrap();
+            if profile {
+                e.enable_profiling(ProfileConfig::default());
+            }
+            e.write_f32(x, &[0.5; 32]).unwrap();
+            e.run().unwrap();
+            (e.stats().clone(), e.read_f32(x))
+        };
+        let (stats_off, buf_off) = run(false);
+        let (stats_on, buf_on) = run(true);
+        assert_eq!(stats_off, stats_on);
+        assert_eq!(buf_off, buf_on);
+    }
+
+    #[test]
+    fn profile_bit_identical_across_thread_counts() {
+        let run_with = |threads: usize| {
+            let (g, x, program) = profiled_program(4, 16);
+            let mut e = g.compile(program).unwrap();
+            e.set_host_threads(threads);
+            e.set_parallel_threshold(1);
+            e.enable_profiling(ProfileConfig::default());
+            e.write_f32(x, &[0.0; 64]).unwrap();
+            e.run().unwrap();
+            (
+                e.profile().unwrap().clone(),
+                e.profile_report().unwrap(),
+                e.chrome_trace(1, "ipu-sim").unwrap().to_json(),
+            )
+        };
+        let base = run_with(1);
+        for threads in [2, 3, 8] {
+            let other = run_with(threads);
+            assert_eq!(base.0, other.0, "raw profile diverged at {threads} threads");
+            assert_eq!(base.1, other.1, "report diverged at {threads} threads");
+            assert_eq!(base.2, other.2, "trace diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_from_engine_validates() {
+        let (g, x, program) = profiled_program(2, 4);
+        let mut e = g.compile(program).unwrap();
+        e.enable_profiling(ProfileConfig::default());
+        e.write_f32(x, &[0.0; 8]).unwrap();
+        e.run().unwrap();
+        let json = e.chrome_trace(1, "ipu-sim").unwrap().to_json();
+        let summary = trace::ChromeTrace::validate_json(&json).expect("schema-valid trace");
+        assert!(summary.complete_events > 0);
+        assert!(summary.span_us > 0.0);
+    }
+
+    #[test]
+    fn broadcast_exchange_lands_in_heatmap_as_broadcast() {
+        let mut g = Graph::new(IpuConfig::tiny(4));
+        let s = g.add_tensor("s", DType::F32, 2);
+        let d = g.add_replicated("d", DType::F32, 2);
+        g.map_to_tile(s, 1).unwrap();
+        let mut e = g.compile(Program::broadcast(s.whole(), d.whole())).unwrap();
+        e.enable_profiling(ProfileConfig::default());
+        e.write_f32(s, &[1.0, 2.0]).unwrap();
+        e.run().unwrap();
+        let p = e.profile().unwrap();
+        assert_eq!(p.heatmap.len(), 1);
+        assert_eq!(p.heatmap[&(1, BROADCAST_TILE)], 8);
+        assert_eq!(p.heatmap.values().sum::<u64>(), e.stats().exchange_bytes);
+    }
+
+    #[test]
+    fn profiler_ring_drops_oldest_but_keeps_aggregates() {
+        let (g, x, program) = profiled_program(2, 4);
+        let mut e = g.compile(program).unwrap();
+        e.enable_profiling(ProfileConfig {
+            max_events: 2,
+            ..Default::default()
+        });
+        e.write_f32(x, &[0.0; 8]).unwrap();
+        e.run().unwrap();
+        let p = e.profile().unwrap();
+        assert_eq!(p.events.len(), 2);
+        assert!(p.dropped > 0);
+        assert_eq!(p.compute_cycles, e.stats().compute_cycles);
     }
 }

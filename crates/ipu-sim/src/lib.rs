@@ -74,6 +74,7 @@ mod fault;
 mod graph;
 mod pool;
 pub mod poplib;
+pub mod profile;
 mod program;
 mod stats;
 mod tensor;
@@ -84,6 +85,7 @@ pub use engine::{Engine, EngineSnapshot};
 pub use error::GraphError;
 pub use fault::{FaultPlan, FaultSpecError};
 pub use graph::{Access, ComputeSetId, Graph, VertexId};
+pub use profile::{ProfileConfig, ProfileEvent, ProfileReport, Profiler};
 pub use program::Program;
 pub use stats::{CycleStats, FaultStats, StepBreakdown};
 pub use tensor::{DType, Tensor, TensorSlice};

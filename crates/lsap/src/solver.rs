@@ -27,6 +27,11 @@ pub struct SolverStats {
     pub dual_updates: u64,
     /// BSP supersteps (IPU) or kernel launches (GPU), when applicable.
     pub device_steps: u64,
+    /// Timeline events captured by the engine's profiler, when profiling
+    /// was enabled for the solve (0 otherwise; older records deserialize
+    /// to 0).
+    #[serde(default)]
+    pub profile_events: u64,
 }
 
 /// The outcome of a successful solve.

@@ -1,0 +1,415 @@
+//! Chrome `trace_event` (Perfetto-compatible) trace construction and
+//! validation, shared by the machine-simulator profilers.
+//!
+//! Both simulators (`ipu-sim`, `gpu-sim`) export their profiler
+//! timelines through this one schema so HunIPU, FastHA, and CPU solver
+//! runs land in a single JSON file that `chrome://tracing` or
+//! <https://ui.perfetto.dev> can open directly. The format is the JSON
+//! *Trace Event Format*: a top-level object with a `traceEvents` array
+//! of event objects, each carrying a phase (`ph`), a timestamp in
+//! microseconds (`ts`), and process/thread lane ids (`pid`/`tid`).
+//!
+//! Only the three phases the profilers need are constructed here:
+//!
+//! - `X` — *complete* events: a named span with a duration (`dur`).
+//! - `i` — *instant* events: a point marker (control-flow decisions,
+//!   injected faults).
+//! - `M` — *metadata* events: process/thread naming so the viewer shows
+//!   "ipu-sim / tile 3" instead of bare numbers.
+//!
+//! [`ChromeTrace::validate_json`] checks any produced (or third-party)
+//! trace against the schema — well-formed `ph`/`ts`/`pid`/`tid`, `dur`
+//! on complete events, timestamps monotone per `(pid, tid)` lane — and
+//! is what the golden-trace tests and the CI profile smoke use.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use serde::{Serialize, Value};
+
+/// Phases a validator accepts. The constructors here only emit
+/// `X`/`i`/`M`, but traces merged from other tools may carry the rest
+/// of the standard set.
+const KNOWN_PHASES: &[&str] = &[
+    "X", "B", "E", "i", "I", "M", "C", "b", "e", "n", "s", "t", "f", "P",
+];
+
+/// One `trace_event` entry.
+///
+/// Timestamps and durations are in **microseconds** (the unit the
+/// format mandates); fractional values are fine and preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span label in the viewer).
+    pub name: String,
+    /// Comma-separated category list (used for filtering in the viewer).
+    pub cat: String,
+    /// Phase: `"X"` (complete), `"i"` (instant), `"M"` (metadata), ...
+    pub ph: &'static str,
+    /// Timestamp in microseconds from the trace origin.
+    pub ts: f64,
+    /// Duration in microseconds; only meaningful (and required) for
+    /// `X` events.
+    pub dur: Option<f64>,
+    /// Process lane (one per engine: ipu-sim / gpu-sim / cpu).
+    pub pid: u64,
+    /// Thread lane within the process (chip timeline, tile, kernel
+    /// stream, ...).
+    pub tid: u64,
+    /// Free-form payload shown in the viewer's detail pane.
+    pub args: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// A complete (`X`) event: a span `[ts, ts + dur]` on lane
+    /// `(pid, tid)`.
+    pub fn complete(
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts_us: f64,
+        dur_us: f64,
+        pid: u64,
+        tid: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            cat: cat.into(),
+            ph: "X",
+            ts: ts_us,
+            dur: Some(dur_us),
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant (`i`) event: a point marker at `ts` on lane
+    /// `(pid, tid)`.
+    pub fn instant(
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts_us: f64,
+        pid: u64,
+        tid: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            cat: cat.into(),
+            ph: "i",
+            ts: ts_us,
+            dur: None,
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// A `process_name` metadata event: names process `pid` in the
+    /// viewer.
+    pub fn process_name(pid: u64, name: impl Into<String>) -> Self {
+        Self {
+            name: "process_name".into(),
+            cat: "__metadata".into(),
+            ph: "M",
+            ts: 0.0,
+            dur: None,
+            pid,
+            tid: 0,
+            args: vec![("name".into(), Value::Str(name.into()))],
+        }
+    }
+
+    /// A `thread_name` metadata event: names lane `(pid, tid)` in the
+    /// viewer.
+    pub fn thread_name(pid: u64, tid: u64, name: impl Into<String>) -> Self {
+        Self {
+            name: "thread_name".into(),
+            cat: "__metadata".into(),
+            ph: "M",
+            ts: 0.0,
+            dur: None,
+            pid,
+            tid,
+            args: vec![("name".into(), Value::Str(name.into()))],
+        }
+    }
+
+    /// Attaches one `args` entry (builder-style).
+    pub fn arg(mut self, key: impl Into<String>, value: impl Serialize) -> Self {
+        self.args.push((key.into(), value.to_value()));
+        self
+    }
+
+    fn to_value(&self) -> Value {
+        let mut obj: Vec<(String, Value)> = vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("cat".into(), Value::Str(self.cat.clone())),
+            ("ph".into(), Value::Str(self.ph.to_string())),
+            ("ts".into(), Value::F64(self.ts)),
+        ];
+        if let Some(dur) = self.dur {
+            obj.push(("dur".into(), Value::F64(dur)));
+        }
+        obj.push(("pid".into(), Value::U64(self.pid)));
+        obj.push(("tid".into(), Value::U64(self.tid)));
+        if !self.args.is_empty() {
+            obj.push(("args".into(), Value::Obj(self.args.clone())));
+        }
+        Value::Obj(obj)
+    }
+}
+
+/// Aggregate facts [`ChromeTrace::validate_json`] reports about a
+/// well-formed trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total events, metadata included.
+    pub events: usize,
+    /// `X` (complete) events.
+    pub complete_events: usize,
+    /// `i`/`I` (instant) events.
+    pub instant_events: usize,
+    /// `M` (metadata) events.
+    pub metadata_events: usize,
+    /// Distinct `(pid, tid)` lanes carrying non-metadata events.
+    pub lanes: usize,
+    /// Largest `ts + dur` over all non-metadata events, in µs.
+    pub span_us: f64,
+}
+
+/// An in-memory trace: ordered events plus the fixed envelope.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChromeTrace {
+    /// Events in emission order. Within one `(pid, tid)` lane the order
+    /// must be non-decreasing in `ts` (validated, not sorted for you).
+    pub events: Vec<TraceEvent>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Appends all events of `other` (used to merge per-engine traces
+    /// into one file; lanes stay distinct through `pid`).
+    pub fn extend(&mut self, other: ChromeTrace) {
+        self.events.extend(other.events);
+    }
+
+    /// Renders the `{"traceEvents": [...]}` JSON envelope.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.envelope()).expect("Value serialization is infallible")
+    }
+
+    /// As [`ChromeTrace::to_json`], indented for human eyes.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.envelope()).expect("Value serialization is infallible")
+    }
+
+    fn envelope(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "traceEvents".into(),
+                Value::Arr(self.events.iter().map(TraceEvent::to_value).collect()),
+            ),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ])
+    }
+
+    /// Parses `json` and checks it against the `trace_event` schema.
+    ///
+    /// Verified: the `traceEvents` envelope; every event an object with
+    /// string `name`, known one-char `ph`, integer `pid`/`tid`, finite
+    /// non-negative `ts` (optional only on metadata events); `X` events
+    /// carry a finite non-negative `dur`; and within each `(pid, tid)`
+    /// lane non-metadata timestamps are monotone non-decreasing in
+    /// array order.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation.
+    pub fn validate_json(json: &str) -> Result<TraceSummary, String> {
+        let root: Value = serde_json::from_str(json).map_err(|e| format!("bad JSON: {e}"))?;
+        let events = match &root {
+            Value::Obj(pairs) => match pairs.iter().find(|(k, _)| k == "traceEvents") {
+                Some((_, Value::Arr(events))) => events,
+                Some((_, other)) => {
+                    return Err(format!("traceEvents must be an array, got {other:?}"))
+                }
+                None => return Err("missing traceEvents".into()),
+            },
+            // The format also allows a bare array.
+            Value::Arr(events) => events,
+            other => return Err(format!("expected object or array, got {other:?}")),
+        };
+
+        let mut summary = TraceSummary {
+            events: events.len(),
+            ..Default::default()
+        };
+        // Last non-metadata ts per (pid, tid) lane, for monotonicity.
+        let mut lanes: Vec<((u64, u64), f64)> = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            let fail = |what: String| Err(format!("event {i}: {what}"));
+            let Value::Obj(fields) = ev else {
+                return fail(format!("expected object, got {ev:?}"));
+            };
+            let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            match field("name") {
+                Some(Value::Str(_)) => {}
+                other => return fail(format!("name must be a string, got {other:?}")),
+            }
+            let ph = match field("ph") {
+                Some(Value::Str(s)) if KNOWN_PHASES.contains(&s.as_str()) => s.as_str(),
+                other => return fail(format!("ph must be a known phase string, got {other:?}")),
+            };
+            let lane_of = |name: &str| -> Result<u64, String> {
+                match field(name) {
+                    Some(Value::U64(v)) => Ok(*v),
+                    Some(Value::I64(v)) if *v >= 0 => Ok(*v as u64),
+                    other => Err(format!(
+                        "event {i}: {name} must be a non-negative integer, got {other:?}"
+                    )),
+                }
+            };
+            let (pid, tid) = (lane_of("pid")?, lane_of("tid")?);
+            let number_of = |name: &str| -> Result<Option<f64>, String> {
+                match field(name) {
+                    None => Ok(None),
+                    Some(Value::F64(v)) => Ok(Some(*v)),
+                    Some(Value::U64(v)) => Ok(Some(*v as f64)),
+                    Some(Value::I64(v)) => Ok(Some(*v as f64)),
+                    other => Err(format!("event {i}: {name} must be a number, got {other:?}")),
+                }
+            };
+            let ts = number_of("ts")?;
+            if let Some(ts) = ts {
+                if !ts.is_finite() || ts < 0.0 {
+                    return fail(format!("ts must be finite and non-negative, got {ts}"));
+                }
+            }
+            match ph {
+                "M" => {
+                    summary.metadata_events += 1;
+                    continue; // metadata may omit ts and carries no lane order
+                }
+                "X" => {
+                    summary.complete_events += 1;
+                    match number_of("dur")? {
+                        Some(d) if d.is_finite() && d >= 0.0 => {}
+                        other => {
+                            return fail(format!(
+                                "X event needs a finite non-negative dur, got {other:?}"
+                            ))
+                        }
+                    }
+                }
+                "i" | "I" => summary.instant_events += 1,
+                _ => {}
+            }
+            let Some(ts) = ts else {
+                return fail("non-metadata event is missing ts".into());
+            };
+            match lanes.iter_mut().find(|(lane, _)| *lane == (pid, tid)) {
+                Some((_, last)) => {
+                    if ts < *last {
+                        return fail(format!(
+                            "timestamps regress on lane pid={pid} tid={tid}: {ts} after {last}"
+                        ));
+                    }
+                    *last = ts;
+                }
+                None => lanes.push(((pid, tid), ts)),
+            }
+            let end = ts + number_of("dur")?.unwrap_or(0.0);
+            summary.span_us = summary.span_us.max(end);
+        }
+        summary.lanes = lanes.len();
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.push(TraceEvent::process_name(1, "ipu-sim"));
+        t.push(TraceEvent::thread_name(1, 0, "chip"));
+        t.push(
+            TraceEvent::complete("step1", "compute", 0.0, 2.5, 1, 0)
+                .arg("cycles", 1000u64)
+                .arg("tiles", 4u64),
+        );
+        t.push(TraceEvent::instant("while:taken", "control", 2.5, 1, 0));
+        t.push(TraceEvent::complete("exchange", "exchange", 2.5, 1.0, 1, 0));
+        t
+    }
+
+    #[test]
+    fn roundtrip_validates() {
+        let t = sample();
+        let summary = ChromeTrace::validate_json(&t.to_json()).expect("valid");
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.complete_events, 2);
+        assert_eq!(summary.instant_events, 1);
+        assert_eq!(summary.metadata_events, 2);
+        assert_eq!(summary.lanes, 1);
+        assert!((summary.span_us - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pretty_json_validates_too() {
+        let t = sample();
+        let summary = ChromeTrace::validate_json(&t.to_json_pretty()).expect("valid");
+        assert_eq!(summary.events, 5);
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn regressing_timestamps_rejected() {
+        let mut t = ChromeTrace::new();
+        t.push(TraceEvent::complete("a", "c", 5.0, 1.0, 1, 0));
+        t.push(TraceEvent::complete("b", "c", 4.0, 1.0, 1, 0));
+        let err = ChromeTrace::validate_json(&t.to_json()).unwrap_err();
+        assert!(err.contains("regress"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn lanes_are_independent_for_monotonicity() {
+        let mut t = ChromeTrace::new();
+        t.push(TraceEvent::complete("a", "c", 5.0, 1.0, 1, 0));
+        t.push(TraceEvent::complete("b", "c", 0.0, 1.0, 1, 7));
+        let summary = ChromeTrace::validate_json(&t.to_json()).expect("valid");
+        assert_eq!(summary.lanes, 2);
+    }
+
+    #[test]
+    fn missing_dur_on_complete_rejected() {
+        let json = r#"{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":1,"tid":0}]}"#;
+        assert!(ChromeTrace::validate_json(json).is_err());
+    }
+
+    #[test]
+    fn unknown_phase_rejected() {
+        let json = r#"{"traceEvents":[{"name":"a","ph":"Z","ts":0,"pid":1,"tid":0}]}"#;
+        assert!(ChromeTrace::validate_json(json).is_err());
+    }
+
+    #[test]
+    fn bare_array_form_accepted() {
+        let json = r#"[{"name":"a","ph":"i","ts":1,"pid":1,"tid":0}]"#;
+        let summary = ChromeTrace::validate_json(json).expect("valid");
+        assert_eq!(summary.instant_events, 1);
+    }
+}

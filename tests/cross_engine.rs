@@ -7,13 +7,17 @@
 use cpu_hungarian::{Auction, JonkerVolgenant, Munkres};
 use datasets::{gaussian_cost_matrix, uniform_cost_matrix};
 use fastha::FastHa;
+use gpu_sim::GpuProfileConfig;
 use hunipu::HunIpu;
-use ipu_sim::IpuConfig;
+use ipu_sim::{IpuConfig, ProfileConfig};
 use lsap::{CostMatrix, LsapSolver, COST_EPS};
 
 /// Runs all exact engines on `m` and asserts agreement + certificates.
 /// Uses a small simulated IPU so tests stay fast; the algorithm is
-/// identical at any tile count.
+/// identical at any tile count. The device engines run with profiling
+/// on, so every differential case also exercises the observability
+/// layer: timelines must be nonzero and reconcile with the simulators'
+/// own accounting.
 fn assert_all_engines_agree(m: &CostMatrix) {
     let truth = {
         let rep = JonkerVolgenant::new().solve(m).unwrap();
@@ -29,16 +33,71 @@ fn assert_all_engines_agree(m: &CostMatrix) {
     rep.verify(m, COST_EPS).unwrap();
     assert_eq!(rep.objective, truth, "indexed munkres");
 
-    let mut hun = HunIpu::with_config(IpuConfig::tiny(10));
-    let rep = hun.solve(m).unwrap();
+    let hun = HunIpu::with_config(IpuConfig::tiny(10)).with_profiling(ProfileConfig::default());
+    let (rep, engine) = hun.solve_with_engine(m).unwrap();
     rep.verify(m, hunipu::F32_VERIFY_EPS).unwrap();
     assert_eq!(rep.objective, truth, "hunipu");
+    assert_ipu_profile_consistent(&engine, &rep);
 
     if m.n().is_power_of_two() {
-        let rep = FastHa::new().solve(m).unwrap();
+        let fast = FastHa::new().with_profiling(GpuProfileConfig::default());
+        let (rep, gpu) = fast.solve_with_device(m).unwrap();
         rep.verify(m, fastha::F32_VERIFY_EPS).unwrap();
         assert_eq!(rep.objective, truth, "fastha");
+        assert_gpu_profile_consistent(&gpu, &rep);
     }
+}
+
+/// The IPU profiler must have seen the run (nonzero timeline) and its
+/// totals must reconcile exactly with [`ipu_sim::CycleStats`].
+fn assert_ipu_profile_consistent(engine: &ipu_sim::Engine, rep: &lsap::SolveReport) {
+    let p = engine.profile_report().expect("profiling was enabled");
+    let stats = engine.stats();
+    assert!(p.supersteps > 0, "empty IPU timeline");
+    assert!(p.events_recorded > 0 || p.events_dropped > 0);
+    assert!(rep.stats.profile_events > 0);
+    assert_eq!(p.supersteps, stats.supersteps);
+    assert_eq!(p.compute_cycles, stats.compute_cycles);
+    assert_eq!(p.sync_cycles, stats.sync_cycles);
+    assert_eq!(p.exchange_cycles, stats.exchange_cycles);
+    assert_eq!(p.control_cycles, stats.control_cycles);
+    assert_eq!(p.exchanges, stats.exchanges);
+    assert_eq!(p.exchange_bytes, stats.exchange_bytes);
+    assert_eq!(
+        p.exchange_heatmap.iter().map(|c| c.bytes).sum::<u64>(),
+        p.exchange_bytes,
+        "heatmap must sum to exchange_bytes"
+    );
+    assert_eq!(
+        p.occupancy_histogram.iter().sum::<u64>(),
+        p.tile_supersteps,
+        "occupancy histogram must sum to tile_supersteps"
+    );
+}
+
+/// The GPU profiler must have seen the run and reconcile (bit-exactly
+/// for modeled seconds) with [`gpu_sim::GpuStats`].
+fn assert_gpu_profile_consistent(gpu: &gpu_sim::GpuSim, rep: &lsap::SolveReport) {
+    let p = gpu.profile_report().expect("profiling was enabled");
+    let stats = gpu.stats();
+    assert!(p.launches > 0, "empty GPU timeline");
+    assert!(rep.stats.profile_events > 0);
+    assert_eq!(p.launches, stats.launches);
+    assert_eq!(p.host_syncs, stats.host_syncs);
+    assert_eq!(p.warp_cycles, stats.warp_cycles);
+    assert_eq!(p.kernel_seconds.to_bits(), stats.kernel_seconds.to_bits());
+    assert_eq!(
+        p.host_sync_seconds.to_bits(),
+        stats.host_sync_seconds.to_bits()
+    );
+    assert_eq!(
+        p.per_kernel.iter().map(|k| k.launches).sum::<u64>(),
+        p.launches
+    );
+    assert_eq!(
+        p.per_kernel.iter().map(|k| k.warp_cycles).sum::<u64>(),
+        p.warp_cycles
+    );
 }
 
 #[test]

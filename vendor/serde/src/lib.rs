@@ -40,6 +40,18 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, String>;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
 /// Look up a named field on an object value and deserialize it.
 /// Used by the derive-generated code; not part of real serde's API.
 pub fn obj_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, String> {

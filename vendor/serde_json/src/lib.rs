@@ -39,6 +39,7 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 /// Deserialize a value of type `T` from JSON text.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {
+        text: s,
         bytes: s.as_bytes(),
         pos: 0,
     };
@@ -144,6 +145,10 @@ fn emit_string(s: &str, out: &mut String) {
 }
 
 struct Parser<'a> {
+    /// The input as `str`: UTF-8 was validated once at construction, so
+    /// string parsing can slice by byte offset instead of re-validating
+    /// the tail on every token (which made large inputs quadratic).
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -245,8 +250,16 @@ impl<'a> Parser<'a> {
 
     fn string(&mut self) -> Result<String, Error> {
         self.expect(b'"')?;
+        // `pos` sits just past an ASCII quote, so it is a char boundary.
+        let s = &self.text[self.pos..];
+        // Fast path: no escapes — copy the span between the quotes.
+        if let Some(end) = s.find(['"', '\\']) {
+            if s.as_bytes()[end] == b'"' {
+                self.pos += end + 1;
+                return Ok(s[..end].to_string());
+            }
+        }
         let mut out = String::new();
-        let s = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| Error(e.to_string()))?;
         let mut chars = s.char_indices();
         while let Some((i, c)) = chars.next() {
             match c {
@@ -343,5 +356,35 @@ mod tests {
         let s = super::to_string(&"a\"b\\c\nd".to_string()).unwrap();
         let back: String = super::from_str(&s).unwrap();
         assert_eq!(back, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn escape_midway_through_a_long_string() {
+        // The unescaped fast path must hand off correctly when the first
+        // special byte is a backslash, keeping the prefix.
+        let original = format!("{}\"tail", "x".repeat(1000));
+        let s = super::to_string(&original).unwrap();
+        let back: String = super::from_str(&s).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn many_strings_parse_in_linear_time() {
+        // Regression: `string()` used to re-validate the whole remaining
+        // input as UTF-8 per token, making big documents quadratic. A
+        // 100k-string array must parse essentially instantly.
+        let doc = format!(
+            "[{}]",
+            (0..100_000)
+                .map(|i| format!("\"item-{i}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let start = std::time::Instant::now();
+        let back: Vec<String> = super::from_str(&doc).unwrap();
+        assert_eq!(back.len(), 100_000);
+        assert_eq!(back[99_999], "item-99999");
+        // Generous bound: quadratic behaviour took minutes here.
+        assert!(start.elapsed().as_secs() < 30, "parser is superlinear");
     }
 }
