@@ -1,0 +1,203 @@
+//! The checked-in perf baseline behind the CI regression gate.
+//!
+//! `bench batch --write-baseline` records the amortized per-instance cost
+//! of every batch engine into `BENCH_batch.json` at the repo root;
+//! `bench batch --check` re-runs the same grid and fails (exit nonzero)
+//! when a gated metric regresses by more than [`CYCLE_TOLERANCE`].
+//!
+//! The gate is flake-free by construction: gated metrics are *modeled*
+//! device costs (simulated IPU cycles, modeled GPU seconds) which are
+//! deterministic functions of the input grid — bit-identical across
+//! machines, thread counts, and load. Wall-clock numbers are carried in
+//! the baseline for context but never gated.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Relative regression tolerance on gated metrics (10%). Modeled costs
+/// are deterministic, so any drift at all is a real change — the slack
+/// only exists so deliberate small costs (an extra superstep, a new
+/// counter) don't force a baseline refresh with every PR.
+pub const CYCLE_TOLERANCE: f64 = 0.10;
+
+/// One engine's row in the baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Batch engine name (e.g. "hunipu-batch", "fastha-batch").
+    pub engine: String,
+    /// What `single` / `batched` measure (e.g. "cycles/instance",
+    /// "modeled_us/instance"). Informational; the gate compares numbers.
+    pub metric: String,
+    /// Per-instance cost of the sequential baseline (full per-solve
+    /// overhead paid every iteration).
+    pub single: f64,
+    /// Amortized per-instance cost of the batch engine. **Gated.**
+    pub batched: f64,
+    /// Host wall seconds for the whole batch run. Informational only —
+    /// wall time depends on the machine and is never gated.
+    #[serde(default)]
+    pub wall_seconds: f64,
+    /// Host wall throughput, instances/second. Informational only.
+    #[serde(default)]
+    pub instances_per_sec: f64,
+}
+
+/// The whole baseline file: the grid it was measured on plus one entry
+/// per gated engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchBaseline {
+    /// Instance size n of the grid.
+    pub n: usize,
+    /// Instances per batch.
+    pub batch: usize,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Per-engine measurements.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl BatchBaseline {
+    /// Reads a baseline from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Pretty-prints the baseline to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Compares a fresh run against this baseline, returning every
+    /// violation (empty = gate passes).
+    ///
+    /// Checks, per baseline entry:
+    /// 1. the engine is still measured,
+    /// 2. its amortized cost did not regress by more than `tolerance`,
+    /// 3. batching still beats the sequential baseline (the amortization
+    ///    win the batch engines exist for; only meaningful — and only
+    ///    enforced — when the batch has ≥ 2 instances).
+    ///
+    /// A grid mismatch is a single violation on its own: comparing costs
+    /// across different n/batch/seed would be meaningless.
+    pub fn compare(&self, current: &BatchBaseline, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if (self.n, self.batch, self.seed) != (current.n, current.batch, current.seed) {
+            violations.push(format!(
+                "grid mismatch: baseline n={} batch={} seed={}, run n={} batch={} seed={} \
+                 — regenerate with --write-baseline",
+                self.n, self.batch, self.seed, current.n, current.batch, current.seed
+            ));
+            return violations;
+        }
+        for base in &self.entries {
+            let Some(cur) = current.entries.iter().find(|e| e.engine == base.engine) else {
+                violations.push(format!("engine {} missing from this run", base.engine));
+                continue;
+            };
+            let limit = base.batched * (1.0 + tolerance);
+            if cur.batched > limit {
+                violations.push(format!(
+                    "{}: amortized {} regressed {:.2} -> {:.2} (+{:.1}%, tolerance {:.0}%)",
+                    base.engine,
+                    base.metric,
+                    base.batched,
+                    cur.batched,
+                    (cur.batched / base.batched - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+            if current.batch >= 2 && cur.batched >= cur.single {
+                violations.push(format!(
+                    "{}: amortized {} ({:.2}) no longer beats the sequential \
+                     baseline ({:.2}) at batch={}",
+                    base.engine, base.metric, cur.batched, cur.single, current.batch
+                ));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(engine: &str, single: f64, batched: f64) -> BaselineEntry {
+        BaselineEntry {
+            engine: engine.into(),
+            metric: "cycles/instance".into(),
+            single,
+            batched,
+            wall_seconds: 1.0,
+            instances_per_sec: 16.0,
+        }
+    }
+
+    fn baseline(entries: Vec<BaselineEntry>) -> BatchBaseline {
+        BatchBaseline {
+            n: 64,
+            batch: 16,
+            seed: 1,
+            entries,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = baseline(vec![entry("hunipu-batch", 1000.0, 600.0)]);
+        assert!(b.compare(&b.clone(), CYCLE_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes_large_fails() {
+        let base = baseline(vec![entry("hunipu-batch", 1000.0, 600.0)]);
+        let ok = baseline(vec![entry("hunipu-batch", 1000.0, 650.0)]);
+        assert!(base.compare(&ok, CYCLE_TOLERANCE).is_empty());
+        let bad = baseline(vec![entry("hunipu-batch", 1000.0, 700.0)]);
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("regressed"), "{v:?}");
+    }
+
+    #[test]
+    fn losing_the_amortization_win_fails_even_within_tolerance() {
+        let base = baseline(vec![entry("e", 600.0, 599.0)]);
+        // 0.2% slower — inside tolerance — but now >= the sequential cost.
+        let cur = baseline(vec![entry("e", 600.0, 600.2)]);
+        let v = base.compare(&cur, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("no longer beats"), "{v:?}");
+    }
+
+    #[test]
+    fn missing_engine_and_grid_mismatch_fail() {
+        let base = baseline(vec![entry("a", 10.0, 5.0), entry("b", 10.0, 5.0)]);
+        let cur = baseline(vec![entry("a", 10.0, 5.0)]);
+        let v = base.compare(&cur, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"));
+
+        let mut other = base.clone();
+        other.seed = 2;
+        let v = base.compare(&other, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("grid mismatch"));
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let b = baseline(vec![entry("hunipu-batch", 1000.0, 600.0)]);
+        let dir = std::env::temp_dir().join("bench-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_batch.json");
+        b.save(&path).unwrap();
+        let back = BatchBaseline::load(&path).unwrap();
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].batched, 600.0);
+        assert!(b.compare(&back, CYCLE_TOLERANCE).is_empty());
+    }
+}

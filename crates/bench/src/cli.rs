@@ -36,6 +36,16 @@ pub struct Args {
     /// `--out PATH`: output path override (e.g. where `bench profile`
     /// writes its merged Chrome trace).
     pub out: Option<String>,
+    /// `--batch B`: instances per batch for the batch harness.
+    pub batch: Option<usize>,
+    /// `--check`: compare results against the checked-in baseline and
+    /// exit nonzero on regression (the CI perf gate).
+    pub check: bool,
+    /// `--write-baseline`: regenerate the checked-in baseline file.
+    pub write_baseline: bool,
+    /// `--baseline PATH`: baseline file override (default
+    /// `BENCH_batch.json` at the repo root).
+    pub baseline: Option<String>,
     /// Positional arguments.
     pub positional: Vec<String>,
 }
@@ -109,11 +119,26 @@ impl Args {
                 "--out" => {
                     out.out = Some(it.next().expect("--out needs a path"));
                 }
+                "--batch" => {
+                    let b: usize = it
+                        .next()
+                        .expect("--batch needs a value")
+                        .parse()
+                        .expect("bad batch size");
+                    assert!(b >= 1, "--batch must be >= 1");
+                    out.batch = Some(b);
+                }
+                "--check" => out.check = true,
+                "--write-baseline" => out.write_baseline = true,
+                "--baseline" => {
+                    out.baseline = Some(it.next().expect("--baseline needs a path"));
+                }
                 other if other.starts_with("--") => {
                     panic!(
                         "unknown flag {other}; supported: \
                          --full --uniform --sizes --ks --threads --seed \
-                         --tile-sample --max-events --out"
+                         --tile-sample --max-events --out --batch --check \
+                         --write-baseline --baseline"
                     )
                 }
                 other => out.positional.push(other.to_string()),
@@ -181,5 +206,23 @@ mod tests {
     #[should_panic(expected = "--tile-sample must be >= 1")]
     fn zero_tile_sample_panics() {
         parse("--tile-sample 0");
+    }
+
+    #[test]
+    fn batch_and_gate_flags_parse() {
+        let a = parse("--batch 32 --check --baseline /tmp/b.json");
+        assert_eq!(a.batch, Some(32));
+        assert!(a.check);
+        assert!(!a.write_baseline);
+        assert_eq!(a.baseline.as_deref(), Some("/tmp/b.json"));
+        let b = parse("--write-baseline");
+        assert!(b.write_baseline && !b.check);
+        assert_eq!(b.batch, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--batch must be >= 1")]
+    fn zero_batch_panics() {
+        parse("--batch 0");
     }
 }

@@ -11,10 +11,12 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod baseline;
 pub mod cli;
 pub mod record;
 pub mod runners;
 
+pub use baseline::{BaselineEntry, BatchBaseline, CYCLE_TOLERANCE};
 pub use cli::Args;
 pub use record::{ExperimentRecord, Measurement};
 pub use runners::{fmt_time, run_cpu, run_fastha, run_hunipu, CpuExtrapolator};

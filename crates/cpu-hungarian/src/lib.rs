@@ -25,12 +25,14 @@
 #![warn(clippy::all)]
 
 pub mod auction;
+pub mod batch;
 pub mod calibration;
 pub mod jv;
 pub mod munkres;
 pub mod ops;
 
 pub use auction::Auction;
+pub use batch::{CpuAlgo, CpuBatch};
 pub use jv::JonkerVolgenant;
 pub use munkres::{Munkres, ZeroSearch};
 pub use ops::OpCounter;

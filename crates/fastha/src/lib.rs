@@ -27,6 +27,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod batch;
 mod solver;
 
+pub use batch::BatchFastHa;
 pub use solver::{FastHa, F32_VERIFY_EPS};

@@ -57,6 +57,11 @@ impl FastHa {
         self.profile.as_ref()
     }
 
+    /// The device configuration this solver targets.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
     /// Builds, runs, and returns the report plus the device (for
     /// kernel-level inspection in benches).
     pub fn solve_with_device(

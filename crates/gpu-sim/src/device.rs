@@ -189,6 +189,30 @@ impl GpuSim {
         }
     }
 
+    /// Synchronous device→host read of a whole i32 buffer in **one**
+    /// round-trip — the batched counterpart of
+    /// [`GpuSim::host_sync_read_i32`]. A batch engine steering `B`
+    /// instances reads all `B` control words for a single
+    /// `host_sync_s` charge (plus PCIe bytes), which is exactly the
+    /// launch/sync amortization batching exists to buy.
+    pub fn host_sync_read_i32_vec(&mut self, buf: BufId) -> Vec<i32> {
+        self.stats.host_syncs += 1;
+        self.stats.host_sync_seconds += self.config.host_sync_s;
+        if let Some(p) = self.profiler.as_mut() {
+            p.record_host_sync(self.config.host_sync_s);
+        }
+        match &self.buffers[buf.0].data {
+            Data::I32(v) => {
+                self.stats.pcie_bytes += (v.len() * 4) as u64;
+                v.clone()
+            }
+            _ => panic!(
+                "host_sync_read_i32_vec on f32 buffer '{}'",
+                self.buffers[buf.0].name
+            ),
+        }
+    }
+
     /// Launches a kernel of `threads` threads (block size `block`,
     /// informational) and executes `f` once per thread.
     ///
@@ -468,6 +492,26 @@ mod tests {
         assert_eq!(v, 0);
         assert!(g.modeled_seconds() - before >= 9e-6);
         assert_eq!(g.stats().host_syncs, 1);
+    }
+
+    #[test]
+    fn vector_host_sync_costs_one_roundtrip() {
+        let mut g = gpu();
+        let flags = g.alloc_i32("flags", 16);
+        g.upload_i32(flags, &[7; 16]);
+        let before = g.stats().host_sync_seconds;
+        let v = g.host_sync_read_i32_vec(flags);
+        assert_eq!(v, vec![7; 16]);
+        // 16 control words, one sync charge: the amortization a batched
+        // host loop buys over 16 scalar reads.
+        let one_vec = g.stats().host_sync_seconds - before;
+        let before = g.stats().host_sync_seconds;
+        for i in 0..16 {
+            g.host_sync_read_i32(flags, i);
+        }
+        let scalar16 = g.stats().host_sync_seconds - before;
+        assert!((scalar16 / one_vec - 16.0).abs() < 1e-9);
+        assert_eq!(g.stats().host_syncs, 17);
     }
 
     #[test]

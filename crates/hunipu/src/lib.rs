@@ -57,12 +57,14 @@
 #![warn(clippy::all)]
 
 pub mod ablation;
+mod batch;
 mod build;
 mod layout;
 mod solver;
 mod steps;
 
 pub use ablation::{AblationConfig, DynSlice};
+pub use batch::{BatchHunIpu, BatchStrategy};
 pub use layout::{Layout, COL_SEG};
 pub use solver::{HunIpu, F32_VERIFY_EPS};
 

@@ -125,6 +125,15 @@ impl HunIpu {
         &self,
         matrix: &CostMatrix,
     ) -> Result<(SolveReport, ipu_sim::Engine), LsapError> {
+        let n = self.validate_size(matrix)?;
+        let start = Instant::now();
+        let (mut engine, t) = self.compile_for(n)?;
+        let report = self.run_instance(&mut engine, &t, matrix, start)?;
+        Ok((report, engine))
+    }
+
+    /// Rejects shapes the device program cannot represent, returning `n`.
+    pub(crate) fn validate_size(&self, matrix: &CostMatrix) -> Result<usize, LsapError> {
         if !matrix.is_square() {
             return Err(LsapError::NotSquare {
                 rows: matrix.rows(),
@@ -137,8 +146,17 @@ impl HunIpu {
                 detail: format!("instance size {n} exceeds the 2^24 arg-max encoding limit"),
             });
         }
-        let start = Instant::now();
+        Ok(n)
+    }
 
+    /// Builds and compiles the static solve program for instance size `n`
+    /// (the expensive, shape-dependent step — C4). The returned engine is
+    /// pristine: batch serving snapshots it once and streams instances
+    /// through it via [`HunIpu::run_instance`].
+    pub(crate) fn compile_for(
+        &self,
+        n: usize,
+    ) -> Result<(ipu_sim::Engine, crate::build::Ts), LsapError> {
         let backend = |e: ipu_sim::GraphError| LsapError::Backend {
             detail: e.to_string(),
         };
@@ -153,18 +171,46 @@ impl HunIpu {
         let program = builder.assemble().map_err(backend)?;
         let Builder { g, t, .. } = builder;
         let mut engine = g.compile(program).map_err(backend)?;
-
-        if let Some(plan) = &self.fault_plan {
-            // Decorrelate retries: attempt k runs under seed ^ k·φ64 (the
-            // first attempt uses the plan's own seed unchanged).
-            let epoch = self.fault_epoch.get();
-            self.fault_epoch.set(epoch.wrapping_add(1));
-            let mut derived = plan.clone();
-            derived.seed ^= epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            engine.set_fault_plan(derived);
-        }
         if let Some(cfg) = &self.profile {
             engine.enable_profiling(cfg.clone());
+        }
+        Ok((engine, t))
+    }
+
+    /// The fault plan for the next engine run, if faults are armed:
+    /// attempt `k` runs under `seed ^ k·φ64` (the first uses the plan's
+    /// own seed unchanged), decorrelating retries from the corruption
+    /// that killed the previous attempt. Every launch — single solve,
+    /// batch instance, or batch retry — draws from the same epoch
+    /// counter, which is what makes a batch solve reproduce a sequence
+    /// of single solves bit-for-bit.
+    pub(crate) fn next_fault_plan(&self) -> Option<ipu_sim::FaultPlan> {
+        let plan = self.fault_plan.as_ref()?;
+        let epoch = self.fault_epoch.get();
+        self.fault_epoch.set(epoch.wrapping_add(1));
+        let mut derived = plan.clone();
+        derived.seed ^= epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Some(derived)
+    }
+
+    /// Loads one instance into a compiled engine, runs the device
+    /// program, and extracts the verified-shape report. The engine must
+    /// be pristine (fresh from [`HunIpu::compile_for`] or restored from a
+    /// pristine snapshot); cycle statistics read back as exactly this
+    /// instance's run.
+    pub(crate) fn run_instance(
+        &self,
+        engine: &mut ipu_sim::Engine,
+        t: &crate::build::Ts,
+        matrix: &CostMatrix,
+        start: Instant,
+    ) -> Result<SolveReport, LsapError> {
+        let n = matrix.n();
+        let backend = |e: ipu_sim::GraphError| LsapError::Backend {
+            detail: e.to_string(),
+        };
+        if let Some(plan) = self.next_fault_plan() {
+            engine.set_fault_plan(plan);
         }
 
         // Load the instance (cast to the device's f32, as the real
@@ -193,8 +239,8 @@ impl HunIpu {
         // augmentation. Anything outside these bounds (negative included —
         // a naive `as u64` cast would wrap a corrupted -1 to 2^64-1) means
         // the counter itself was hit by a fault.
-        let augmentations = read_counter(&mut engine, t.ctr_aug, "ctr_aug", n as u64)?;
-        let dual_updates = read_counter(&mut engine, t.ctr_dual, "ctr_dual", (n as u64).pow(2))?;
+        let augmentations = read_counter(engine, t.ctr_aug, "ctr_aug", n as u64)?;
+        let dual_updates = read_counter(engine, t.ctr_dual, "ctr_dual", (n as u64).pow(2))?;
 
         let stats = SolverStats {
             modeled_seconds: Some(engine.modeled_seconds()),
@@ -207,15 +253,12 @@ impl HunIpu {
                 .profile()
                 .map_or(0, |p| p.events.len() as u64 + p.dropped),
         };
-        Ok((
-            SolveReport {
-                assignment,
-                objective,
-                certificate: DualCertificate::new(u, v),
-                stats,
-            },
-            engine,
-        ))
+        Ok(SolveReport {
+            assignment,
+            objective,
+            certificate: DualCertificate::new(u, v),
+            stats,
+        })
     }
 }
 

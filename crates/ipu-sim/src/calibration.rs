@@ -60,3 +60,37 @@ pub const INTER_IPU_BYTES_PER_CYCLE: f64 = 0.16;
 /// Every vertex execution pays this once: Poplar's vertex call sequence
 /// (load vertex state, jump, return) costs a small constant.
 pub const VERTEX_OVERHEAD: u64 = 10;
+
+/// Fixed cycles to attach and launch a compiled program on the device.
+///
+/// Loading a Poplar executable is the notoriously expensive part of an
+/// IPU workflow: the host streams the program image over PCIe and the
+/// device distributes code to every tile before the first superstep can
+/// run. We model the fixed share — device attach, sync-zone setup,
+/// per-tile code distribution — at ~0.38 ms (500k cycles at 1.325 GHz),
+/// the floor of what Graphcore's own `engine.load()` timings show for
+/// tiny programs. This cost is a **static property of a compiled engine**
+/// ([`crate::Engine::program_load_cycles`]), charged by callers once per
+/// program *load*, not per run — which is exactly why batched serving
+/// reuses one engine across instances (C4: one program per tensor shape).
+pub const PROGRAM_LOAD_BASE_CYCLES: u64 = 500_000;
+
+/// Host-to-device bandwidth for streaming the program image, bytes per
+/// cycle chip-wide.
+///
+/// PCIe Gen4 x16 sustains ~32 GB/s; at 1.325 GHz that is ~24 B/cycle —
+/// two orders of magnitude below the on-chip exchange aggregate, which is
+/// why program size matters at load time and not during solves.
+pub const HOST_IO_BYTES_PER_CYCLE: f64 = 24.0;
+
+/// Modeled program-image bytes per vertex (codelet descriptor, edge
+/// table, and the vertex's share of tile code).
+pub const IMAGE_BYTES_PER_VERTEX: u64 = 96;
+
+/// Modeled program-image bytes per tensor (variable descriptor and
+/// tile-mapping table entry).
+pub const IMAGE_BYTES_PER_TENSOR: u64 = 24;
+
+/// Modeled program-image bytes per lowered control-flow/exchange node
+/// (sequence entries, loop headers, pre-compiled exchange sequences).
+pub const IMAGE_BYTES_PER_NODE: u64 = 32;

@@ -50,6 +50,25 @@ pub struct IpuConfig {
     /// fault behaviour are bit-identical at every thread count.
     #[serde(default)]
     pub host_threads: usize,
+    /// Fixed cycles to attach and launch a compiled program (device
+    /// attach + per-tile code distribution). Reported as a static engine
+    /// property ([`crate::Engine::program_load_cycles`]), never charged
+    /// into [`crate::CycleStats`]; batch serving pays it once per
+    /// program while sequential solving pays it per solve.
+    #[serde(default = "default_program_load_base_cycles")]
+    pub program_load_base_cycles: u64,
+    /// Host→device bandwidth for streaming the program image, bytes per
+    /// cycle chip-wide (PCIe share; see `calibration`).
+    #[serde(default = "default_host_io_bytes_per_cycle")]
+    pub host_io_bytes_per_cycle: f64,
+}
+
+fn default_program_load_base_cycles() -> u64 {
+    crate::calibration::PROGRAM_LOAD_BASE_CYCLES
+}
+
+fn default_host_io_bytes_per_cycle() -> f64 {
+    crate::calibration::HOST_IO_BYTES_PER_CYCLE
 }
 
 impl IpuConfig {
@@ -69,6 +88,8 @@ impl IpuConfig {
             inter_ipu_bytes_per_cycle: crate::calibration::INTER_IPU_BYTES_PER_CYCLE,
             max_while_iterations: 100_000_000,
             host_threads: 0,
+            program_load_base_cycles: crate::calibration::PROGRAM_LOAD_BASE_CYCLES,
+            host_io_bytes_per_cycle: crate::calibration::HOST_IO_BYTES_PER_CYCLE,
         }
     }
 

@@ -13,7 +13,7 @@
 //! any order), the superstep cost is a max-reduction over those sums, and
 //! fault draws stay on the serial post-join path in program order.
 
-use crate::calibration::VERTEX_OVERHEAD;
+use crate::calibration::{self, VERTEX_OVERHEAD};
 use crate::codelet::{FieldBuf, VertexCtx};
 use crate::config::IpuConfig;
 use crate::error::GraphError;
@@ -266,6 +266,9 @@ pub struct Engine {
     raw: RawBufs,
     program: ExecNode,
     st: RunState,
+    /// Modeled one-time cost of loading this program onto the device,
+    /// fixed at compile time (see [`Engine::program_load_cycles`]).
+    program_load_cycles: u64,
     /// Iteration guard for `RepeatWhileTrue`, initialized from
     /// [`crate::IpuConfig::max_while_iterations`] (overridable per engine).
     pub max_while_iterations: u64,
@@ -970,6 +973,16 @@ impl Engine {
         let thread_load = vec![0u64; graph.config.tiles * tpt];
         let max_while_iterations = graph.config.max_while_iterations;
         let (program, cost_slots) = exec::lower(&program);
+        // Modeled program-image size: codelet descriptors + edge tables
+        // per vertex, variable descriptors per tensor, and the lowered
+        // control/exchange tree. Streamed over host I/O on top of the
+        // fixed attach cost — a static property of the compiled engine,
+        // deliberately NOT part of `CycleStats` (which accounts runs).
+        let image_bytes = graph.vertices.len() as u64 * calibration::IMAGE_BYTES_PER_VERTEX
+            + graph.tensors.len() as u64 * calibration::IMAGE_BYTES_PER_TENSOR
+            + program.node_count() * calibration::IMAGE_BYTES_PER_NODE;
+        let program_load_cycles = graph.config.program_load_base_cycles
+            + (image_bytes as f64 / graph.config.host_io_bytes_per_cycle).ceil() as u64;
         let workers = resolve_host_threads(&graph.config);
         let shards = build_shards(&graph, workers);
         Self {
@@ -993,8 +1006,30 @@ impl Engine {
                 faults: None,
                 profiler: None,
             },
+            program_load_cycles,
             max_while_iterations,
         }
+    }
+
+    /// Modeled one-time cost of loading this compiled program onto the
+    /// device (attach + streaming the program image over host I/O).
+    ///
+    /// This is a *static property* of the engine, not part of
+    /// [`Engine::stats`]: `CycleStats` accounts what runs execute, and a
+    /// loaded program can be run (and re-run via snapshot/restore) any
+    /// number of times. Sequential single-instance serving pays this per
+    /// solve; batched serving pays it once per program — the gap is the
+    /// amortization the batch bench measures.
+    pub fn program_load_cycles(&self) -> u64 {
+        self.program_load_cycles
+    }
+
+    /// [`Engine::program_load_cycles`] converted at the device clock.
+    pub fn program_load_seconds(&self) -> f64 {
+        self.sh
+            .graph
+            .config
+            .cycles_to_seconds(self.program_load_cycles)
     }
 
     /// The accumulated cycle statistics.
@@ -1339,6 +1374,55 @@ mod tests {
         assert!(e.stats().compute_cycles > 0);
         assert_eq!(e.stats().supersteps, 1);
         assert!(e.modeled_seconds() > 0.0);
+    }
+
+    #[test]
+    fn program_load_is_static_and_outside_run_stats() {
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let cs = g.add_compute_set("w");
+        g.add_vertex(cs, 0, "v", |_| 10).unwrap();
+        let mut e = g.compile(Program::execute(cs)).unwrap();
+        let load = e.program_load_cycles();
+        // At least the fixed attach cost, plus a nonzero image charge.
+        assert!(load > e.config().program_load_base_cycles);
+        assert!(e.program_load_seconds() > 0.0);
+        // Static property: unchanged by running, and never charged into
+        // the run statistics (which account executed supersteps only).
+        assert_eq!(e.stats().total_cycles(), 0);
+        e.run().unwrap();
+        assert_eq!(e.program_load_cycles(), load);
+        let run_cycles = e.stats().total_cycles();
+        e.run().unwrap();
+        assert_eq!(e.stats().total_cycles(), 2 * run_cycles);
+        assert_eq!(e.program_load_cycles(), load);
+    }
+
+    #[test]
+    fn bigger_programs_cost_more_to_load() {
+        let small = {
+            let mut g = Graph::new(IpuConfig::tiny(2));
+            let cs = g.add_compute_set("w");
+            g.add_vertex(cs, 0, "v", |_| 10).unwrap();
+            g.compile(Program::execute(cs))
+                .unwrap()
+                .program_load_cycles()
+        };
+        let big = {
+            let mut g = Graph::new(IpuConfig::tiny(2));
+            let cs = g.add_compute_set("w");
+            for i in 0..512 {
+                g.add_vertex(cs, i % 2, "v", |_| 10).unwrap();
+            }
+            for i in 0..64 {
+                let name = format!("t{i}");
+                let t = g.add_tensor(&name, DType::F32, 8);
+                g.map_to_tile(t, 0).unwrap();
+            }
+            g.compile(Program::execute(cs))
+                .unwrap()
+                .program_load_cycles()
+        };
+        assert!(big > small);
     }
 
     #[test]

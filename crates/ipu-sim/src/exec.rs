@@ -124,6 +124,21 @@ impl ExecNode {
             _ => None,
         }
     }
+
+    /// Number of nodes in this lowered subtree — used to size the modeled
+    /// program image at engine construction.
+    pub(crate) fn node_count(&self) -> u64 {
+        match self {
+            ExecNode::Seq(items) => 1 + items.iter().map(ExecNode::node_count).sum::<u64>(),
+            ExecNode::Execute(_) | ExecNode::Copy { .. } | ExecNode::Exchange { .. } => 1,
+            ExecNode::Repeat { body, .. } | ExecNode::While { body, .. } => 1 + body.node_count(),
+            ExecNode::If {
+                then_body,
+                else_body,
+                ..
+            } => 1 + then_body.node_count() + else_body.node_count(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,9 @@
 //! - [`DualCertificate`] — an LP-duality proof of optimality that lets any
 //!   solver's output be verified *without* trusting a reference solver,
 //! - [`LsapSolver`] — the trait all solvers (CPU, simulated GPU, simulated
-//!   IPU) implement, and [`SolveReport`] with modeled-runtime accounting.
+//!   IPU) implement, and [`SolveReport`] with modeled-runtime accounting,
+//! - [`BatchLsapSolver`] — the batched counterpart solving `B` instances
+//!   through one engine, with amortized accounting in [`BatchStats`].
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@
 #![warn(clippy::all)]
 
 mod assignment;
+mod batch;
 mod certificate;
 mod error;
 mod matrix;
@@ -39,6 +42,9 @@ mod resilient;
 mod solver;
 
 pub use assignment::Assignment;
+pub use batch::{
+    solve_instance_verified, BatchLsapSolver, BatchReport, BatchStats, SequentialBatch,
+};
 pub use certificate::DualCertificate;
 pub use error::LsapError;
 pub use matrix::CostMatrix;

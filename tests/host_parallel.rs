@@ -4,10 +4,11 @@
 //! wall-clock optimization only — if any of these tests can tell thread
 //! counts apart, the determinism contract is broken.
 
-use hunipu::HunIpu;
+use hunipu::{BatchHunIpu, HunIpu};
 use ipu_sim::{
     Access, ComputeSetId, CycleStats, DType, FaultPlan, Graph, IpuConfig, Program, Tensor,
 };
+use lsap::{BatchLsapSolver, CostMatrix};
 use proptest::prelude::*;
 
 /// Large enough that hunipu's per-tile compute sets (~n vertices on the
@@ -79,6 +80,127 @@ fn faulty_solves_are_bit_identical_across_host_threads() {
             "{threads}-thread faulty solve diverged from sequential"
         );
     }
+}
+
+fn pooled_batch(count: usize, seed: u64) -> Vec<CostMatrix> {
+    (0..count)
+        .map(|i| datasets::gaussian_cost_matrix(POOLED_N, 100, seed + i as u64))
+        .collect()
+}
+
+/// One line per instance capturing everything an instance solve can
+/// produce: objective bits, assignment, duals, and modeled statistics.
+fn report_fingerprint(r: &lsap::SolveReport) -> String {
+    format!(
+        "obj={:016x} pairs={:?} u0={:016x} cycles={:?} aug={} dual={} steps={}",
+        r.objective.to_bits(),
+        r.assignment.pairs().collect::<Vec<_>>(),
+        r.certificate.u[0].to_bits(),
+        r.stats.modeled_cycles,
+        r.stats.augmentations,
+        r.stats.dual_updates,
+        r.stats.device_steps,
+    )
+}
+
+#[test]
+fn batch_solves_match_independent_singles_across_host_threads() {
+    let batch = pooled_batch(3, 21);
+    let run = |threads: usize| {
+        let solver = HunIpu::with_config(IpuConfig {
+            host_threads: threads,
+            ..IpuConfig::mk2()
+        });
+        let rep = BatchHunIpu::with_solver(solver)
+            .solve_batch(&batch)
+            .unwrap();
+        rep.verify_all(&batch, hunipu::F32_VERIFY_EPS).unwrap();
+        assert_eq!(rep.stats.retries, 0, "fault-free batch must not retry");
+        rep.reports
+            .iter()
+            .map(report_fingerprint)
+            .collect::<Vec<_>>()
+    };
+
+    let sequential = run(1);
+    // The batch must equal B independent single-instance solves …
+    for (m, fp) in batch.iter().zip(&sequential) {
+        let (rep, _) = HunIpu::new().solve_with_engine(m).unwrap();
+        assert_eq!(&report_fingerprint(&rep), fp, "batch diverged from solo");
+    }
+    // … and be bit-identical at every host thread count.
+    for threads in [2, 8] {
+        assert_eq!(
+            sequential,
+            run(threads),
+            "{threads}-thread batch diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn faulty_batch_matches_sequential_retry_loop_across_host_threads() {
+    // Mild fault plan: instances mostly succeed, some only after the
+    // verify-and-retry loop re-runs them under a decorrelated seed. The
+    // batch engine and the equivalent solo loop share the same
+    // fault-epoch counter, so outcome, retry count, and every statistic
+    // must match bit-for-bit — at any host thread count.
+    let batch = pooled_batch(3, 23);
+    let plan = || {
+        FaultPlan::new(77)
+            .with_bit_flips(0.003)
+            .after_supersteps(100)
+    };
+    let config = |threads: usize| IpuConfig {
+        host_threads: threads,
+        max_while_iterations: 50_000,
+        ..IpuConfig::mk2()
+    };
+
+    let run_batched = |threads: usize| {
+        let solver = HunIpu::with_config(config(threads)).with_fault_plan(plan());
+        match BatchHunIpu::with_solver(solver).solve_batch(&batch) {
+            Ok(rep) => {
+                let fps: Vec<String> = rep.reports.iter().map(report_fingerprint).collect();
+                format!("ok retries={} {}", rep.stats.retries, fps.join(" | "))
+            }
+            Err(e) => format!("err {e}"),
+        }
+    };
+    // The solo equivalent: one solver instance (so the fault-epoch
+    // counter advances across instances exactly like the batch), each
+    // instance wrapped in the same shared verify-and-retry loop.
+    let run_solo = |threads: usize| {
+        let solver = HunIpu::with_config(config(threads)).with_fault_plan(plan());
+        let mut retries = 0;
+        let mut fps = Vec::new();
+        for m in &batch {
+            let attempt = |_k| solver.solve_with_engine(m).map(|(rep, _)| rep);
+            match lsap::solve_instance_verified(m, hunipu::F32_VERIFY_EPS, 3, attempt) {
+                Ok((rep, r)) => {
+                    retries += r;
+                    fps.push(report_fingerprint(&rep));
+                }
+                Err(e) => return format!("err {e}"),
+            }
+        }
+        format!("ok retries={retries} {}", fps.join(" | "))
+    };
+
+    let sequential = run_batched(1);
+    assert_eq!(
+        sequential,
+        run_solo(1),
+        "faulty batch diverged from the sequential retry loop"
+    );
+    for threads in [4, 8] {
+        assert_eq!(
+            sequential,
+            run_batched(threads),
+            "{threads}-thread faulty batch diverged from sequential"
+        );
+    }
+    assert_eq!(sequential, run_solo(8), "solo loop thread-sensitive");
 }
 
 /// A graph exercising every program node the engine executes: a
