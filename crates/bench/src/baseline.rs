@@ -122,6 +122,135 @@ impl BatchBaseline {
     }
 }
 
+/// Minimum modeled-cycle reduction the chip-aware layout must deliver
+/// on ≥4-chip configurations (the multi-IPU tentpole's headline claim).
+pub const MULTI_IPU_MIN_IMPROVEMENT: f64 = 0.20;
+
+/// One (device, topology, n) cell of the multi-IPU baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiIpuEntry {
+    /// Device family ("tiny" or "mk2").
+    pub device: String,
+    /// Chips in the sweep cell.
+    pub chips: usize,
+    /// Tiles per chip.
+    pub tiles_per_chip: usize,
+    /// Instance size.
+    pub n: usize,
+    /// Modeled solve cycles under the chip-oblivious flat layout.
+    pub flat_cycles: f64,
+    /// Modeled solve cycles under the chip-aware layout. **Gated.**
+    pub chip_aware_cycles: f64,
+    /// Fractional improvement `1 − chip_aware/flat`. Informational
+    /// (recomputed by the gate from the cycle columns).
+    pub improvement: f64,
+    /// Host wall seconds for the cell. Informational only.
+    #[serde(default)]
+    pub wall_seconds: f64,
+}
+
+/// The multi-IPU sweep baseline: `bench multi_ipu --write-baseline`
+/// records it into `BENCH_multi_ipu.json`; `--check` re-runs the grid
+/// and fails on regression.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiIpuBaseline {
+    /// Dataset seed.
+    pub seed: u64,
+    /// Per-cell measurements.
+    pub entries: Vec<MultiIpuEntry>,
+}
+
+impl MultiIpuBaseline {
+    /// Reads a baseline from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Pretty-prints the baseline to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Compares a fresh run against this baseline, returning every
+    /// violation (empty = gate passes). Per baseline cell:
+    /// 1. the cell is still measured (same device/topology/n),
+    /// 2. chip-aware cycles did not regress by more than `tolerance`,
+    /// 3. single-chip cells stay **exactly** flat (the bit-identity
+    ///    contract: `Auto` on one chip must compile the seed program),
+    /// 4. multi-chip cells keep beating the flat layout, and ≥4-chip
+    ///    cells keep the ≥[`MULTI_IPU_MIN_IMPROVEMENT`] headline cut.
+    pub fn compare(&self, current: &MultiIpuBaseline, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.seed != current.seed {
+            violations.push(format!(
+                "seed mismatch: baseline {}, run {} — regenerate with --write-baseline",
+                self.seed, current.seed
+            ));
+            return violations;
+        }
+        for base in &self.entries {
+            let key = (
+                base.device.as_str(),
+                base.chips,
+                base.tiles_per_chip,
+                base.n,
+            );
+            let Some(cur) = current
+                .entries
+                .iter()
+                .find(|e| (e.device.as_str(), e.chips, e.tiles_per_chip, e.n) == key)
+            else {
+                violations.push(format!(
+                    "cell {}x{} {} n={} missing from this run",
+                    base.chips, base.tiles_per_chip, base.device, base.n
+                ));
+                continue;
+            };
+            let cell = format!(
+                "{} {}x{} n={}",
+                cur.device, cur.chips, cur.tiles_per_chip, cur.n
+            );
+            let limit = base.chip_aware_cycles * (1.0 + tolerance);
+            if cur.chip_aware_cycles > limit {
+                violations.push(format!(
+                    "{cell}: chip-aware cycles regressed {:.0} -> {:.0} (+{:.1}%, tolerance {:.0}%)",
+                    base.chip_aware_cycles,
+                    cur.chip_aware_cycles,
+                    (cur.chip_aware_cycles / base.chip_aware_cycles - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+            if cur.chips == 1 && cur.chip_aware_cycles != cur.flat_cycles {
+                violations.push(format!(
+                    "{cell}: single-chip Auto ({:.0}) != Flat ({:.0}) — bit-identity broken",
+                    cur.chip_aware_cycles, cur.flat_cycles
+                ));
+            }
+            if cur.chips > 1 && cur.chip_aware_cycles >= cur.flat_cycles {
+                violations.push(format!(
+                    "{cell}: chip-aware ({:.0}) no longer beats flat ({:.0})",
+                    cur.chip_aware_cycles, cur.flat_cycles
+                ));
+            }
+            if cur.chips >= 4 {
+                let improvement = 1.0 - cur.chip_aware_cycles / cur.flat_cycles;
+                if improvement < MULTI_IPU_MIN_IMPROVEMENT {
+                    violations.push(format!(
+                        "{cell}: improvement {:.1}% below the {:.0}% floor",
+                        improvement * 100.0,
+                        MULTI_IPU_MIN_IMPROVEMENT * 100.0
+                    ));
+                }
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +327,87 @@ mod tests {
         let back = BatchBaseline::load(&path).unwrap();
         assert_eq!(back.entries.len(), 1);
         assert_eq!(back.entries[0].batched, 600.0);
+        assert!(b.compare(&back, CYCLE_TOLERANCE).is_empty());
+    }
+
+    fn cell(chips: usize, flat: f64, chip_aware: f64) -> MultiIpuEntry {
+        MultiIpuEntry {
+            device: "tiny".into(),
+            chips,
+            tiles_per_chip: 8,
+            n: 48,
+            flat_cycles: flat,
+            chip_aware_cycles: chip_aware,
+            improvement: 1.0 - chip_aware / flat,
+            wall_seconds: 0.1,
+        }
+    }
+
+    fn multi(entries: Vec<MultiIpuEntry>) -> MultiIpuBaseline {
+        MultiIpuBaseline { seed: 1, entries }
+    }
+
+    #[test]
+    fn multi_ipu_identical_runs_pass() {
+        let b = multi(vec![cell(1, 1000.0, 1000.0), cell(4, 1000.0, 500.0)]);
+        assert!(b.compare(&b.clone(), CYCLE_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn multi_ipu_regression_and_missing_cell_fail() {
+        let base = multi(vec![cell(2, 1000.0, 800.0)]);
+        let bad = multi(vec![cell(2, 1000.0, 900.0)]);
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("regressed"), "{v:?}");
+
+        let v = base.compare(&multi(vec![]), CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"), "{v:?}");
+
+        let mut reseeded = base.clone();
+        reseeded.seed = 2;
+        let v = base.compare(&reseeded, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("seed mismatch"), "{v:?}");
+    }
+
+    #[test]
+    fn multi_ipu_structural_gates_hold_even_within_tolerance() {
+        // Single-chip cells must stay exactly flat (bit-identity).
+        let base = multi(vec![cell(1, 1000.0, 1000.0)]);
+        let cur = multi(vec![cell(1, 1000.0, 1001.0)]);
+        let v = base.compare(&cur, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bit-identity"), "{v:?}");
+
+        // Multi-chip cells must keep beating flat.
+        let base = multi(vec![cell(2, 1000.0, 990.0)]);
+        let cur = multi(vec![cell(2, 1000.0, 1000.0)]);
+        let v = base.compare(&cur, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("no longer beats"), "{v:?}");
+
+        // ≥4-chip cells must keep the headline ≥20% cut. A run that is
+        // within tolerance of its own baseline but whose flat reference
+        // got cheaper can still fall below the floor.
+        let base = multi(vec![cell(4, 1000.0, 790.0)]);
+        let cur = multi(vec![cell(4, 950.0, 790.0)]);
+        let v = base.compare(&cur, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("floor"), "{v:?}");
+    }
+
+    #[test]
+    fn multi_ipu_roundtrips_through_disk() {
+        let b = multi(vec![cell(4, 1000.0, 500.0)]);
+        let dir = std::env::temp_dir().join("bench-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_multi_ipu.json");
+        b.save(&path).unwrap();
+        let back = MultiIpuBaseline::load(&path).unwrap();
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].chip_aware_cycles, 500.0);
         assert!(b.compare(&back, CYCLE_TOLERANCE).is_empty());
     }
 }

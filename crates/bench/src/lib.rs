@@ -16,7 +16,10 @@ pub mod cli;
 pub mod record;
 pub mod runners;
 
-pub use baseline::{BaselineEntry, BatchBaseline, CYCLE_TOLERANCE};
+pub use baseline::{
+    BaselineEntry, BatchBaseline, MultiIpuBaseline, MultiIpuEntry, CYCLE_TOLERANCE,
+    MULTI_IPU_MIN_IMPROVEMENT,
+};
 pub use cli::Args;
 pub use record::{ExperimentRecord, Measurement};
 pub use runners::{fmt_time, run_cpu, run_fastha, run_hunipu, CpuExtrapolator};

@@ -76,6 +76,32 @@ impl Default for BatchHunIpu {
     }
 }
 
+/// Cache key for compiled engines: the tensor shape plus the chip
+/// topology and layout family the program was compiled against. A
+/// `BatchHunIpu` is topology-fixed for its lifetime, but a program
+/// compiled for a flat layout is not interchangeable with a chip-aware
+/// one of the same `n` — keying on the topology keeps the cache honest
+/// if cached engines are ever shared across differently-configured
+/// solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct EngineKey {
+    n: usize,
+    ipus: usize,
+    tiles_per_ipu: usize,
+    hierarchical: bool,
+}
+
+impl EngineKey {
+    fn for_shape(solver: &HunIpu, n: usize) -> Self {
+        Self {
+            n,
+            ipus: solver.config().ipus,
+            tiles_per_ipu: solver.config().tiles_per_ipu,
+            hierarchical: solver.hierarchical(),
+        }
+    }
+}
+
 /// One compiled engine kept for reuse across same-shape instances.
 struct CachedEngine {
     engine: ipu_sim::Engine,
@@ -136,14 +162,14 @@ impl BatchHunIpu {
     /// compiling (and charging `overhead`) on first use of the shape.
     fn stream_instance(
         solver: &HunIpu,
-        cache: &mut HashMap<usize, CachedEngine>,
+        cache: &mut HashMap<EngineKey, CachedEngine>,
         overhead: &mut u64,
         matrix: &CostMatrix,
         verify_eps: f64,
         max_attempts: u32,
     ) -> Result<(SolveReport, u64), LsapError> {
         let n = solver.validate_size(matrix)?;
-        let cached = match cache.entry(n) {
+        let cached = match cache.entry(EngineKey::for_shape(solver, n)) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => {
                 let (engine, t) = solver.compile_for(n)?;
@@ -165,7 +191,7 @@ impl BatchHunIpu {
 
     fn solve_stream(&mut self, batch: &[CostMatrix]) -> Result<BatchReport, LsapError> {
         let start = Instant::now();
-        let mut cache: HashMap<usize, CachedEngine> = HashMap::new();
+        let mut cache: HashMap<EngineKey, CachedEngine> = HashMap::new();
         let mut overhead = 0u64;
         let mut retries = 0u64;
         let mut reports = Vec::with_capacity(batch.len());
@@ -186,7 +212,7 @@ impl BatchHunIpu {
 
     fn solve_pack(&mut self, batch: &[CostMatrix], group: usize) -> Result<BatchReport, LsapError> {
         let start = Instant::now();
-        let mut cache: HashMap<usize, CachedEngine> = HashMap::new();
+        let mut cache: HashMap<EngineKey, CachedEngine> = HashMap::new();
         let mut overhead = 0u64;
         let mut retries = 0u64;
         let mut reports: Vec<Option<SolveReport>> = vec![None; batch.len()];
@@ -261,7 +287,7 @@ impl BatchHunIpu {
     /// or certification failed (caller re-solves those solo).
     fn try_pack_chunk(
         &self,
-        cache: &mut HashMap<usize, CachedEngine>,
+        cache: &mut HashMap<EngineKey, CachedEngine>,
         overhead: &mut u64,
         chunk: &[CostMatrix],
         n: usize,
@@ -292,7 +318,7 @@ impl BatchHunIpu {
         })
         .ok()?;
 
-        let cached = match cache.entry(m) {
+        let cached = match cache.entry(EngineKey::for_shape(&self.solver, m)) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => {
                 let (engine, t) = self.solver.compile_for(m).ok()?;

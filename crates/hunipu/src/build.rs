@@ -138,7 +138,7 @@ impl Builder {
             (u, 1),
             (prop, 1),
         ] {
-            for tile in 0..l.used_tiles {
+            for tile in l.owner_tiles() {
                 let rows = l.rows_of_tile(tile);
                 g.map_slice(tensor.slice(rows.start * per_row..rows.end * per_row), tile)?;
             }
@@ -236,9 +236,11 @@ impl Builder {
     }
 
     /// Interval list of a per-row tensor (`per_row` elements per row):
-    /// one `(range, tile)` per used tile.
+    /// one `(range, tile)` per row-owning tile.
     pub fn row_block_intervals(&self, per_row: usize) -> Vec<(Range<usize>, usize)> {
-        (0..self.l.used_tiles)
+        self.l
+            .owner_tiles()
+            .into_iter()
             .map(|tile| {
                 let rows = self.l.rows_of_tile(tile);
                 (rows.start * per_row..rows.end * per_row, tile)
@@ -270,11 +272,107 @@ impl Builder {
         Ok((dst, Program::exchange(pairs)))
     }
 
+    /// Whether a two-level reduction pays for itself when `off_chip`
+    /// partial scalars live off the collector's chip: the flat gather
+    /// serializes `4·off_chip` bytes through the collector's IPU-Link,
+    /// while the hierarchy spends two extra supersteps (one exchange
+    /// phase plus one compute set). Both sides are static per shape, so
+    /// the structure choice is deterministic at build time — tiny
+    /// multi-chip configs keep the flat gather, Mk2-scale ones go
+    /// hierarchical.
+    fn hier_reduce_pays(&self, off_chip: usize) -> bool {
+        let c = self.g.config();
+        let saved = off_chip as f64 * 4.0 / c.inter_ipu_bytes_per_cycle;
+        let overhead = 2.0 * (c.sync_cycles + c.exchange_setup_cycles) as f64;
+        saved > overhead
+    }
+
+    /// Number of distinct tiles holding `input` elements outside the
+    /// collector's chip — the partial scalars a flat gather would drag
+    /// across IPU-Links.
+    fn off_root_chip_tiles(&self, input: Tensor) -> usize {
+        let root = self.l.chip_of_tile(self.l.collector_tile);
+        let mut tiles: Vec<usize> = (0..input.len())
+            .filter_map(|i| self.g.tile_of(input, i))
+            .filter(|&t| self.l.chip_of_tile(t) != root)
+            .collect();
+        tiles.sort_unstable();
+        tiles.dedup();
+        tiles.len()
+    }
+
+    /// Builds a reduction of a distributed tensor to a scalar on the
+    /// collector tile, picking the flat single-gather structure on
+    /// chip-oblivious layouts (identical graph to the seed — the
+    /// single-chip bit-identity hinge) and the two-level
+    /// gather-through-sub-collectors structure on chip-aware layouts
+    /// where the cross-chip partial traffic outweighs the extra phases
+    /// (see [`Builder::hier_reduce_pays`]).
+    pub fn reduce_scalar(
+        &mut self,
+        name: &str,
+        input: Tensor,
+        op: ipu_sim::poplib::ReduceOp,
+    ) -> Result<(Tensor, Program), GraphError> {
+        if self.l.chips > 1 {
+            let off_chip = self.off_root_chip_tiles(input);
+            if self.hier_reduce_pays(off_chip) {
+                return ipu_sim::poplib::reduce_to_scalar_hier(
+                    &mut self.g,
+                    name,
+                    input,
+                    op,
+                    &self.l.chip_stages(),
+                    self.l.collector_tile,
+                );
+            }
+        }
+        ipu_sim::poplib::reduce_to_scalar(&mut self.g, name, input, op, self.l.collector_tile)
+    }
+
+    /// Builds a refresh of the replicated `mirror` from a tensor that
+    /// lives wholly on the collector tile (the green stack after a
+    /// serial walk). Flat layouts broadcast straight from the collector
+    /// — one phase, but the collector's link share serializes a copy
+    /// per remote chip. Chip-aware layouts first scatter distinct
+    /// `n/chips` chunks to the per-chip sub-collectors (the collector
+    /// sends each byte across each link once) and then broadcast from
+    /// the now-distributed staging tensor, so the per-chip replica
+    /// traffic leaves from `chips` tiles in parallel.
+    pub fn broadcast_from_collector(
+        &mut self,
+        name: &str,
+        src: Tensor,
+        mirror: Tensor,
+    ) -> Result<Program, GraphError> {
+        if self.l.chips == 1 {
+            return Ok(Program::broadcast(src.whole(), mirror.whole()));
+        }
+        let n = src.len();
+        let stage = self.g.add_tensor(&format!("{name}.stage"), src.dtype(), n);
+        let mut pairs = Vec::with_capacity(self.l.chips);
+        for c in 0..self.l.chips {
+            let chunk = c * n / self.l.chips..(c + 1) * n / self.l.chips;
+            if chunk.is_empty() {
+                continue;
+            }
+            self.g
+                .map_slice(stage.slice(chunk.clone()), self.l.sub_collector(c))?;
+            pairs.push((src.slice(chunk.clone()), stage.slice(chunk)));
+        }
+        Ok(Program::seq(vec![
+            Program::exchange(pairs),
+            Program::broadcast(stage.whole(), mirror.whole()),
+        ]))
+    }
+
     /// Builds a **dynamic read**: reads `src[idx]` where `idx` arrives in
     /// the replicated scalar `idx_m`, using the strategy selected by the
     /// ablation config — partition-and-distribute (§IV-G, Fig. 4: every
     /// interval owner probes in parallel, a ≤-tiles temporary is reduced
     /// on the collector) or the rejected whole-tensor single-tile copy.
+    /// On chip-aware layouts the ≤-tiles temporary is reduced through
+    /// the per-chip sub-collectors instead of one flat gather.
     /// Returns the 1-element output tensor (on the collector) and the
     /// program fragment.
     pub fn dyn_read_i32(
@@ -286,6 +384,16 @@ impl Builder {
     ) -> Result<(Tensor, Program), GraphError> {
         if self.ab.dyn_slice == crate::ablation::DynSlice::SingleTileGather {
             return self.dyn_read_i32_single_tile(name, src, idx_m);
+        }
+        if self.l.chips > 1 {
+            let root = self.l.chip_of_tile(self.l.collector_tile);
+            let off_chip = intervals
+                .iter()
+                .filter(|(_, t)| self.l.chip_of_tile(*t) != root)
+                .count();
+            if self.hier_reduce_pays(off_chip) {
+                return self.dyn_read_i32_hier(name, src, idx_m, intervals);
+            }
         }
         let k = intervals.len();
         let partials = self.g.add_tensor(&format!("{name}.part"), DType::I32, k);
@@ -337,6 +445,54 @@ impl Builder {
                 .collect(),
         );
         Ok((out, Program::seq(vec![Program::execute(cs), gather, pick])))
+    }
+
+    /// Chip-aware dynamic read: the same per-owner probe vertices as the
+    /// flat path (non-owners emit `i32::MIN`), but the max over the
+    /// partials travels through the per-chip sub-collectors so only one
+    /// scalar per chip crosses an IPU-Link.
+    fn dyn_read_i32_hier(
+        &mut self,
+        name: &str,
+        src: Tensor,
+        idx_m: Tensor,
+        intervals: &[(Range<usize>, usize)],
+    ) -> Result<(Tensor, Program), GraphError> {
+        let k = intervals.len();
+        let partials = self.g.add_tensor(&format!("{name}.part"), DType::I32, k);
+        for (i, (_, tile)) in intervals.iter().enumerate() {
+            self.g.map_slice(partials.element(i), *tile)?;
+        }
+        let cs = self.g.add_compute_set(&format!("{name}.probe"));
+        for (i, (range, tile)) in intervals.iter().enumerate() {
+            let (start, end) = (range.start, range.end);
+            let vtx = self
+                .g
+                .add_vertex(cs, *tile, &format!("{name}.probe[{i}]"), move |ctx| {
+                    let idx = ctx.i32(0)[0] as usize;
+                    let seg = ctx.i32(1);
+                    let out = if idx >= start && idx < end {
+                        seg[idx - start]
+                    } else {
+                        i32::MIN
+                    };
+                    ctx.i32_mut(2)[0] = out;
+                    cost::scalar(6)
+                })?;
+            self.g.connect(vtx, idx_m.whole(), Access::Read)?;
+            self.g
+                .connect(vtx, src.slice(range.clone()), Access::Read)?;
+            self.g.connect(vtx, partials.element(i), Access::Write)?;
+        }
+        let (out, pick) = ipu_sim::poplib::reduce_partials_hier(
+            &mut self.g,
+            &format!("{name}.pick"),
+            partials,
+            ipu_sim::poplib::ReduceOp::Max,
+            &self.l.chip_stages(),
+            self.l.collector_tile,
+        )?;
+        Ok((out, Program::seq(vec![Program::execute(cs), pick])))
     }
 
     /// The rejected dynamic-slice alternative (§IV-G): ship the whole

@@ -66,7 +66,7 @@ mod steps;
 pub use ablation::{AblationConfig, DynSlice};
 pub use batch::{BatchHunIpu, BatchStrategy};
 pub use layout::{Layout, COL_SEG};
-pub use solver::{HunIpu, F32_VERIFY_EPS};
+pub use solver::{HunIpu, LayoutMode, F32_VERIFY_EPS};
 
 /// Default column-segment size (§IV-E footnote: "we empirically find
 /// that 32 works well regardless of the data and the architecture").

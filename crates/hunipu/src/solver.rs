@@ -17,6 +17,26 @@ use std::time::Instant;
 /// verify exactly.
 pub const F32_VERIFY_EPS: f64 = 1e-5;
 
+/// How the solver lays work out across the device's chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayoutMode {
+    /// Chip-aware on multi-IPU configs, flat on single-chip (the default).
+    #[default]
+    Auto,
+    /// Force the chip-oblivious round-robin layout everywhere. On
+    /// multi-IPU configs this is the seed behavior: column segments and
+    /// collector traffic ignore chip boundaries, so most exchange phases
+    /// pay IPU-Link bandwidth. Kept for differential tests and as the
+    /// baseline the multi-IPU bench compares against.
+    Flat,
+    /// Force the chip-aware layout: rows block-partitioned per chip,
+    /// column segments round-robined within their owning chip, and
+    /// reductions/broadcasts restructured as hierarchical exchanges that
+    /// cross each IPU-Link once per phase. Requires `config.ipus > 1`
+    /// (single-chip chip-aware degenerates to flat by construction).
+    ChipAware,
+}
+
 /// The paper's IPU-optimized Hungarian algorithm, executed on the
 /// [`ipu_sim`] machine model.
 ///
@@ -34,6 +54,7 @@ pub struct HunIpu {
     /// the fault stream across retries (see [`HunIpu::with_fault_plan`]).
     fault_epoch: Cell<u64>,
     profile: Option<ProfileConfig>,
+    layout_mode: LayoutMode,
 }
 
 impl Default for HunIpu {
@@ -52,6 +73,7 @@ impl HunIpu {
             fault_plan: None,
             fault_epoch: Cell::new(0),
             profile: None,
+            layout_mode: LayoutMode::Auto,
         }
     }
 
@@ -114,6 +136,29 @@ impl HunIpu {
         self.profile.as_ref()
     }
 
+    /// Overrides the [`LayoutMode`] (default [`LayoutMode::Auto`]) — used
+    /// by differential tests and the multi-IPU bench to pin the
+    /// chip-oblivious baseline.
+    pub fn with_layout_mode(mut self, mode: LayoutMode) -> Self {
+        self.layout_mode = mode;
+        self
+    }
+
+    /// The layout mode this solver compiles with.
+    pub fn layout_mode(&self) -> LayoutMode {
+        self.layout_mode
+    }
+
+    /// Whether [`HunIpu::compile_for`] will build the chip-aware
+    /// hierarchical program for this solver's config and layout mode.
+    pub fn hierarchical(&self) -> bool {
+        match self.layout_mode {
+            LayoutMode::Auto => self.config.ipus > 1,
+            LayoutMode::Flat => false,
+            LayoutMode::ChipAware => true,
+        }
+    }
+
     /// The device configuration this solver targets.
     pub fn config(&self) -> &IpuConfig {
         &self.config
@@ -160,12 +205,22 @@ impl HunIpu {
         let backend = |e: ipu_sim::GraphError| LsapError::Backend {
             detail: e.to_string(),
         };
-        let layout = Layout::with_col_seg(
-            n,
-            self.config.tiles,
-            self.config.threads_per_tile,
-            self.col_seg,
-        );
+        let layout = if self.hierarchical() {
+            Layout::chip_aware(
+                n,
+                self.config.threads_per_tile,
+                self.col_seg,
+                self.config.ipus,
+                self.config.tiles_per_ipu,
+            )
+        } else {
+            Layout::with_col_seg(
+                n,
+                self.config.tiles,
+                self.config.threads_per_tile,
+                self.col_seg,
+            )
+        };
         let mut builder =
             Builder::with_layout(self.config.clone(), layout, self.ablation).map_err(backend)?;
         let program = builder.assemble().map_err(backend)?;

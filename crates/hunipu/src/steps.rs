@@ -2,7 +2,7 @@
 //! fragment over the static graph.
 
 use crate::build::Builder;
-use ipu_sim::poplib::{reduce_columns_mirrored, reduce_to_scalar, ReduceOp};
+use ipu_sim::poplib::{reduce_columns_mirrored, reduce_columns_mirrored_hier, ReduceOp};
 use ipu_sim::{cost, Access, GraphError, Program};
 
 /// Bits of the row index inside the Step 4 arg-max encoding; supports
@@ -77,8 +77,22 @@ impl Builder {
         }
 
         // 1d: column minima of the row-reduced matrix, mirrored per tile.
-        let (colmirror, col_prog) =
-            reduce_columns_mirrored(&mut self.g, "step1.colmin", t_slack, n, n, ReduceOp::Min)?;
+        // Min is order-exact, so the hierarchical variant (per-chip trees,
+        // one link crossing) produces bit-identical minima on multi-chip
+        // configs while the flat path stays byte-for-byte unchanged.
+        let (colmirror, col_prog) = if l.chips > 1 {
+            reduce_columns_mirrored_hier(
+                &mut self.g,
+                "step1.colmin",
+                t_slack,
+                n,
+                n,
+                ReduceOp::Min,
+                &l.chip_stages(),
+            )?
+        } else {
+            reduce_columns_mirrored(&mut self.g, "step1.colmin", t_slack, n, n, ReduceOp::Min)?
+        };
 
         // 1e: subtract the column minima; 1f: initialize v from them.
         let cs_csub = self.g.add_compute_set("step1.colsub");
@@ -96,9 +110,10 @@ impl Builder {
                         cost::f32_update(seg.len())
                     })?;
                 let cols = l.seg_cols(s);
+                let blk = l.mirror_block(tile);
                 self.g.connect(
                     v,
-                    colmirror.slice(tile * n + cols.start..tile * n + cols.end),
+                    colmirror.slice(blk * n + cols.start..blk * n + cols.end),
                     Access::Read,
                 )?;
                 self.g
@@ -116,9 +131,10 @@ impl Builder {
                 cost::f32_update(out.len())
             })?;
             let cols = l.col_seg_cols(seg);
+            let blk = l.mirror_block(tile);
             self.g.connect(
                 v,
-                colmirror.slice(tile * n + cols.start..tile * n + cols.end),
+                colmirror.slice(blk * n + cols.start..blk * n + cols.end),
                 Access::Read,
             )?;
             self.g.connect(v, t_v.slice(cols), Access::Write)?;
@@ -199,13 +215,7 @@ impl Builder {
                 .connect(v, t_zc.slice(row * th..(row + 1) * th), Access::Read)?;
             self.g.connect(v, t_total.element(row), Access::Write)?;
         }
-        let (tau, tau_prog) = reduce_to_scalar(
-            &mut self.g,
-            "step2.tau",
-            t_total,
-            ReduceOp::Max,
-            self.l.collector_tile,
-        )?;
+        let (tau, tau_prog) = self.reduce_scalar("step2.tau", t_total, ReduceOp::Max)?;
 
         // Sort each compressed row descending (zero positions first, −1
         // padding last) — Poplar's sort operation in the paper.
@@ -259,9 +269,16 @@ impl Builder {
                 .connect(v, t_comp.slice(l.row_range(row)), Access::Read)?;
             self.g.connect(v, t_prop.element(row), Access::Write)?;
         }
+        // Multi-chip: broadcast straight from the distributed proposal
+        // vector so the replica traffic is sourced from every owner tile
+        // instead of serializing on the collector's IPU-Links. Single-chip
+        // keeps the seed's gather-then-broadcast byte-for-byte.
         let row_intervals = self.row_block_intervals(1);
-        let (prop_g, gather_prop) =
-            self.gather_to_collector("step2.propg", t_prop, &row_intervals)?;
+        let (prop_g, gather_prop) = if self.l.chips > 1 {
+            (t_prop, Program::seq(vec![]))
+        } else {
+            self.gather_to_collector("step2.propg", t_prop, &row_intervals)?
+        };
 
         let cs_decide = self.g.add_compute_set("step2.decide");
         for seg in 0..l.n_col_segs() {
@@ -282,8 +299,11 @@ impl Builder {
             self.g.connect(v, t_cstar.slice(cols), Access::ReadWrite)?;
         }
         let col_intervals = self.col_seg_intervals();
-        let (cstar_g, gather_cstar) =
-            self.gather_to_collector("step2.cstarg", t_cstar, &col_intervals)?;
+        let (cstar_g, gather_cstar) = if self.l.chips > 1 {
+            (t_cstar, Program::seq(vec![]))
+        } else {
+            self.gather_to_collector("step2.cstarg", t_cstar, &col_intervals)?
+        };
 
         let cs_confirm = self.g.add_compute_set("step2.confirm");
         for row in 0..n {
@@ -362,13 +382,7 @@ impl Builder {
                 .connect(v, t_cstar.slice(cols.clone()), Access::Read)?;
             self.g.connect(v, t_ccov.slice(cols), Access::Write)?;
         }
-        let (covered, red_prog) = reduce_to_scalar(
-            &mut self.g,
-            "step3.covered",
-            t_ccov,
-            ReduceOp::Sum,
-            l.collector_tile,
-        )?;
+        let (covered, red_prog) = self.reduce_scalar("step3.covered", t_ccov, ReduceOp::Sum)?;
         let cs_nd = self.g.add_compute_set("step3.notdone");
         self.collector_vertex(
             cs_nd,
@@ -399,13 +413,20 @@ impl Builder {
         let t_searching = self.t.searching;
 
         // --- cover-mirror refresh ---
+        // Multi-chip: skip the collector gather and broadcast from the
+        // distributed cover vector directly, spreading the per-replica
+        // link traffic across every owning tile's chip.
         let col_intervals = self.col_seg_intervals();
-        let (ccg, gather_cc) =
-            self.gather_to_collector("loop.ccg", self.t.col_cover, &col_intervals)?;
-        let refresh_ccm = Program::seq(vec![
-            gather_cc,
-            Program::broadcast(ccg.whole(), self.t.ccm.whole()),
-        ]);
+        let refresh_ccm = if self.l.chips > 1 {
+            Program::broadcast(self.t.col_cover.whole(), self.t.ccm.whole())
+        } else {
+            let (ccg, gather_cc) =
+                self.gather_to_collector("loop.ccg", self.t.col_cover, &col_intervals)?;
+            Program::seq(vec![
+                gather_cc,
+                Program::broadcast(ccg.whole(), self.t.ccm.whole()),
+            ])
+        };
 
         // --- Step 4: row status over the compressed matrix ---
         let (t_comp, t_rcov, t_rstar) = (self.t.compress, self.t.row_cover, self.t.row_star);
@@ -508,13 +529,7 @@ impl Builder {
             self.g.connect(v, t_rzc.element(row), Access::Write)?;
             self.g.connect(v, t_enc.element(row), Access::Write)?;
         }
-        let (enc_out, enc_prog) = reduce_to_scalar(
-            &mut self.g,
-            "step4.enc",
-            t_enc,
-            ReduceOp::Max,
-            l.collector_tile,
-        )?;
+        let (enc_out, enc_prog) = self.reduce_scalar("step4.enc", t_enc, ReduceOp::Max)?;
 
         // Decode: status and selected row.
         let (t_st1, t_st0, t_sel_row) = (self.t.st1, self.t.st0, self.t.sel_row);
@@ -808,12 +823,18 @@ impl Builder {
             },
         )?;
 
+        // The green stack lives on the root collector; on multi-chip
+        // configs scatter it to the per-chip sub-collectors first so the
+        // mirror broadcast crosses each IPU-Link once per chunk instead of
+        // paying the full stack per remote replica from one tile.
+        let grows_bc = self.broadcast_from_collector("step5.grows", t_grows, t_ma)?;
+        let gcols_bc = self.broadcast_from_collector("step5.gcols", t_gcols, t_mb)?;
         Ok(Program::seq(vec![
             get_sel_col.clone(),
             Program::execute(cs_init),
             walk,
-            Program::broadcast(t_grows.whole(), t_ma.whole()),
-            Program::broadcast(t_gcols.whole(), t_mb.whole()),
+            grows_bc,
+            gcols_bc,
             Program::broadcast(t_glen.whole(), t_lenm.whole()),
             Program::execute(cs_fr),
             Program::execute(cs_fc),
@@ -879,13 +900,7 @@ impl Builder {
             },
         )?;
 
-        let (delta, red_prog) = reduce_to_scalar(
-            &mut self.g,
-            "step6.delta",
-            t_segmin,
-            ReduceOp::Min,
-            l.collector_tile,
-        )?;
+        let (delta, red_prog) = self.reduce_scalar("step6.delta", t_segmin, ReduceOp::Min)?;
 
         let (t_dm, t_u, t_v, t_ccov) = (t.delta_m, t.u, t.v, t.col_cover);
         let cs_upd = self.g.add_compute_set("step6.update");

@@ -133,6 +133,55 @@ impl IpuConfig {
         tile / self.tiles_per_ipu
     }
 
+    /// The chip hosting `tile` — alias of [`ipu_of`](Self::ipu_of) for
+    /// program builders that speak in chips.
+    pub fn chip_of_tile(&self, tile: usize) -> usize {
+        self.ipu_of(tile)
+    }
+
+    /// The contiguous device-tile range of chip `ipu`
+    /// (`ipu * tiles_per_ipu .. (ipu + 1) * tiles_per_ipu`).
+    pub fn tiles_of_ipu(&self, ipu: usize) -> std::ops::Range<usize> {
+        ipu * self.tiles_per_ipu..(ipu + 1) * self.tiles_per_ipu
+    }
+
+    /// Checks the topology for internal consistency.
+    ///
+    /// An inconsistent config (e.g. `tiles != ipus * tiles_per_ipu`)
+    /// would silently miscost cross-chip traffic: `ipu_of` would place
+    /// tiles on chips that don't exist, or lump several chips together.
+    /// [`crate::Graph::compile`] calls this before building an engine so
+    /// the mistake surfaces as a clear error instead of wrong cycle
+    /// counts.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ipus == 0 {
+            return Err("IpuConfig: ipus must be >= 1".into());
+        }
+        if self.tiles_per_ipu == 0 {
+            return Err("IpuConfig: tiles_per_ipu must be >= 1".into());
+        }
+        if self.tiles != self.ipus * self.tiles_per_ipu {
+            return Err(format!(
+                "IpuConfig: tiles ({}) != ipus ({}) * tiles_per_ipu ({}); \
+                 cross-chip exchange costs would be attributed to the wrong chips",
+                self.tiles, self.ipus, self.tiles_per_ipu
+            ));
+        }
+        if self.threads_per_tile == 0 {
+            return Err("IpuConfig: threads_per_tile must be >= 1".into());
+        }
+        // NaN bandwidths must fail too, hence the is_nan checks.
+        let bad = |b: f64| b.is_nan() || b <= 0.0;
+        if bad(self.exchange_bytes_per_cycle) || bad(self.inter_ipu_bytes_per_cycle) {
+            return Err(format!(
+                "IpuConfig: exchange bandwidths must be positive \
+                 (on-chip {} B/cycle, inter-IPU {} B/cycle)",
+                self.exchange_bytes_per_cycle, self.inter_ipu_bytes_per_cycle
+            ));
+        }
+        Ok(())
+    }
+
     /// Total hardware threads on the chip.
     pub fn total_threads(&self) -> usize {
         self.tiles * self.threads_per_tile
@@ -176,6 +225,46 @@ mod tests {
         // ~900 MiB of in-processor memory in total (paper §III).
         let total_mib = (c.tiles * c.tile_memory_bytes) as f64 / (1024.0 * 1024.0);
         assert!((total_mib - 897.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn validate_accepts_all_constructors() {
+        for c in [
+            IpuConfig::mk2(),
+            IpuConfig::mk2_multi(4),
+            IpuConfig::tiny(8),
+            IpuConfig::tiny_multi(2, 4),
+        ] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_topology() {
+        let mut c = IpuConfig::tiny_multi(2, 4);
+        c.tiles = 9; // not 2 * 4
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("tiles (9)"), "{err}");
+        assert!(err.contains("ipus (2)"), "{err}");
+
+        let mut c = IpuConfig::tiny(4);
+        c.ipus = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = IpuConfig::tiny(4);
+        c.inter_ipu_bytes_per_cycle = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn chip_topology_helpers_agree() {
+        let c = IpuConfig::tiny_multi(3, 4);
+        assert_eq!(c.tiles_of_ipu(0), 0..4);
+        assert_eq!(c.tiles_of_ipu(2), 8..12);
+        for tile in 0..c.tiles {
+            assert_eq!(c.chip_of_tile(tile), c.ipu_of(tile));
+            assert!(c.tiles_of_ipu(c.chip_of_tile(tile)).contains(&tile));
+        }
     }
 
     #[test]

@@ -1095,9 +1095,14 @@ impl Engine {
     /// and a profile recorded at any host thread count is bit-identical
     /// to a sequential one.
     pub fn enable_profiling(&mut self, config: ProfileConfig) {
-        let tiles = self.sh.graph.config.tiles;
-        let tpt = self.sh.graph.config.threads_per_tile;
-        self.st.profiler = Some(Profiler::new(config, tiles, tpt));
+        let c = &self.sh.graph.config;
+        self.st.profiler = Some(Profiler::new(
+            config,
+            c.tiles,
+            c.threads_per_tile,
+            c.ipus,
+            c.tiles_per_ipu,
+        ));
     }
 
     /// Removes the installed profiler, returning its recordings.

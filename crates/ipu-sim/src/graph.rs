@@ -383,15 +383,21 @@ impl Graph {
     /// Validates the graph and program, producing a runnable [`Engine`].
     ///
     /// Checks performed (all static, before any data exists):
-    /// 1. every tensor is fully mapped, exactly once per element;
-    /// 2. no tile's mapped bytes exceed its SRAM budget (C2);
-    /// 3. every vertex field lies wholly on the vertex's tile (C1/C2);
-    /// 4. within each compute set, no write overlaps any other field of
+    /// 1. the device config describes a consistent chip topology
+    ///    ([`IpuConfig::validate`]) — an inconsistent one would miscost
+    ///    cross-chip traffic rather than fail;
+    /// 2. every tensor is fully mapped, exactly once per element;
+    /// 3. no tile's mapped bytes exceed its SRAM budget (C2);
+    /// 4. every vertex field lies wholly on the vertex's tile (C1/C2);
+    /// 5. within each compute set, no write overlaps any other field of
     ///    any vertex — races are impossible (C1);
-    /// 5. the program references valid compute sets, copy endpoints have
+    /// 6. the program references valid compute sets, copy endpoints have
     ///    matching dtype/length, and `RepeatWhileTrue` predicates are
     ///    single-element i32 tensors.
     pub fn compile(self, program: Program) -> Result<Engine, GraphError> {
+        self.config
+            .validate()
+            .map_err(|detail| GraphError::Invalid { detail })?;
         self.validate_mappings()?;
         self.validate_memory()?;
         self.validate_locality()?;

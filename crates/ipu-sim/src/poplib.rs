@@ -332,6 +332,436 @@ pub fn reduce_columns_mirrored(
     Ok((mirror, Program::seq(steps)))
 }
 
+/// Per-chip staging tiles for the hierarchical builders: entry `c` is
+/// the tile on chip `c` that collects that chip's traffic before it
+/// crosses an IPU-Link (HunIPU uses the last tile of each chip).
+///
+/// Length must be `config.ipus`; entries for chips that hold no data are
+/// ignored.
+pub type ChipStages<'a> = &'a [usize];
+
+/// Groups the elements of a per-interval mapping by owning chip.
+/// Returns, per chip, the (element index, tile) pairs it owns, in
+/// element order; chips owning nothing get empty lists.
+fn elements_by_chip(g: &Graph, mapping: &[(usize, usize, usize)]) -> Vec<Vec<(usize, usize)>> {
+    let mut by_chip = vec![Vec::new(); g.config().ipus];
+    for (i, &(_, _, tile)) in mapping.iter().enumerate() {
+        by_chip[g.config().chip_of_tile(tile)].push((i, tile));
+    }
+    by_chip
+}
+
+/// Hierarchical variant of the gather half of [`reduce_to_scalar`]:
+/// reduces a tensor of per-owner partials (element `i` mapped to owner
+/// tile `i`) to a 1-element tensor on `out_tile`, crossing each
+/// IPU-Link **once** instead of once per partial.
+///
+/// Structure: one exchange gathers every chip's partials to its staging
+/// tile (all pairs on-chip, so they run in parallel at fabric
+/// bandwidth); one superstep combines each chip's partials; one
+/// exchange moves a single scalar per chip to `out_tile` (the only
+/// phase that touches IPU-Links); a final vertex folds the per-chip
+/// scalars. The flat gather instead lands every partial on `out_tile`,
+/// serializing `(ipus-1)/ipus` of the traffic through that one tile's
+/// link share.
+///
+/// Combination order is per-chip then chip-ascending rather than the
+/// flat element order — identical results for order-insensitive ops
+/// (`Min`/`Max` on both dtypes, i32 `Sum` away from saturation); f32
+/// `Sum` may round differently from the flat path.
+pub fn reduce_partials_hier(
+    g: &mut Graph,
+    name: &str,
+    partials: Tensor,
+    op: ReduceOp,
+    stages: ChipStages,
+    out_tile: usize,
+) -> Result<(Tensor, Program), GraphError> {
+    let mapping: Vec<(usize, usize, usize)> = g.tensors[partials.id].mapping.clone();
+    if mapping.is_empty() {
+        return Err(GraphError::Unmapped {
+            tensor: g.tensors[partials.id].name.clone(),
+            element: 0,
+        });
+    }
+    if stages.len() != g.config().ipus {
+        return Err(GraphError::BadSlice {
+            detail: format!(
+                "{name}: {} chip stages for {} chips",
+                stages.len(),
+                g.config().ipus
+            ),
+        });
+    }
+    let dtype = partials.dtype();
+    let by_chip = elements_by_chip(g, &mapping);
+    let active: Vec<usize> = (0..by_chip.len())
+        .filter(|&c| !by_chip[c].is_empty())
+        .collect();
+
+    // Per-chip gathered partials: chip c's block (k_c elements) on its
+    // staging tile.
+    let total: usize = by_chip.iter().map(Vec::len).sum();
+    let chipgath = g.add_tensor(&format!("{name}.chipgath"), dtype, total);
+    let mut offsets = vec![0usize; by_chip.len()];
+    {
+        let mut off = 0usize;
+        for &c in &active {
+            offsets[c] = off;
+            g.map_slice(chipgath.slice(off..off + by_chip[c].len()), stages[c])?;
+            off += by_chip[c].len();
+        }
+    }
+    // One scalar per active chip, on that chip's staging tile, then
+    // gathered to the output tile.
+    let chipout = g.add_tensor(&format!("{name}.chipout"), dtype, active.len());
+    for (j, &c) in active.iter().enumerate() {
+        g.map_slice(chipout.element(j), stages[c])?;
+    }
+    let rootgath = g.add_tensor(&format!("{name}.rootgath"), dtype, active.len());
+    g.map_to_tile(rootgath, out_tile)?;
+    let out = g.add_tensor(&format!("{name}.out"), dtype, 1);
+    g.map_to_tile(out, out_tile)?;
+
+    // Phase 1: on-chip gathers, all chips in one exchange.
+    let mut gather_pairs = Vec::with_capacity(total);
+    for &c in &active {
+        for (j, &(elem, _)) in by_chip[c].iter().enumerate() {
+            gather_pairs.push((partials.element(elem), chipgath.element(offsets[c] + j)));
+        }
+    }
+
+    // Per-chip combine, one vertex per active chip.
+    let cs_chip = g.add_compute_set(&format!("{name}.chipred"));
+    for (j, &c) in active.iter().enumerate() {
+        let v = g.add_vertex(
+            cs_chip,
+            stages[c],
+            &format!("{name}.chipred[{c}]"),
+            move |ctx| match dtype {
+                DType::F32 => {
+                    let src = ctx.f32(0);
+                    let acc = src
+                        .iter()
+                        .fold(op.f32_identity(), |a, &b| op.f32_apply(a, b));
+                    ctx.f32_mut(1)[0] = acc;
+                    cost::f32_scan(src.len())
+                }
+                DType::I32 => {
+                    let src = ctx.i32(0);
+                    let acc = src
+                        .iter()
+                        .fold(op.i32_identity(), |a, &b| op.i32_apply(a, b));
+                    ctx.i32_mut(1)[0] = acc;
+                    cost::i32_scan(src.len())
+                }
+            },
+        )?;
+        let off = offsets[c];
+        g.connect(v, chipgath.slice(off..off + by_chip[c].len()), Access::Read)?;
+        g.connect(v, chipout.element(j), Access::Write)?;
+    }
+
+    // Phase 2: one scalar per chip crosses to the output tile — the
+    // only link-crossing phase, with every chip's scalar leaving from a
+    // distinct source tile.
+    let cross_pairs = (0..active.len())
+        .map(|j| (chipout.element(j), rootgath.element(j)))
+        .collect();
+
+    let final_prog = reduce_on_tile(g, &format!("{name}.final"), rootgath, out, op, out_tile)?;
+    let program = Program::seq(vec![
+        Program::exchange(gather_pairs),
+        Program::execute(cs_chip),
+        Program::exchange(cross_pairs),
+        final_prog,
+    ]);
+    Ok((out, program))
+}
+
+/// Hierarchical variant of [`reduce_to_scalar`] for multi-chip devices:
+/// per-interval partials on the data's own tiles, then a two-level
+/// gather through per-chip staging tiles (see [`reduce_partials_hier`]
+/// for the structure and the combination-order caveat).
+pub fn reduce_to_scalar_hier(
+    g: &mut Graph,
+    name: &str,
+    input: Tensor,
+    op: ReduceOp,
+    stages: ChipStages,
+    out_tile: usize,
+) -> Result<(Tensor, Program), GraphError> {
+    let intervals: Vec<(usize, usize, usize)> = g.tensors[input.id].mapping.clone();
+    if intervals.is_empty() {
+        return Err(GraphError::Unmapped {
+            tensor: g.tensors[input.id].name.clone(),
+            element: 0,
+        });
+    }
+    let k = intervals.len();
+    let dtype = input.dtype();
+
+    let partials = g.add_tensor(&format!("{name}.partials"), dtype, k);
+    for (i, &(_, _, tile)) in intervals.iter().enumerate() {
+        g.map_slice(partials.element(i), tile)?;
+    }
+    let cs_partial = g.add_compute_set(&format!("{name}.partial"));
+    for (i, &(s, e, tile)) in intervals.iter().enumerate() {
+        let v = g.add_vertex(cs_partial, tile, &format!("{name}.partial[{i}]"), {
+            move |ctx| match dtype {
+                DType::F32 => {
+                    let src = ctx.f32(0);
+                    let acc = src
+                        .iter()
+                        .fold(op.f32_identity(), |a, &b| op.f32_apply(a, b));
+                    ctx.f32_mut(1)[0] = acc;
+                    cost::f32_scan(src.len())
+                }
+                DType::I32 => {
+                    let src = ctx.i32(0);
+                    let acc = src
+                        .iter()
+                        .fold(op.i32_identity(), |a, &b| op.i32_apply(a, b));
+                    ctx.i32_mut(1)[0] = acc;
+                    cost::i32_scan(src.len())
+                }
+            }
+        })?;
+        g.connect(v, input.slice(s..e), Access::Read)?;
+        g.connect(v, partials.element(i), Access::Write)?;
+    }
+
+    let (out, gather) = reduce_partials_hier(g, name, partials, op, stages, out_tile)?;
+    Ok((
+        out,
+        Program::seq(vec![Program::execute(cs_partial), gather]),
+    ))
+}
+
+/// Hierarchical variant of [`reduce_columns_mirrored`] for multi-chip
+/// devices. The mirror tensor has the identical shape and mapping as
+/// the flat builder's (one `cols` block per owner, in owner order), so
+/// callers are interchangeable; only the combining structure differs:
+///
+/// 1. per-owner partial vectors (as flat);
+/// 2. **per-chip** binary combining trees — every stage's pairs stay
+///    on-chip, and all chips' stages share the same exchange phases;
+/// 3. each chip's head vector is sent to every chip's staging tile
+///    (the only link-crossing phase: `ipus·(ipus-1)` vector hops instead
+///    of the flat tree + broadcast crossing links at every stage);
+/// 4. every staging tile folds the per-chip vectors in chip order and
+///    fans the result out to its own chip's owners on-chip.
+///
+/// Identical results to the flat builder for order-insensitive ops
+/// (`Min`/`Max`); f32 `Sum` may round differently (different
+/// combination order).
+pub fn reduce_columns_mirrored_hier(
+    g: &mut Graph,
+    name: &str,
+    matrix: Tensor,
+    rows: usize,
+    cols: usize,
+    op: ReduceOp,
+    stages: ChipStages,
+) -> Result<(Tensor, Program), GraphError> {
+    if matrix.len() != rows * cols || matrix.dtype() != DType::F32 {
+        return Err(GraphError::BadSlice {
+            detail: format!("{name}: matrix must be f32 of {rows}x{cols}"),
+        });
+    }
+    if stages.len() != g.config().ipus {
+        return Err(GraphError::BadSlice {
+            detail: format!(
+                "{name}: {} chip stages for {} chips",
+                stages.len(),
+                g.config().ipus
+            ),
+        });
+    }
+    let intervals: Vec<(usize, usize, usize)> = g.tensors[matrix.id].mapping.clone();
+    let k = intervals.len();
+    for &(s, e, _) in &intervals {
+        if s % cols != 0 || e % cols != 0 {
+            return Err(GraphError::BadSlice {
+                detail: format!("{name}: matrix mapping must align to whole rows"),
+            });
+        }
+    }
+    let by_chip = elements_by_chip(g, &intervals);
+    let active: Vec<usize> = (0..by_chip.len())
+        .filter(|&c| !by_chip[c].is_empty())
+        .collect();
+    let a = active.len();
+
+    // Per-owner partial vectors, identical to the flat builder.
+    let partials = g.add_tensor(&format!("{name}.colpart"), DType::F32, k * cols);
+    for (i, &(_, _, tile)) in intervals.iter().enumerate() {
+        g.map_slice(partials.slice(i * cols..(i + 1) * cols), tile)?;
+    }
+    // Per-chip incoming buffers for the on-chip trees: chip c needs
+    // ceil(k_c/2) blocks, block j on its 2j-th owner.
+    let mut recv_base = vec![0usize; by_chip.len()];
+    let mut recv_total = 0usize;
+    for &c in &active {
+        recv_base[c] = recv_total;
+        recv_total += by_chip[c].len().div_ceil(2);
+    }
+    let incoming = g.add_tensor(
+        &format!("{name}.colrecv"),
+        DType::F32,
+        recv_total.max(1) * cols,
+    );
+    let mut mapped = 0usize;
+    for &c in &active {
+        for j in 0..by_chip[c].len().div_ceil(2) {
+            let tile = by_chip[c][2 * j].1;
+            let b = recv_base[c] + j;
+            g.map_slice(incoming.slice(b * cols..(b + 1) * cols), tile)?;
+            mapped += 1;
+        }
+    }
+    if mapped < recv_total.max(1) {
+        // Padding block (recv_total == 0 only when there are no owners
+        // at all, which validate_mappings would reject anyway).
+        g.map_slice(incoming.slice(mapped * cols..(mapped + 1) * cols), 0)?;
+    }
+
+    // Stage 0: each owner reduces its own rows into its partial vector.
+    let cs0 = g.add_compute_set(&format!("{name}.colpartial"));
+    for (i, &(s, e, tile)) in intervals.iter().enumerate() {
+        let rows_here = (e - s) / cols;
+        let v = g.add_vertex(cs0, tile, &format!("{name}.colpartial[{i}]"), move |ctx| {
+            let src = ctx.f32(0);
+            let mut out = ctx.f32_mut(1);
+            for (c, o) in out.iter_mut().enumerate() {
+                *o = op.f32_identity();
+                for r in 0..rows_here {
+                    *o = op.f32_apply(*o, src[r * cols + c]);
+                }
+            }
+            cost::f32_scan(src.len())
+        })?;
+        g.connect(v, matrix.slice(s..e), Access::Read)?;
+        g.connect(v, partials.slice(i * cols..(i + 1) * cols), Access::Write)?;
+    }
+    let mut steps = vec![Program::execute(cs0)];
+
+    // Per-chip binary combining trees. All chips advance through the
+    // same stages, sharing each stage's exchange phase — every pair is
+    // on-chip.
+    let max_k = active.iter().map(|&c| by_chip[c].len()).max().unwrap_or(0);
+    let mut step = 1usize;
+    while step < max_k {
+        let mut pairs = Vec::new();
+        let cs = g.add_compute_set(&format!("{name}.colcombine[{step}]"));
+        for &c in &active {
+            let owners = &by_chip[c];
+            let mut i = 0usize;
+            while i + step < owners.len() {
+                let b = recv_base[c] + i / 2;
+                let (src_owner, _) = owners[i + step];
+                pairs.push((
+                    partials.slice(src_owner * cols..(src_owner + 1) * cols),
+                    incoming.slice(b * cols..(b + 1) * cols),
+                ));
+                let (dst_owner, tile) = owners[i];
+                let v = g.add_vertex(
+                    cs,
+                    tile,
+                    &format!("{name}.colcombine[{step}][{c}:{i}]"),
+                    move |ctx| {
+                        let inc = ctx.f32(0);
+                        let mut acc = ctx.f32_mut(1);
+                        for (x, &y) in acc.iter_mut().zip(inc.iter()) {
+                            *x = op.f32_apply(*x, y);
+                        }
+                        cost::f32_update(acc.len())
+                    },
+                )?;
+                g.connect(v, incoming.slice(b * cols..(b + 1) * cols), Access::Read)?;
+                g.connect(
+                    v,
+                    partials.slice(dst_owner * cols..(dst_owner + 1) * cols),
+                    Access::ReadWrite,
+                )?;
+                i += 2 * step;
+            }
+        }
+        steps.push(Program::exchange(pairs));
+        steps.push(Program::execute(cs));
+        step *= 2;
+    }
+
+    // Cross-chip phase: every chip's head vector lands on every chip's
+    // staging tile. `ipus·(ipus-1)` of these hops cross a link, each
+    // from a distinct source tile, so they serialize per-tile rather
+    // than through one root.
+    let allrecv = g.add_tensor(&format!("{name}.allrecv"), DType::F32, a * a * cols);
+    let stagevec = g.add_tensor(&format!("{name}.stagevec"), DType::F32, a * cols);
+    for (cj, &c) in active.iter().enumerate() {
+        g.map_slice(allrecv.slice(cj * a * cols..(cj + 1) * a * cols), stages[c])?;
+        g.map_slice(stagevec.slice(cj * cols..(cj + 1) * cols), stages[c])?;
+    }
+    let mut cross_pairs = Vec::with_capacity(a * a);
+    for (cj, _) in active.iter().enumerate() {
+        for (sj, &src_chip) in active.iter().enumerate() {
+            let (head_owner, _) = by_chip[src_chip][0];
+            let b = cj * a + sj;
+            cross_pairs.push((
+                partials.slice(head_owner * cols..(head_owner + 1) * cols),
+                allrecv.slice(b * cols..(b + 1) * cols),
+            ));
+        }
+    }
+    steps.push(Program::exchange(cross_pairs));
+
+    let cs_fold = g.add_compute_set(&format!("{name}.chipfold"));
+    for (cj, &c) in active.iter().enumerate() {
+        let v = g.add_vertex(
+            cs_fold,
+            stages[c],
+            &format!("{name}.chipfold[{c}]"),
+            move |ctx| {
+                let src = ctx.f32(0);
+                let mut out = ctx.f32_mut(1);
+                for (col, o) in out.iter_mut().enumerate() {
+                    *o = op.f32_identity();
+                    for sj in 0..a {
+                        *o = op.f32_apply(*o, src[sj * cols + col]);
+                    }
+                }
+                cost::f32_scan(src.len())
+            },
+        )?;
+        g.connect(
+            v,
+            allrecv.slice(cj * a * cols..(cj + 1) * a * cols),
+            Access::Read,
+        )?;
+        g.connect(v, stagevec.slice(cj * cols..(cj + 1) * cols), Access::Write)?;
+    }
+    steps.push(Program::execute(cs_fold));
+
+    // Mirror fan-out: each staging tile serves its own chip's owners —
+    // all pairs on-chip. Tensor shape/mapping matches the flat builder.
+    let mirror = g.add_tensor(&format!("{name}.colmirror"), DType::F32, k * cols);
+    for (i, &(_, _, tile)) in intervals.iter().enumerate() {
+        g.map_slice(mirror.slice(i * cols..(i + 1) * cols), tile)?;
+    }
+    let mut fan_pairs = Vec::with_capacity(k);
+    for (cj, &c) in active.iter().enumerate() {
+        for &(owner, _) in &by_chip[c] {
+            fan_pairs.push((
+                stagevec.slice(cj * cols..(cj + 1) * cols),
+                mirror.slice(owner * cols..(owner + 1) * cols),
+            ));
+        }
+    }
+    steps.push(Program::exchange(fan_pairs));
+
+    Ok((mirror, Program::seq(steps)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +864,119 @@ mod tests {
         let got = e.read_f32(mirror);
         assert_eq!(&got[0..cols], &expect[..]);
         assert_eq!(&got[7 * cols..8 * cols], &expect[..]);
+    }
+
+    /// Last tile of each chip, the staging convention HunIPU uses.
+    fn stages_of(config: &IpuConfig) -> Vec<usize> {
+        (0..config.ipus)
+            .map(|c| (c + 1) * config.tiles_per_ipu - 1)
+            .collect()
+    }
+
+    #[test]
+    fn hier_scalar_reduce_matches_flat_on_multi_chip() {
+        // 2 chips x 4 tiles; data spread over the first 3 tiles of each
+        // chip; output on the root collector (last tile).
+        let config = IpuConfig::tiny_multi(2, 4);
+        let stages = stages_of(&config);
+        let n = 24;
+        let data: Vec<i32> = (0..n as i32).map(|i| (i * 37) % 101 - 50).collect();
+        for op in [ReduceOp::Min, ReduceOp::Max, ReduceOp::Sum] {
+            let run = |hier: bool| {
+                let mut g = Graph::new(config.clone());
+                let t = g.add_tensor("t", DType::I32, n);
+                for (i, tile) in [0usize, 1, 2, 4, 5, 6].iter().enumerate() {
+                    g.map_slice(t.slice(i * 4..(i + 1) * 4), *tile).unwrap();
+                }
+                let (out, prog) = if hier {
+                    reduce_to_scalar_hier(&mut g, "r", t, op, &stages, 7).unwrap()
+                } else {
+                    reduce_to_scalar(&mut g, "r", t, op, 7).unwrap()
+                };
+                let mut e = g.compile(prog).unwrap();
+                e.write_i32(t, &data).unwrap();
+                e.run().unwrap();
+                (e.read_i32(out)[0], e.stats().clone())
+            };
+            let (flat_val, flat_stats) = run(false);
+            let (hier_val, hier_stats) = run(true);
+            assert_eq!(flat_val, hier_val, "{op:?}");
+            // The hierarchical gather crosses the IPU-Link with 2 scalars
+            // (one per chip) instead of 3 partials from the remote chip.
+            assert!(hier_stats.exchanges > flat_stats.exchanges);
+        }
+    }
+
+    #[test]
+    fn hier_scalar_reduce_single_active_chip() {
+        // All data on chip 0, output on chip 1: the cross phase carries
+        // one scalar.
+        let config = IpuConfig::tiny_multi(2, 2);
+        let stages = stages_of(&config);
+        let mut g = Graph::new(config);
+        let t = g.add_tensor("t", DType::F32, 8);
+        g.map_slice(t.slice(0..4), 0).unwrap();
+        g.map_slice(t.slice(4..8), 1).unwrap();
+        let (out, prog) = reduce_to_scalar_hier(&mut g, "r", t, ReduceOp::Min, &stages, 3).unwrap();
+        let mut e = g.compile(prog).unwrap();
+        e.write_f32(t, &[5.0, 3.0, 8.0, 9.0, 4.0, 2.5, 7.0, 6.0])
+            .unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_f32(out), vec![2.5]);
+    }
+
+    #[test]
+    fn hier_column_reduce_matches_flat_for_min() {
+        // 8 rows over 2 chips x 4 tiles (3 owners per chip), min per
+        // column — order-insensitive, so hier must equal flat exactly.
+        let rows = 6;
+        let cols = 5;
+        let config = IpuConfig::tiny_multi(2, 4);
+        let stages = stages_of(&config);
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 13 + 5) % 31) as f32 - 7.0)
+            .collect();
+        let run = |hier: bool| {
+            let mut g = Graph::new(config.clone());
+            let m = g.add_tensor("m", DType::F32, rows * cols);
+            for (i, tile) in [0usize, 1, 2, 4, 5, 6].iter().enumerate() {
+                g.map_slice(m.slice(i * cols..(i + 1) * cols), *tile)
+                    .unwrap();
+            }
+            let (mirror, prog) = if hier {
+                reduce_columns_mirrored_hier(&mut g, "cm", m, rows, cols, ReduceOp::Min, &stages)
+                    .unwrap()
+            } else {
+                reduce_columns_mirrored(&mut g, "cm", m, rows, cols, ReduceOp::Min).unwrap()
+            };
+            let mut e = g.compile(prog).unwrap();
+            e.write_f32(m, &data).unwrap();
+            e.run().unwrap();
+            e.read_f32(mirror)
+        };
+        let flat = run(false);
+        let hier = run(true);
+        assert_eq!(flat, hier);
+        // Sanity: every owner block holds the true column minima.
+        let mut expect = vec![f32::INFINITY; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                expect[c] = expect[c].min(data[r * cols + c]);
+            }
+        }
+        for owner in 0..rows {
+            assert_eq!(&hier[owner * cols..(owner + 1) * cols], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn hier_builders_reject_wrong_stage_count() {
+        let config = IpuConfig::tiny_multi(2, 2);
+        let mut g = Graph::new(config);
+        let t = g.add_tensor("t", DType::I32, 4);
+        g.map_to_tile(t, 0).unwrap();
+        let err = reduce_to_scalar_hier(&mut g, "r", t, ReduceOp::Max, &[0], 3).unwrap_err();
+        assert!(matches!(err, GraphError::BadSlice { .. }));
     }
 
     #[test]

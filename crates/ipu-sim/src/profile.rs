@@ -133,6 +133,11 @@ pub struct ExchangeSample {
     pub sync_cycles: u64,
     /// Bytes delivered (what `CycleStats::exchange_bytes` counted).
     pub bytes: u64,
+    /// Bytes of this phase that crossed an IPU-Link: pair traffic whose
+    /// endpoints sit on different chips, plus one link crossing per
+    /// remote chip for replicated broadcasts (mirroring the engine's
+    /// cost model). Always `0` on single-chip devices.
+    pub cross_chip_bytes: u64,
 }
 
 /// One data-dependent control-flow decision.
@@ -244,6 +249,11 @@ pub struct ProfileReport {
 pub struct Profiler {
     /// The knobs this profiler was created with.
     pub config: ProfileConfig,
+    /// Chips on the profiled device (1 = single-chip; chip-level
+    /// annotations in traces only appear beyond that).
+    pub ipus: usize,
+    /// Tiles per chip, for mapping tile ids to chips.
+    pub tiles_per_ipu: usize,
     /// Timeline ring buffer, oldest first.
     pub events: VecDeque<ProfileEvent>,
     /// Events dropped by the ring bound.
@@ -281,9 +291,17 @@ pub struct Profiler {
 }
 
 impl Profiler {
-    pub(crate) fn new(config: ProfileConfig, tiles: usize, threads_per_tile: usize) -> Self {
+    pub(crate) fn new(
+        config: ProfileConfig,
+        tiles: usize,
+        threads_per_tile: usize,
+        ipus: usize,
+        tiles_per_ipu: usize,
+    ) -> Self {
         Self {
             config,
+            ipus: ipus.max(1),
+            tiles_per_ipu: tiles_per_ipu.max(1),
             events: VecDeque::new(),
             dropped: 0,
             now: 0,
@@ -402,8 +420,18 @@ impl Profiler {
         self.exchange_cycles += cycles;
         self.sync_cycles += sync_cycles;
         self.exchange_bytes += bytes;
+        let chip = |tile: u32| tile as usize / self.tiles_per_ipu;
+        let mut cross_chip_bytes = 0u64;
         for &(src, dst, b) in pairs {
             *self.heatmap.entry((src, dst)).or_insert(0) += b;
+            if dst == BROADCAST_TILE {
+                // A replicated refresh crosses each IPU-Link once per
+                // remote chip (the engine charges the source the same
+                // way).
+                cross_chip_bytes += b * (self.ipus as u64 - 1);
+            } else if chip(src) != chip(dst) {
+                cross_chip_bytes += b;
+            }
         }
         let start_cycle = self.now;
         self.now += cycles + sync_cycles;
@@ -412,6 +440,7 @@ impl Profiler {
             cycles,
             sync_cycles,
             bytes,
+            cross_chip_bytes,
         }));
     }
 
@@ -514,10 +543,19 @@ impl Profiler {
         tile_lanes.sort_unstable();
         tile_lanes.dedup();
         for &tile in &tile_lanes {
+            // On multi-chip devices the lane name carries the chip id so
+            // a trace viewer groups on-chip vs cross-chip activity;
+            // single-chip lane names are unchanged (golden traces pin
+            // them).
+            let name = if self.ipus > 1 {
+                format!("ipu{} tile {tile}", tile as usize / self.tiles_per_ipu)
+            } else {
+                format!("tile {tile}")
+            };
             t.push(TraceEvent::thread_name(
                 pid,
                 TILE_TID_BASE + tile as u64,
-                format!("tile {tile}"),
+                name,
             ));
         }
         for ev in &self.events {
@@ -561,17 +599,24 @@ impl Profiler {
                     }
                 }
                 ProfileEvent::Exchange(e) => {
-                    t.push(
-                        TraceEvent::complete(
-                            "exchange",
-                            "exchange",
-                            us(e.start_cycle),
-                            us(e.cycles),
-                            pid,
-                            CHIP_TID,
-                        )
-                        .arg("bytes", e.bytes),
-                    );
+                    let name = if self.ipus > 1 && e.cross_chip_bytes > 0 {
+                        "exchange (cross-chip)"
+                    } else {
+                        "exchange"
+                    };
+                    let mut ev = TraceEvent::complete(
+                        name,
+                        "exchange",
+                        us(e.start_cycle),
+                        us(e.cycles),
+                        pid,
+                        CHIP_TID,
+                    )
+                    .arg("bytes", e.bytes);
+                    if self.ipus > 1 {
+                        ev = ev.arg("cross_chip_bytes", e.cross_chip_bytes);
+                    }
+                    t.push(ev);
                     t.push(TraceEvent::complete(
                         "sync",
                         "sync",
@@ -610,7 +655,7 @@ mod tests {
     use super::*;
 
     fn profiler() -> Profiler {
-        Profiler::new(ProfileConfig::default(), 4, 6)
+        Profiler::new(ProfileConfig::default(), 4, 6, 1, 4)
     }
 
     #[test]
@@ -657,6 +702,8 @@ mod tests {
             },
             8,
             6,
+            1,
+            8,
         );
         p.record_superstep(0, &[(1, 5, 1), (3, 50, 1), (4, 2, 1)], 1, 0);
         match &p.events[0] {
@@ -681,6 +728,8 @@ mod tests {
             },
             2,
             6,
+            1,
+            2,
         );
         for i in 0..5 {
             p.record_superstep(0, &[(0, i + 1, 1)], 1, 0);
@@ -700,6 +749,56 @@ mod tests {
         assert_eq!(p.exchange_bytes, 32);
         assert_eq!(p.heatmap.values().sum::<u64>(), 32);
         assert_eq!(p.heatmap[&(0, 1)], 24);
+    }
+
+    #[test]
+    fn cross_chip_bytes_attributed_per_pair_and_per_remote_chip() {
+        // 2 chips of 2 tiles: tiles 0-1 on chip 0, tiles 2-3 on chip 1.
+        let mut p = Profiler::new(ProfileConfig::default(), 4, 6, 2, 2);
+        // On-chip pair, cross-chip pair, and a replicated broadcast that
+        // crosses the single IPU-Link once.
+        p.record_exchange(9, 5, 36, &[(0, 1, 16), (1, 2, 8), (0, BROADCAST_TILE, 12)]);
+        match &p.events[0] {
+            ProfileEvent::Exchange(e) => {
+                assert_eq!(e.bytes, 36);
+                // 8 for the cross-chip pair + 12 × (chips − 1) replicas.
+                assert_eq!(e.cross_chip_bytes, 8 + 12);
+            }
+            other => panic!("expected exchange, got {other:?}"),
+        }
+        // Single-chip devices never report cross-chip traffic.
+        let mut p1 = profiler();
+        p1.record_exchange(9, 5, 36, &[(0, 1, 16), (1, 2, 8), (0, BROADCAST_TILE, 12)]);
+        match &p1.events[0] {
+            ProfileEvent::Exchange(e) => assert_eq!(e.cross_chip_bytes, 0),
+            other => panic!("expected exchange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_chip_trace_names_lanes_by_chip() {
+        let mut p = Profiler::new(ProfileConfig::default(), 4, 6, 2, 2);
+        p.record_superstep(0, &[(1, 10, 1), (2, 40, 2)], 2, 0);
+        p.record_exchange(7, 2, 12, &[(1, 2, 12)]);
+        let json = p
+            .chrome_trace(1, "ipu-sim", 1.0e6, &["step".to_string()])
+            .to_json();
+        assert!(json.contains("ipu0 tile 1"), "{json}");
+        assert!(json.contains("ipu1 tile 2"), "{json}");
+        assert!(json.contains("cross_chip_bytes"), "{json}");
+        assert!(json.contains("exchange (cross-chip)"), "{json}");
+
+        // Single-chip traces keep the original lane names and omit the
+        // cross-chip annotation entirely.
+        let mut p1 = profiler();
+        p1.record_superstep(0, &[(1, 10, 1), (2, 40, 2)], 2, 0);
+        p1.record_exchange(7, 2, 12, &[(1, 2, 12)]);
+        let json = p1
+            .chrome_trace(1, "ipu-sim", 1.0e6, &["step".to_string()])
+            .to_json();
+        assert!(json.contains("tile 1"), "{json}");
+        assert!(!json.contains("ipu0"), "{json}");
+        assert!(!json.contains("cross_chip_bytes"), "{json}");
     }
 
     #[test]

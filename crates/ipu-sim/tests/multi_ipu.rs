@@ -2,7 +2,8 @@
 //! links (§III: "On a multi-IPU architecture, the exchange fabric
 //! extends to all tiles on all of the IPUs").
 
-use ipu_sim::{DType, Graph, IpuConfig, Program};
+use ipu_sim::profile::BROADCAST_TILE;
+use ipu_sim::{DType, Graph, GraphError, IpuConfig, ProfileConfig, Program};
 
 fn copy_cycles(tiles: usize, config: IpuConfig, src_tile: usize, dst_tile: usize) -> u64 {
     assert!(src_tile < tiles && dst_tile < tiles);
@@ -70,6 +71,86 @@ fn broadcast_to_replica_pays_links_once_per_remote_chip() {
     // eight tiles on one chip would cost the same as four.
     let one_chip_8 = run(IpuConfig::tiny_multi(1, 8));
     assert_eq!(one_chip, one_chip_8);
+}
+
+#[test]
+fn multi_chip_broadcast_heatmap_matches_exchange_bytes() {
+    // Regression pin: the per-pair exchange accounting
+    // (`exchange_pair_bytes`, surfaced as the profiler heatmap) must
+    // total exactly what `CycleStats::exchange_bytes` charged, on a
+    // program mixing a replicated broadcast with a cross-chip copy on a
+    // multi-chip device. A replicated refresh is one heatmap cell
+    // `(src, BROADCAST_TILE)` counted once — not once per replica —
+    // which is the invariant the chip-aware program builders rely on
+    // when they move broadcast sources off the collector.
+    let cfg = IpuConfig::tiny_multi(4, 4);
+    let mut g = Graph::new(cfg);
+    let src = g.add_tensor("s", DType::F32, 64);
+    g.map_to_tile(src, 5).unwrap();
+    let m = g.add_replicated("m", DType::F32, 64);
+    let d = g.add_tensor("d", DType::F32, 64);
+    g.map_to_tile(d, 9).unwrap(); // chip 2: the copy crosses a link
+    let prog = Program::seq(vec![
+        Program::broadcast(src.whole(), m.whole()),
+        Program::copy(src.whole(), d.whole()),
+    ]);
+    let mut e = g.compile(prog).unwrap();
+    e.enable_profiling(ProfileConfig::default());
+    e.run().unwrap();
+
+    let p = e.profile_report().unwrap();
+    assert_eq!(p.exchange_bytes, e.stats().exchange_bytes);
+    let heatmap_total: u64 = p.exchange_heatmap.iter().map(|c| c.bytes).sum();
+    assert_eq!(heatmap_total, e.stats().exchange_bytes);
+    // 64 f32 broadcast (counted once) + 64 f32 cross-chip copy.
+    assert_eq!(e.stats().exchange_bytes, 256 + 256);
+    let bcast = p
+        .exchange_heatmap
+        .iter()
+        .find(|c| c.dst_tile == BROADCAST_TILE)
+        .expect("replicated refresh must appear as a broadcast cell");
+    assert_eq!((bcast.src_tile, bcast.bytes), (5, 256));
+}
+
+#[test]
+fn cross_chip_replica_traffic_is_charged_per_receiving_chip() {
+    // The engine attributes a replicated broadcast's link traffic as
+    // `bytes × (chips − 1)` on the *source* tile — once per receiving
+    // chip, not per receiving tile. Doubling tiles-per-chip must leave
+    // the cost unchanged; doubling chips from the same source must not.
+    let run = |chips: usize, tiles_per_chip: usize| {
+        let mut g = Graph::new(IpuConfig::tiny_multi(chips, tiles_per_chip));
+        let src = g.add_tensor("s", DType::F32, 128);
+        g.map_to_tile(src, 0).unwrap();
+        let m = g.add_replicated("m", DType::F32, 128);
+        let mut e = g
+            .compile(Program::broadcast(src.whole(), m.whole()))
+            .unwrap();
+        e.run().unwrap();
+        e.stats().exchange_cycles
+    };
+    assert_eq!(run(2, 4), run(2, 8));
+    assert_eq!(run(4, 4), run(4, 8));
+    assert!(run(4, 4) > run(2, 4));
+}
+
+#[test]
+fn inconsistent_topology_is_rejected_at_compile() {
+    // tiles ≠ ipus × tiles_per_ipu would mis-attribute cross-chip
+    // traffic; `Graph::compile` must refuse before any program runs.
+    let cfg = IpuConfig {
+        ipus: 3,
+        tiles_per_ipu: 4,
+        ..IpuConfig::tiny(8)
+    };
+    let mut g = Graph::new(cfg);
+    let t = g.add_tensor("t", DType::F32, 4);
+    g.map_to_tile(t, 0).unwrap();
+    let err = g.compile(Program::seq(vec![])).unwrap_err();
+    assert!(
+        matches!(err, GraphError::Invalid { ref detail } if detail.contains("tiles")),
+        "expected topology validation error, got: {err}"
+    );
 }
 
 // (HunIPU-on-multi-chip correctness lives in crates/hunipu/tests/ —
