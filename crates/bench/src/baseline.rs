@@ -251,6 +251,186 @@ impl MultiIpuBaseline {
     }
 }
 
+/// The serving-layer load-test baseline: `bench serve --write-baseline`
+/// records it into `BENCH_serve.json`; `--check` re-runs the scenario
+/// (closed-loop calibration, then open loop at 2x the sustainable rate
+/// under a seeded fault storm) and fails on regression.
+///
+/// Everything gated is modeled (virtual cycles, counts) and therefore
+/// deterministic; wall time is carried for context only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBaseline {
+    /// Instance size n of the workload.
+    pub n: usize,
+    /// Requests offered in the open-loop phase.
+    pub requests: usize,
+    /// Total requests offered including the harness's brownout probe —
+    /// the accounting denominator.
+    pub offered: u64,
+    /// Dataset / fault seed.
+    pub seed: u64,
+    /// Admission bound the scenario ran with.
+    pub queue_capacity: usize,
+    /// Closed-loop sustainable service time, cycles/request. **Gated.**
+    pub service_cycles_per_request: f64,
+    /// Open-loop inter-arrival grid (half the service time — 2x load).
+    /// Informational; recomputed from the calibration on every run.
+    pub inter_arrival_cycles: u64,
+    /// Certificate-verified exact answers. **Gated** (quality floor).
+    pub exact: u64,
+    /// Degraded answers (greedy with a sound gap bound).
+    pub degraded: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Explicit deadline rejections.
+    pub deadline_exceeded: u64,
+    /// Exact answers rerouted to the CPU rung.
+    pub rerouted: u64,
+    /// Circuit-breaker trips during the storm.
+    pub breaker_trips: u64,
+    /// Answers failing external re-verification. **Gated: must be 0.**
+    pub incorrect: u64,
+    /// Deepest the queue got. **Gated: must stay within capacity.**
+    pub queue_high_water: usize,
+    /// Median answered latency, virtual cycles. **Gated.**
+    pub p50_latency_cycles: u64,
+    /// p99 answered latency, virtual cycles. **Gated.**
+    pub p99_latency_cycles: u64,
+    /// Host wall seconds for the whole scenario. Informational only.
+    #[serde(default)]
+    pub wall_seconds: f64,
+}
+
+impl ServeBaseline {
+    /// Reads a baseline from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Pretty-prints the baseline to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Compares a fresh run against this baseline, returning every
+    /// violation (empty = gate passes).
+    ///
+    /// Structural gates (never tolerated, tolerance-independent):
+    /// 1. zero incorrect answers — every response certificate-verified
+    ///    or explicitly degraded with a sound bound,
+    /// 2. the queue never exceeds its admission capacity,
+    /// 3. every offered request accounted for exactly once
+    ///    (`exact + degraded + deadline_exceeded + shed == requests`),
+    /// 4. 2x offered load still sheds (if it stops shedding, the
+    ///    scenario is no longer an overload test and the numbers are
+    ///    incomparable).
+    ///
+    /// Tolerance gates: sustainable service time, p50/p99 latency, and
+    /// the answered-exactly count (quality floor) may drift by at most
+    /// `tolerance` relative to the baseline.
+    pub fn compare(&self, current: &ServeBaseline, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if (self.n, self.requests, self.seed, self.queue_capacity)
+            != (
+                current.n,
+                current.requests,
+                current.seed,
+                current.queue_capacity,
+            )
+        {
+            violations.push(format!(
+                "grid mismatch: baseline n={} requests={} seed={} capacity={}, \
+                 run n={} requests={} seed={} capacity={} — regenerate with --write-baseline",
+                self.n,
+                self.requests,
+                self.seed,
+                self.queue_capacity,
+                current.n,
+                current.requests,
+                current.seed,
+                current.queue_capacity
+            ));
+            return violations;
+        }
+        if current.incorrect != 0 {
+            violations.push(format!(
+                "{} incorrect answer(s) — the no-silent-wrong-answers contract is broken",
+                current.incorrect
+            ));
+        }
+        if current.queue_high_water > current.queue_capacity {
+            violations.push(format!(
+                "queue high water {} exceeds the admission capacity {}",
+                current.queue_high_water, current.queue_capacity
+            ));
+        }
+        let accounted = current.exact + current.degraded + current.deadline_exceeded + current.shed;
+        if accounted != current.offered {
+            violations.push(format!(
+                "request accounting broken: {} offered but {} accounted \
+                 (exact {} + degraded {} + deadline {} + shed {})",
+                current.offered,
+                accounted,
+                current.exact,
+                current.degraded,
+                current.deadline_exceeded,
+                current.shed
+            ));
+        }
+        if self.shed > 0 && current.shed == 0 {
+            violations.push(
+                "2x offered load no longer sheds — the scenario stopped exercising overload"
+                    .to_string(),
+            );
+        }
+        if self.degraded > 0 && current.degraded == 0 {
+            violations.push(
+                "the brownout probe no longer degrades — the greedy rung went unexercised"
+                    .to_string(),
+            );
+        }
+        let mut gate = |what: &str, base: f64, cur: f64| {
+            if cur > base * (1.0 + tolerance) {
+                violations.push(format!(
+                    "{what} regressed {base:.0} -> {cur:.0} (+{:.1}%, tolerance {:.0}%)",
+                    (cur / base - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        };
+        gate(
+            "sustainable service cycles/request",
+            self.service_cycles_per_request,
+            current.service_cycles_per_request,
+        );
+        gate(
+            "p50 latency cycles",
+            self.p50_latency_cycles as f64,
+            current.p50_latency_cycles as f64,
+        );
+        gate(
+            "p99 latency cycles",
+            self.p99_latency_cycles as f64,
+            current.p99_latency_cycles as f64,
+        );
+        let exact_floor = (self.exact as f64 * (1.0 - tolerance)).floor();
+        if (current.exact as f64) < exact_floor {
+            violations.push(format!(
+                "exact answers dropped {} -> {} (quality floor {:.0}, tolerance {:.0}%)",
+                self.exact,
+                current.exact,
+                exact_floor,
+                tolerance * 100.0
+            ));
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +576,100 @@ mod tests {
         let v = base.compare(&cur, CYCLE_TOLERANCE);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("floor"), "{v:?}");
+    }
+
+    fn serve_base() -> ServeBaseline {
+        ServeBaseline {
+            n: 24,
+            requests: 48,
+            offered: 49,
+            seed: 1,
+            queue_capacity: 8,
+            service_cycles_per_request: 100_000.0,
+            inter_arrival_cycles: 50_000,
+            exact: 21,
+            degraded: 6,
+            shed: 18,
+            deadline_exceeded: 4,
+            rerouted: 10,
+            breaker_trips: 1,
+            incorrect: 0,
+            queue_high_water: 8,
+            p50_latency_cycles: 200_000,
+            p99_latency_cycles: 900_000,
+            wall_seconds: 2.0,
+        }
+    }
+
+    #[test]
+    fn serve_identical_runs_pass() {
+        let b = serve_base();
+        assert!(b.compare(&b.clone(), CYCLE_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn serve_structural_gates_are_tolerance_independent() {
+        let base = serve_base();
+
+        let mut bad = serve_base();
+        bad.incorrect = 1;
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert!(v.iter().any(|s| s.contains("incorrect")), "{v:?}");
+
+        let mut bad = serve_base();
+        bad.queue_high_water = 9;
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert!(v.iter().any(|s| s.contains("high water")), "{v:?}");
+
+        let mut bad = serve_base();
+        bad.shed = 17; // one request vanishes from the accounting
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert!(v.iter().any(|s| s.contains("accounting")), "{v:?}");
+
+        let mut bad = serve_base();
+        bad.shed = 0;
+        bad.exact = 38; // accounting still closes, but nothing shed
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert!(v.iter().any(|s| s.contains("no longer sheds")), "{v:?}");
+    }
+
+    #[test]
+    fn serve_tolerance_gates_catch_latency_and_quality_drift() {
+        let base = serve_base();
+
+        let mut ok = serve_base();
+        ok.p99_latency_cycles = 980_000; // < +10%
+        assert!(base.compare(&ok, CYCLE_TOLERANCE).is_empty());
+
+        let mut bad = serve_base();
+        bad.p99_latency_cycles = 1_000_000; // > +10%
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert!(v.iter().any(|s| s.contains("p99")), "{v:?}");
+
+        let mut bad = serve_base();
+        bad.exact = 17; // below the floor(21 * 0.9) = 18 quality floor
+        bad.deadline_exceeded = 8; // keep the accounting closed
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert!(v.iter().any(|s| s.contains("quality floor")), "{v:?}");
+
+        let mut mismatched = serve_base();
+        mismatched.seed = 2;
+        let v = base.compare(&mismatched, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("grid mismatch"), "{v:?}");
+    }
+
+    #[test]
+    fn serve_roundtrips_through_disk() {
+        let b = serve_base();
+        let dir = std::env::temp_dir().join("bench-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+        b.save(&path).unwrap();
+        let back = ServeBaseline::load(&path).unwrap();
+        assert_eq!(back.exact, 21);
+        assert_eq!(back.p99_latency_cycles, 900_000);
+        assert!(b.compare(&back, CYCLE_TOLERANCE).is_empty());
     }
 
     #[test]

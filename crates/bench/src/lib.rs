@@ -15,11 +15,13 @@ pub mod baseline;
 pub mod cli;
 pub mod record;
 pub mod runners;
+pub mod serve_load;
 
 pub use baseline::{
-    BaselineEntry, BatchBaseline, MultiIpuBaseline, MultiIpuEntry, CYCLE_TOLERANCE,
+    BaselineEntry, BatchBaseline, MultiIpuBaseline, MultiIpuEntry, ServeBaseline, CYCLE_TOLERANCE,
     MULTI_IPU_MIN_IMPROVEMENT,
 };
 pub use cli::Args;
 pub use record::{ExperimentRecord, Measurement};
 pub use runners::{fmt_time, run_cpu, run_fastha, run_hunipu, CpuExtrapolator};
+pub use serve_load::{calibrate_service_cycles, run_open_loop, LoadSpec, LoadSummary};

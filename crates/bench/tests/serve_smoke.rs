@@ -1,0 +1,45 @@
+//! Smoke test for the serving-layer load harness: a miniature version of
+//! the `bench serve` scenario (closed-loop calibration, then open loop at
+//! 2x the sustainable rate under a seeded storm) must account for every
+//! request, keep the queue bounded, answer nothing incorrectly, and be
+//! bit-deterministic — the properties the CI gate enforces at full size.
+
+use bench::{calibrate_service_cycles, run_open_loop, LoadSpec};
+
+fn spec() -> LoadSpec {
+    LoadSpec {
+        n: 12,
+        requests: 14,
+        seed: 5,
+        queue_capacity: 3,
+        max_batch: 2,
+        batch_window_cycles: 2_000,
+        budget_cycles: None,
+        tight_every: 0,
+        tight_budget_cycles: 0,
+        storm_rate: 0.0,
+    }
+}
+
+#[test]
+fn overloaded_storm_run_is_safe_bounded_and_deterministic() {
+    let mut spec = spec();
+    let service_cycles = calibrate_service_cycles(&spec, 3);
+    assert!(service_cycles > 0.0);
+    let inter_arrival = (service_cycles / 2.0).max(1.0) as u64;
+
+    spec.storm_rate = 0.05;
+    spec.budget_cycles = Some((service_cycles * 8.0) as u64);
+    let a = run_open_loop(&spec, inter_arrival);
+    let b = run_open_loop(&spec, inter_arrival);
+
+    assert_eq!(a, b, "same seeded scenario must reproduce bit-for-bit");
+    assert_eq!(a.accounted(), a.offered, "every request accounted once");
+    assert_eq!(a.incorrect, 0, "no silent wrong answers, ever");
+    assert!(
+        a.queue_high_water <= spec.queue_capacity,
+        "admission control must bound the queue"
+    );
+    assert!(a.shed > 0, "2x offered load must shed");
+    assert!(a.exact + a.degraded > 0, "the ladder still answers");
+}

@@ -30,8 +30,8 @@
 //! equivalent sequential solves.
 
 use crate::solver::F32_VERIFY_EPS;
+use crate::warm::WarmEngine;
 use crate::HunIpu;
-use ipu_sim::EngineSnapshot;
 use lsap::{
     solve_instance_verified, BatchLsapSolver, BatchReport, BatchStats, CostMatrix, LsapError,
     SolveReport,
@@ -102,16 +102,6 @@ impl EngineKey {
     }
 }
 
-/// One compiled engine kept for reuse across same-shape instances.
-struct CachedEngine {
-    engine: ipu_sim::Engine,
-    t: crate::build::Ts,
-    /// Snapshot taken immediately after compile: restoring it makes the
-    /// engine bit-identical to a freshly compiled one (zeroed buffers,
-    /// zeroed cycle statistics).
-    pristine: EngineSnapshot,
-}
-
 impl BatchHunIpu {
     /// A streaming batch solver over the paper's Mk2 device.
     pub fn new() -> Self {
@@ -158,11 +148,12 @@ impl BatchHunIpu {
         &self.solver
     }
 
-    /// Streams one instance through the cached engine for its shape,
-    /// compiling (and charging `overhead`) on first use of the shape.
+    /// Streams one instance through the cached warm engine for its
+    /// shape, compiling (and charging `overhead`) on first use of the
+    /// shape.
     fn stream_instance(
         solver: &HunIpu,
-        cache: &mut HashMap<EngineKey, CachedEngine>,
+        cache: &mut HashMap<EngineKey, WarmEngine>,
         overhead: &mut u64,
         matrix: &CostMatrix,
         verify_eps: f64,
@@ -172,26 +163,19 @@ impl BatchHunIpu {
         let cached = match cache.entry(EngineKey::for_shape(solver, n)) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => {
-                let (engine, t) = solver.compile_for(n)?;
-                *overhead += engine.program_load_cycles();
-                let pristine = engine.snapshot();
-                v.insert(CachedEngine {
-                    engine,
-                    t,
-                    pristine,
-                })
+                let warm = solver.warm(n)?;
+                *overhead += warm.program_load_cycles();
+                v.insert(warm)
             }
         };
-        let inst_start = Instant::now();
         solve_instance_verified(matrix, verify_eps, max_attempts, |_k| {
-            cached.engine.restore(&cached.pristine);
-            solver.run_instance(&mut cached.engine, &cached.t, matrix, inst_start)
+            cached.solve(solver, matrix)
         })
     }
 
     fn solve_stream(&mut self, batch: &[CostMatrix]) -> Result<BatchReport, LsapError> {
         let start = Instant::now();
-        let mut cache: HashMap<EngineKey, CachedEngine> = HashMap::new();
+        let mut cache: HashMap<EngineKey, WarmEngine> = HashMap::new();
         let mut overhead = 0u64;
         let mut retries = 0u64;
         let mut reports = Vec::with_capacity(batch.len());
@@ -212,7 +196,7 @@ impl BatchHunIpu {
 
     fn solve_pack(&mut self, batch: &[CostMatrix], group: usize) -> Result<BatchReport, LsapError> {
         let start = Instant::now();
-        let mut cache: HashMap<EngineKey, CachedEngine> = HashMap::new();
+        let mut cache: HashMap<EngineKey, WarmEngine> = HashMap::new();
         let mut overhead = 0u64;
         let mut retries = 0u64;
         let mut reports: Vec<Option<SolveReport>> = vec![None; batch.len()];
@@ -287,7 +271,7 @@ impl BatchHunIpu {
     /// or certification failed (caller re-solves those solo).
     fn try_pack_chunk(
         &self,
-        cache: &mut HashMap<EngineKey, CachedEngine>,
+        cache: &mut HashMap<EngineKey, WarmEngine>,
         overhead: &mut u64,
         chunk: &[CostMatrix],
         n: usize,
@@ -321,21 +305,12 @@ impl BatchHunIpu {
         let cached = match cache.entry(EngineKey::for_shape(&self.solver, m)) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => {
-                let (engine, t) = self.solver.compile_for(m).ok()?;
-                *overhead += engine.program_load_cycles();
-                let pristine = engine.snapshot();
-                v.insert(CachedEngine {
-                    engine,
-                    t,
-                    pristine,
-                })
+                let warm = self.solver.warm(m).ok()?;
+                *overhead += warm.program_load_cycles();
+                v.insert(warm)
             }
         };
-        cached.engine.restore(&cached.pristine);
-        let fused_report = self
-            .solver
-            .run_instance(&mut cached.engine, &cached.t, &fused, Instant::now())
-            .ok()?;
+        let fused_report = cached.solve(&self.solver, &fused).ok()?;
 
         let mut out = Vec::with_capacity(g);
         for (k, small) in chunk.iter().enumerate() {

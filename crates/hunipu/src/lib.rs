@@ -62,11 +62,13 @@ mod build;
 mod layout;
 mod solver;
 mod steps;
+mod warm;
 
 pub use ablation::{AblationConfig, DynSlice};
 pub use batch::{BatchHunIpu, BatchStrategy};
 pub use layout::{Layout, COL_SEG};
 pub use solver::{HunIpu, LayoutMode, F32_VERIFY_EPS};
+pub use warm::WarmEngine;
 
 /// Default column-segment size (§IV-E footnote: "we empirically find
 /// that 32 works well regardless of the data and the architecture").

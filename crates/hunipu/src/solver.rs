@@ -121,6 +121,17 @@ impl HunIpu {
         self.fault_plan.as_ref()
     }
 
+    /// Arms or disarms the fault plan in place — the serving layer uses
+    /// this to start and stop fault storms mid-run without rebuilding the
+    /// solver or its pooled engines (the plan is applied per launch, so
+    /// already-compiled warm engines pick the change up on their next
+    /// solve). Resets the fault epoch: re-arming the same plan replays
+    /// the same fault stream.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+        self.fault_epoch.set(0);
+    }
+
     /// Enables the per-tile execution profiler on every engine this
     /// solver builds. The timeline is recovered from the engine returned
     /// by [`HunIpu::solve_with_engine`] (via `profile_report` /
@@ -264,8 +275,12 @@ impl HunIpu {
         let backend = |e: ipu_sim::GraphError| LsapError::Backend {
             detail: e.to_string(),
         };
-        if let Some(plan) = self.next_fault_plan() {
-            engine.set_fault_plan(plan);
+        // Arm (or disarm) faults per launch: a warm engine reused from a
+        // pool may still carry the plan from a previous run, so a solver
+        // with no plan must actively clear it.
+        match self.next_fault_plan() {
+            Some(plan) => engine.set_fault_plan(plan),
+            None => engine.clear_fault_plan(),
         }
 
         // Load the instance (cast to the device's f32, as the real

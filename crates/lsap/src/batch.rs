@@ -210,13 +210,18 @@ fn sum_opt<T: std::iter::Sum<T>>(it: impl Iterator<Item = Option<T>>) -> Option<
 }
 
 /// Runs `attempt` until it yields a report whose certificate verifies
-/// against `matrix`, up to `max_attempts` times, converting panics into
-/// [`LsapError::Backend`] exactly like [`crate::ResilientSolver`] does.
+/// against `matrix`, up to `max_attempts` times. Each attempt runs under
+/// the shared supervision discipline of [`crate::policy::checked_attempt`]
+/// — panic containment and independent verification — so batch engines
+/// and [`crate::ResilientSolver`] cannot disagree about retry semantics.
 ///
 /// Returns the verified report plus the number of retries consumed
 /// (0 when the first attempt succeeds). The attempt closure receives the
 /// 0-based attempt index; engines with fault injection use it to keep
 /// their fault-epoch accounting aligned with the single-instance path.
+/// Deterministic failures ([`crate::policy::RetryClass::Escalate`], e.g.
+/// shape errors) and budget overruns ([`crate::policy::RetryClass::Abort`])
+/// stop the loop immediately instead of burning the remaining attempts.
 pub fn solve_instance_verified(
     matrix: &CostMatrix,
     eps: f64,
@@ -226,21 +231,16 @@ pub fn solve_instance_verified(
     assert!(max_attempts >= 1, "need at least one attempt");
     let mut last_err = None;
     for k in 0..max_attempts {
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| attempt(k)))
-            .unwrap_or_else(|panic| {
-                let detail = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "solver panicked".to_string());
-                Err(LsapError::Backend { detail })
-            });
-        match outcome {
-            Ok(report) => match report.verify(matrix, eps) {
-                Ok(()) => return Ok((report, k as u64)),
-                Err(e) => last_err = Some(e),
-            },
-            Err(e) => last_err = Some(e),
+        let a = crate::policy::checked_attempt(matrix, eps, None, "batch-instance", || attempt(k));
+        match a.outcome {
+            Ok(report) => return Ok((report, k as u64)),
+            Err(e) => {
+                let class = crate::policy::classify(&e);
+                last_err = Some(e);
+                if class != crate::policy::RetryClass::Retry {
+                    break;
+                }
+            }
         }
     }
     Err(last_err.unwrap_or(LsapError::Backend {

@@ -85,6 +85,29 @@ pub enum LsapError {
         /// One record per attempt, in execution order.
         attempts: Vec<AttemptRecord>,
     },
+    /// A serving front end refused admission because its bounded request
+    /// queue was full. Shedding at the door is the overload contract:
+    /// queues never grow without bound, and the caller learns immediately
+    /// instead of timing out after queueing forever.
+    Overloaded {
+        /// Requests already waiting when this one was refused.
+        queue_depth: usize,
+        /// The queue's admission bound.
+        capacity: usize,
+    },
+    /// A request's cycle-denominated deadline budget ran out before (or
+    /// while) producing an answer. Unlike [`LsapError::Timeout`] (a
+    /// per-attempt wall-clock guard), this is a *total* budget on the
+    /// deterministic virtual clock, propagated through every retry and
+    /// fallback — once it is exhausted, no further attempt may run
+    /// ([`crate::policy::RetryClass::Abort`]).
+    DeadlineExceeded {
+        /// The caller's total budget, in virtual cycles.
+        budget_cycles: u64,
+        /// Cycles the request would have needed (or had already consumed
+        /// when the budget check fired).
+        needed_cycles: u64,
+    },
 }
 
 impl fmt::Display for LsapError {
@@ -139,6 +162,22 @@ impl fmt::Display for LsapError {
                 }
                 Ok(())
             }
+            LsapError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "service overloaded: request shed at admission \
+                 (queue {queue_depth}/{capacity})"
+            ),
+            LsapError::DeadlineExceeded {
+                budget_cycles,
+                needed_cycles,
+            } => write!(
+                f,
+                "deadline exceeded: budget {budget_cycles} cycles, \
+                 needed >= {needed_cycles}"
+            ),
         }
     }
 }
@@ -157,6 +196,21 @@ mod tests {
         assert!(e.to_string().contains('5'));
         let e = LsapError::NotSquare { rows: 2, cols: 4 };
         assert!(e.to_string().contains("2x4"));
+    }
+
+    #[test]
+    fn serving_errors_carry_their_budgets() {
+        let e = LsapError::Overloaded {
+            queue_depth: 32,
+            capacity: 32,
+        };
+        assert!(e.to_string().contains("32/32"));
+        let e = LsapError::DeadlineExceeded {
+            budget_cycles: 1_000,
+            needed_cycles: 2_500,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1000") && s.contains("2500"), "{s}");
     }
 
     #[test]

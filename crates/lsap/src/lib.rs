@@ -37,6 +37,7 @@ mod batch;
 mod certificate;
 mod error;
 mod matrix;
+pub mod policy;
 mod rectangular;
 mod resilient;
 mod solver;
@@ -48,6 +49,7 @@ pub use batch::{
 pub use certificate::DualCertificate;
 pub use error::LsapError;
 pub use matrix::CostMatrix;
+pub use policy::{checked_attempt, classify, Attempt, RetryClass};
 pub use rectangular::solve_rectangular;
 pub use resilient::{AttemptRecord, ResilientSolver, RetryPolicy};
 pub use solver::{LsapSolver, SolveReport, SolverStats};

@@ -5,7 +5,11 @@
 //! LP-duality certificate ([`crate::DualCertificate::verify`]) plus
 //! matching-validity and objective checks, failures are retried under a
 //! [`RetryPolicy`], and persistent failures escalate down a fallback chain
-//! (e.g. HunIPU → FastHA → CPU JV). Because verification is *exact up to
+//! (e.g. HunIPU → FastHA → CPU JV). Attempt supervision — panic
+//! containment, deadline enforcement, verification — and the retry
+//! taxonomy live in the shared [`crate::policy`] module, so this wrapper,
+//! the batch engines, and the serving layer all run under one retry
+//! semantics. Because verification is *exact up to
 //! floating-point tolerance* — a feasible, tight dual proves optimality
 //! with no reference solver in the loop — silent corruption (a flipped
 //! bit in device SRAM, a garbled exchange) cannot produce a wrong answer:
@@ -20,9 +24,10 @@
 //! (`IpuConfig::max_while_iterations`), which turns a hung loop into a
 //! backend error this wrapper can retry.
 
+use crate::policy::{self, RetryClass};
 use crate::{CostMatrix, LsapError, LsapSolver, SolveReport, COST_EPS};
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Retry discipline for one solver in a resilient chain.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,60 +203,6 @@ impl ResilientSolver {
     pub fn chain_names(&self) -> Vec<&'static str> {
         self.chain.iter().map(|s| s.name()).collect()
     }
-
-    /// Runs one attempt and classifies the outcome.
-    fn attempt(
-        solver: &mut dyn LsapSolver,
-        matrix: &CostMatrix,
-        deadline: Option<Duration>,
-        eps: f64,
-    ) -> (f64, Result<SolveReport, LsapError>) {
-        let start = Instant::now();
-        // Contain panics: corrupted device state can make a backend index
-        // out of bounds and unwind instead of returning Err. A supervisor
-        // that dies with its worker is no supervisor; convert the panic to
-        // a retryable backend error. (Solvers rebuild their device state
-        // per call, so retrying after an unwind is sound.)
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solver.solve(matrix)))
-                .unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                    Err(LsapError::Backend {
-                        detail: format!("solver panicked: {msg}"),
-                    })
-                });
-        let wall = start.elapsed();
-        let outcome = match result {
-            Err(e) => Err(e),
-            Ok(report) => {
-                if let Some(limit) = deadline {
-                    if wall > limit {
-                        return (
-                            wall.as_secs_f64(),
-                            Err(LsapError::Timeout {
-                                seconds: wall.as_secs_f64(),
-                                limit_seconds: limit.as_secs_f64(),
-                            }),
-                        );
-                    }
-                }
-                // Trust nothing: check the matching, the objective, and the
-                // dual certificate against the *input* matrix.
-                match report.verify(matrix, eps) {
-                    Ok(()) => Ok(report),
-                    Err(reason) => Err(LsapError::VerificationFailed {
-                        solver: solver.name().to_string(),
-                        reason: reason.to_string(),
-                    }),
-                }
-            }
-        };
-        (wall.as_secs_f64(), outcome)
-    }
 }
 
 impl LsapSolver for ResilientSolver {
@@ -264,18 +215,19 @@ impl LsapSolver for ResilientSolver {
         for solver in &mut self.chain {
             let mut pause = self.policy.backoff;
             for attempt in 1..=self.policy.max_attempts {
-                let (wall_seconds, outcome) = Self::attempt(
-                    solver.as_mut(),
+                let a = policy::checked_attempt(
                     matrix,
-                    self.policy.attempt_deadline,
                     self.eps,
+                    self.policy.attempt_deadline,
+                    solver.name(),
+                    || solver.solve(matrix),
                 );
-                match outcome {
+                match a.outcome {
                     Ok(report) => {
                         self.history.push(AttemptRecord {
                             solver: solver.name().to_string(),
                             attempt,
-                            wall_seconds,
+                            wall_seconds: a.wall_seconds,
                             error: None,
                         });
                         return Ok(report);
@@ -284,19 +236,21 @@ impl LsapSolver for ResilientSolver {
                         self.history.push(AttemptRecord {
                             solver: solver.name().to_string(),
                             attempt,
-                            wall_seconds,
+                            wall_seconds: a.wall_seconds,
                             error: Some(e.to_string()),
                         });
-                        // Shape errors are deterministic: retrying the same
-                        // solver cannot help, so escalate immediately.
-                        if matches!(
-                            e,
-                            LsapError::NotSquare { .. }
-                                | LsapError::ShapeMismatch { .. }
-                                | LsapError::EmptyMatrix
-                                | LsapError::NanCost { .. }
-                        ) {
-                            break;
+                        match policy::classify(&e) {
+                            // Shape errors are deterministic: retrying the
+                            // same solver cannot help, so escalate
+                            // immediately.
+                            RetryClass::Escalate => break,
+                            // A deadline overrun stops the *whole* chain:
+                            // the caller's budget is gone, so a fallback
+                            // could only finish even later. The error is
+                            // returned as-is (not wrapped in Exhausted) so
+                            // callers see the budget numbers directly.
+                            RetryClass::Abort => return Err(e),
+                            RetryClass::Retry => {}
                         }
                     }
                 }
@@ -509,6 +463,38 @@ mod tests {
         assert_eq!(h.len(), 3, "2 contained panics + 1 fallback success");
         assert!(h[0].error.as_deref().unwrap().contains("panicked"));
         assert!(h[2].succeeded());
+    }
+
+    #[test]
+    fn deadline_exceeded_aborts_the_whole_chain() {
+        struct OverBudget;
+        impl LsapSolver for OverBudget {
+            fn name(&self) -> &'static str {
+                "over_budget"
+            }
+            fn solve(&mut self, _: &CostMatrix) -> Result<SolveReport, LsapError> {
+                Err(LsapError::DeadlineExceeded {
+                    budget_cycles: 100,
+                    needed_cycles: 250,
+                })
+            }
+        }
+        let m = gradient_matrix(3);
+        // A healthy fallback exists, but it must NOT run: the caller's
+        // budget is already gone.
+        let mut s = ResilientSolver::new(OverBudget)
+            .with_fallback(Scripted::failing("never_reached", 0))
+            .with_policy(RetryPolicy::attempts(3));
+        let err = s.solve(&m).unwrap_err();
+        assert!(matches!(
+            err,
+            LsapError::DeadlineExceeded {
+                budget_cycles: 100,
+                needed_cycles: 250
+            }
+        ));
+        assert_eq!(s.history().len(), 1, "no retry, no fallback");
+        assert_eq!(s.history()[0].solver, "over_budget");
     }
 
     #[test]

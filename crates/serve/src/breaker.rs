@@ -1,0 +1,216 @@
+//! Per-backend circuit breakers on the service's virtual clock.
+//!
+//! A backend that keeps failing (fault-injected IPU runs whose
+//! certificates will not verify, simulator errors) should stop being
+//! offered traffic for a while instead of burning every request's
+//! deadline budget on doomed attempts. The breaker is the classical
+//! three-state machine, with all timing denominated in virtual cycles so
+//! behaviour is bit-reproducible:
+//!
+//! - **Closed** — traffic flows; `threshold` *consecutive* failures trip
+//!   the breaker.
+//! - **Open** — traffic is refused without touching the backend until
+//!   `cooldown_cycles` have elapsed on the service clock.
+//! - **Half-open** — after the cooldown, exactly one probe request is
+//!   admitted. Success closes the breaker; failure re-opens it (and
+//!   restarts the cooldown).
+//!
+//! Deadline pressure is *not* failure: a request that skips the IPU rung
+//! because its remaining budget cannot fit an IPU attempt says nothing
+//! about the backend's health, so the service only records
+//! fault-induced/verification failures here.
+
+use serde::Serialize;
+
+/// The observable state of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BreakerState {
+    /// Traffic flows normally.
+    Closed,
+    /// Traffic is refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; exactly one probe is in flight.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// A recorded state change, for metrics and postmortems.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct BreakerTransition {
+    /// Virtual cycle at which the transition happened.
+    pub cycle: u64,
+    /// Backend the breaker guards (e.g. `"hunipu"`).
+    pub backend: &'static str,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+/// Circuit breaker for one backend. All methods take the current virtual
+/// time; the breaker never consults a wall clock.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    backend: &'static str,
+    threshold: u32,
+    cooldown_cycles: u64,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker for `backend` tripping after `threshold`
+    /// consecutive failures and cooling down for `cooldown_cycles`.
+    pub fn new(backend: &'static str, threshold: u32, cooldown_cycles: u64) -> Self {
+        assert!(threshold >= 1, "breaker threshold must be >= 1");
+        Self {
+            backend,
+            threshold,
+            cooldown_cycles,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state (without advancing the half-open clock).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped (Closed/HalfOpen → Open).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Should a request at virtual time `now` be offered to this backend?
+    /// Transitions Open → HalfOpen when the cooldown has elapsed (the
+    /// caller becomes the probe). Returns the transition, if one fired.
+    pub fn admit(&mut self, now: u64) -> (bool, Option<BreakerTransition>) {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => (true, None),
+            BreakerState::Open => {
+                if now >= self.opened_at.saturating_add(self.cooldown_cycles) {
+                    let t = self.transition(now, BreakerState::HalfOpen);
+                    (true, Some(t))
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Record a successful call finishing at `now`.
+    pub fn record_success(&mut self, now: u64) -> Option<BreakerTransition> {
+        self.consecutive_failures = 0;
+        match self.state {
+            BreakerState::HalfOpen => Some(self.transition(now, BreakerState::Closed)),
+            _ => None,
+        }
+    }
+
+    /// Record a fault-induced failure finishing at `now`.
+    pub fn record_failure(&mut self, now: u64) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.trips += 1;
+                    self.opened_at = now;
+                    Some(self.transition(now, BreakerState::Open))
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to Open, cooldown restarts.
+                self.trips += 1;
+                self.opened_at = now;
+                Some(self.transition(now, BreakerState::Open))
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    fn transition(&mut self, cycle: u64, to: BreakerState) -> BreakerTransition {
+        let from = self.state;
+        self.state = to;
+        if to == BreakerState::Closed {
+            self.consecutive_failures = 0;
+        }
+        BreakerTransition {
+            cycle,
+            backend: self.backend,
+            from,
+            to,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new("ipu", 3, 100);
+        assert!(b.admit(0).0);
+        assert!(b.record_failure(10).is_none());
+        assert!(b.record_failure(20).is_none());
+        let t = b.record_failure(30).unwrap();
+        assert_eq!((t.from, t.to), (BreakerState::Closed, BreakerState::Open));
+        assert_eq!(t.cycle, 30);
+        assert!(!b.admit(50).0, "open breaker refuses before cooldown");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new("ipu", 3, 100);
+        b.record_failure(1);
+        b.record_failure(2);
+        b.record_success(3);
+        b.record_failure(4);
+        b.record_failure(5);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
+        assert!(b.record_failure(6).is_some(), "third consecutive trips");
+    }
+
+    #[test]
+    fn half_open_probe_recovers_or_reopens() {
+        let mut b = CircuitBreaker::new("ipu", 1, 100);
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown elapses: the next admit becomes the probe.
+        let (ok, t) = b.admit(100);
+        assert!(ok);
+        assert_eq!(t.unwrap().to, BreakerState::HalfOpen);
+        // Probe succeeds: closed again.
+        let t = b.record_success(110).unwrap();
+        assert_eq!(t.to, BreakerState::Closed);
+
+        // Trip again, probe fails this time: back to open, cooldown restarts.
+        b.record_failure(120);
+        let (ok, _) = b.admit(220);
+        assert!(ok);
+        let t = b.record_failure(230).unwrap();
+        assert_eq!((t.from, t.to), (BreakerState::HalfOpen, BreakerState::Open));
+        assert!(!b.admit(320).0, "cooldown restarted from 230");
+        assert!(b.admit(330).0);
+        // Three trips total: initial failure, closed-again failure at
+        // 120, and the failed probe at 230.
+        assert_eq!(b.trips(), 3);
+    }
+}

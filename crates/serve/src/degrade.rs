@@ -1,0 +1,190 @@
+//! The last rung of the degradation ladder: a greedy assignment with a
+//! certified optimality-gap bound.
+//!
+//! When neither the IPU nor the CPU exact solver can answer within a
+//! request's remaining deadline budget, the service degrades to a greedy
+//! matching rather than failing — but never silently. The degraded answer
+//! carries an explicit bound on how far it can be from the optimum,
+//! certified by LP weak duality:
+//!
+//! - the greedy matching's cost is an **upper** bound on itself (trivially),
+//! - a dual-feasible potential pair `(u, v)` (`u_i + v_j <= c_ij`
+//!   everywhere) has objective `sum(u) + sum(v) <= OPT` — a **lower**
+//!   bound on the optimum that needs no solver to check, only the
+//!   feasibility inequalities.
+//!
+//! So `gap_bound = greedy_cost - (sum(u) + sum(v)) >= greedy_cost - OPT`
+//! bounds the true suboptimality from above. The potentials are the
+//! classical two-pass reduction (row minima, then residual column
+//! minima), computed in `O(n^2)` — the same asymptotic cost as reading
+//! the matrix.
+
+use lsap::{Assignment, CostMatrix, DualCertificate, LsapError};
+
+/// A greedy assignment plus the weak-duality evidence bounding its gap.
+#[derive(Debug, Clone)]
+pub struct DegradedAnswer {
+    /// The greedy perfect matching.
+    pub assignment: Assignment,
+    /// Cost of [`DegradedAnswer::assignment`].
+    pub cost: f64,
+    /// Dual-feasible potentials (not tight — this certificate proves the
+    /// *lower bound*, not optimality).
+    pub lower_bound_certificate: DualCertificate,
+    /// Certified lower bound on the optimum: the dual objective of
+    /// `lower_bound_certificate`.
+    pub lower_bound: f64,
+    /// `cost - lower_bound`: the answer is within this much of optimal.
+    pub gap_bound: f64,
+}
+
+/// Solves `matrix` greedily (each row takes its cheapest unused column)
+/// and bounds the gap to the optimum via a dual-feasible potential pair.
+///
+/// # Errors
+/// [`LsapError::NotSquare`] / [`LsapError::EmptyMatrix`] for ill-formed
+/// inputs. (NaN entries cannot occur: [`CostMatrix`] rejects them at
+/// construction.)
+pub fn greedy_with_bound(matrix: &CostMatrix) -> Result<DegradedAnswer, LsapError> {
+    if !matrix.is_square() {
+        return Err(LsapError::NotSquare {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+        });
+    }
+    let n = matrix.n();
+    if n == 0 {
+        return Err(LsapError::EmptyMatrix);
+    }
+
+    // Greedy matching: row by row, cheapest still-free column. Always a
+    // perfect matching (every row finds some free column), never worse
+    // than O(n^2).
+    let mut used = vec![false; n];
+    let mut row_to_col = Vec::with_capacity(n);
+    let mut cost = 0.0;
+    for i in 0..n {
+        let (j, c) = (0..n)
+            .filter(|&j| !used[j])
+            .map(|j| (j, matrix.get(i, j)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("n columns, i < n used");
+        used[j] = true;
+        row_to_col.push(Some(j));
+        cost += c;
+    }
+    let assignment = Assignment::from_row_to_col(row_to_col);
+
+    // Dual-feasible potentials: u_i = min_j c_ij, then
+    // v_j = min_i (c_ij - u_i). By construction u_i + v_j <= c_ij for
+    // every (i, j), so sum(u) + sum(v) <= OPT by weak duality.
+    let u: Vec<f64> = (0..n).map(|i| matrix.row_min(i)).collect();
+    let v: Vec<f64> = (0..n)
+        .map(|j| {
+            (0..n)
+                .map(|i| matrix.get(i, j) - u[i])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let certificate = DualCertificate::new(u, v);
+    let lower_bound = certificate.dual_objective();
+    // Guard against round-off making the bound microscopically negative
+    // on instances the greedy actually solves optimally.
+    let gap_bound = (cost - lower_bound).max(0.0);
+
+    Ok(DegradedAnswer {
+        assignment,
+        cost,
+        lower_bound_certificate: certificate,
+        lower_bound,
+        gap_bound,
+    })
+}
+
+/// Modeled device-clock cycles charged for a greedy degrade of an `n x n`
+/// instance: two `O(n^2)` passes (greedy scan + dual reduction), at a few
+/// cycles per touched entry. Deliberately coarse — the point is that the
+/// ladder's last rung has a modeled cost orders of magnitude below an
+/// exact solve, so it fits deadline budgets nothing else fits.
+pub fn greedy_modeled_cycles(n: usize) -> u64 {
+    let n = n as u64;
+    4 * n * n + 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_is_sound_against_ground_truth() {
+        for seed in 0..10u64 {
+            let m = datasets::gaussian_cost_matrix(12, 80, seed);
+            let d = greedy_with_bound(&m).unwrap();
+            let opt = cpu_hungarian::ground_truth_objective(&m);
+            assert!(
+                d.cost >= opt - 1e-9,
+                "greedy cannot beat the optimum: {} < {opt}",
+                d.cost
+            );
+            assert!(
+                d.lower_bound <= opt + 1e-9,
+                "weak duality violated: LB {} > OPT {opt}",
+                d.lower_bound
+            );
+            assert!(
+                d.cost - opt <= d.gap_bound + 1e-9,
+                "true gap {} exceeds claimed bound {}",
+                d.cost - opt,
+                d.gap_bound
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_matching_is_perfect_and_costed_correctly() {
+        let m = datasets::gaussian_cost_matrix(9, 50, 3);
+        let d = greedy_with_bound(&m).unwrap();
+        assert!(d.assignment.is_perfect());
+        assert_eq!(d.assignment.cost(&m).unwrap(), d.cost);
+    }
+
+    #[test]
+    fn lower_bound_certificate_is_dual_feasible() {
+        let m = datasets::gaussian_cost_matrix(10, 60, 5);
+        let d = greedy_with_bound(&m).unwrap();
+        let (lo, hi) = m.min_max();
+        let tol = 1e-9 * 1.0_f64.max(lo.abs()).max(hi.abs());
+        for (i, j, c) in m.entries() {
+            let uv = d.lower_bound_certificate.u[i] + d.lower_bound_certificate.v[j];
+            assert!(uv <= c + tol, "infeasible at ({i},{j}): {uv} > {c}");
+        }
+    }
+
+    #[test]
+    fn gap_is_zero_when_greedy_happens_to_be_optimal() {
+        // Identity-dominant matrix: greedy picks the diagonal, which is
+        // optimal; the two-pass duals are tight, so the bound collapses.
+        let m = CostMatrix::from_fn(4, 4, |i, j| if i == j { 0.0 } else { 10.0 }).unwrap();
+        let d = greedy_with_bound(&m).unwrap();
+        assert_eq!(d.cost, 0.0);
+        assert_eq!(d.gap_bound, 0.0);
+    }
+
+    #[test]
+    fn ill_formed_inputs_are_rejected() {
+        let rect = CostMatrix::from_vec(2, 3, vec![0.0; 6]).unwrap();
+        assert!(matches!(
+            greedy_with_bound(&rect),
+            Err(LsapError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn modeled_cost_scales_quadratically() {
+        // The ladder only makes sense if the last rung is predictably
+        // cheap: two O(n^2) passes, so doubling n roughly quadruples the
+        // charge (exactly, modulo the constant setup term).
+        let (a, b) = (greedy_modeled_cycles(32), greedy_modeled_cycles(64));
+        assert!(a < b && b < 4 * a + 64);
+    }
+}

@@ -1,0 +1,150 @@
+//! Shape-bucketed LRU pool of warm compiled engines.
+//!
+//! The static-program constraint (C4) makes compile + program load the
+//! dominant per-shape cost (~500k cycles base). [`crate::BatchHunIpu`]'s
+//! per-call cache already amortizes it within one batch; a serving
+//! process needs the same amortization *across* requests, with a bound on
+//! how many compiled programs it keeps resident. [`EnginePool`] is that
+//! generalization: an LRU map from instance size to [`WarmEngine`],
+//! charging [`WarmEngine::program_load_cycles`] to the service's virtual
+//! clock only on a miss (first use of a shape, or re-use after an
+//! eviction).
+
+use hunipu::{HunIpu, WarmEngine};
+use lsap::LsapError;
+use serde::Serialize;
+
+/// Counters describing how well the pool is amortizing compiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PoolStats {
+    /// Checkouts served by an already-warm engine.
+    pub hits: u64,
+    /// Checkouts that had to compile (first use of a shape, or the shape
+    /// had been evicted).
+    pub misses: u64,
+    /// Warm engines dropped to make room.
+    pub evictions: u64,
+    /// Total program-load cycles charged to the virtual clock (one
+    /// [`WarmEngine::program_load_cycles`] per miss).
+    pub load_cycles_charged: u64,
+}
+
+/// A bounded, least-recently-used pool of warm engines keyed by instance
+/// size. The owning service is topology-fixed (one [`HunIpu`]
+/// configuration for its lifetime), so size alone identifies a program.
+pub struct EnginePool {
+    capacity: usize,
+    /// Most-recently-used first. Linear scans are fine: serving pools
+    /// hold a handful of shapes, not thousands.
+    entries: Vec<(usize, WarmEngine)>,
+    stats: PoolStats,
+}
+
+impl EnginePool {
+    /// An empty pool holding at most `capacity` warm engines.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "pool capacity must be >= 1");
+        Self {
+            capacity,
+            entries: Vec::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Shapes currently resident, most recently used first.
+    pub fn resident(&self) -> Vec<usize> {
+        self.entries.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Amortization counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Checks out the warm engine for size `n`, compiling (and evicting
+    /// the least recently used entry if full) on a miss. Returns the
+    /// engine and the program-load cycles to charge to the caller's
+    /// clock — `0` on a hit.
+    pub fn checkout(
+        &mut self,
+        solver: &HunIpu,
+        n: usize,
+    ) -> Result<(&mut WarmEngine, u64), LsapError> {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == n) {
+            self.stats.hits += 1;
+            let e = self.entries.remove(i);
+            self.entries.insert(0, e);
+            return Ok((&mut self.entries[0].1, 0));
+        }
+        let warm = solver.warm(n)?;
+        let load = warm.program_load_cycles();
+        self.stats.misses += 1;
+        self.stats.load_cycles_charged += load;
+        if self.entries.len() == self.capacity {
+            self.entries.pop();
+            self.stats.evictions += 1;
+        }
+        self.entries.insert(0, (n, warm));
+        Ok((&mut self.entries[0].1, load))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipu_sim::IpuConfig;
+
+    fn solver() -> HunIpu {
+        HunIpu::with_config(IpuConfig::tiny(8))
+    }
+
+    #[test]
+    fn hits_are_free_and_misses_charge_program_load() {
+        let s = solver();
+        let mut pool = EnginePool::new(2);
+        let (_, load) = pool.checkout(&s, 6).unwrap();
+        assert!(load > 0, "first use of a shape compiles");
+        let (_, load) = pool.checkout(&s, 6).unwrap();
+        assert_eq!(load, 0, "second use is warm");
+        let st = pool.stats();
+        assert_eq!((st.hits, st.misses, st.evictions), (1, 1, 0));
+        assert!(st.load_cycles_charged > 0);
+    }
+
+    #[test]
+    fn lru_eviction_recharges_on_return() {
+        let s = solver();
+        let mut pool = EnginePool::new(2);
+        pool.checkout(&s, 4).unwrap();
+        pool.checkout(&s, 5).unwrap();
+        // 4 is now LRU; inserting 6 evicts it.
+        pool.checkout(&s, 6).unwrap();
+        assert_eq!(pool.resident(), vec![6, 5]);
+        assert_eq!(pool.stats().evictions, 1);
+        // Returning to the evicted shape costs a compile again.
+        let (_, load) = pool.checkout(&s, 4).unwrap();
+        assert!(load > 0);
+        assert_eq!(pool.resident(), vec![4, 6]);
+    }
+
+    #[test]
+    fn touching_refreshes_recency() {
+        let s = solver();
+        let mut pool = EnginePool::new(2);
+        pool.checkout(&s, 4).unwrap();
+        pool.checkout(&s, 5).unwrap();
+        pool.checkout(&s, 4).unwrap(); // refresh 4: now 5 is LRU
+        pool.checkout(&s, 6).unwrap();
+        assert_eq!(pool.resident(), vec![6, 4]);
+    }
+
+    #[test]
+    fn pooled_engines_still_solve_correctly() {
+        let s = solver();
+        let mut pool = EnginePool::new(1);
+        let m = datasets::gaussian_cost_matrix(6, 40, 9);
+        let (warm, _) = pool.checkout(&s, 6).unwrap();
+        let rep = warm.solve(&s, &m).unwrap();
+        rep.verify(&m, hunipu::F32_VERIFY_EPS).unwrap();
+    }
+}

@@ -9,6 +9,7 @@
 //! - [`hunipu::HunIpu`] — the paper's algorithm on the IPU simulator,
 //! - [`fastha::FastHa`] — the GPU baseline on the SIMT simulator,
 //! - [`cpu_hungarian`] — the sequential baselines and ground truth,
+//! - [`serve::AssignmentService`] — the overload-safe serving layer,
 //! - [`align`] — the GRAMPA graph-alignment use case,
 //! - [`datasets`] — the paper's synthetic instance generators,
 //! - [`ipu_sim`] / [`gpu_sim`] — the machine models themselves.
@@ -27,3 +28,4 @@ pub use hunipu;
 pub use ipu_sim;
 pub use linalg;
 pub use lsap;
+pub use serve;
