@@ -122,6 +122,142 @@ impl BatchBaseline {
     }
 }
 
+/// Minimum wall-clock speedup the lowered execution plan must keep over
+/// the tree-walking interpreter on the wallbench suite (the plan-lowering
+/// tentpole's headline claim). Gated on the per-thread-count *suite
+/// aggregate* (total interpreted wall / total plan wall): the aggregate
+/// is dominated by the large sizes where wall time actually matters and
+/// is far less noisy than any single cell.
+pub const WALLBENCH_MIN_SPEEDUP: f64 = 2.0;
+
+/// One (n, host threads) cell of the wallbench interp-vs-plan comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WallbenchEntry {
+    /// Instance size.
+    pub n: usize,
+    /// Host worker threads both modes ran with.
+    pub threads: usize,
+    /// Best-of-reps wall seconds of the tree-walking interpreter.
+    /// Informational — wall time depends on the machine.
+    pub interp_wall: f64,
+    /// Best-of-reps wall seconds of the lowered execution plan.
+    /// Informational.
+    pub plan_wall: f64,
+    /// `interp_wall / plan_wall`. Informational per cell (the gate uses
+    /// the per-thread-count aggregate).
+    pub speedup: f64,
+    /// Whether the two modes produced bit-identical results (objective
+    /// bits, assignment, cycle statistics). **Gated: must be true.**
+    pub identical: bool,
+}
+
+/// The wallbench interp-vs-plan baseline: `bench wallbench
+/// --write-baseline` records it into `BENCH_wallbench.json`; `--check`
+/// re-runs the suite and fails when the plan path loses its ≥2× wall
+/// win or its bit-identity to the interpreter.
+///
+/// Unlike the modeled-cost baselines, the gated quantity here is a wall
+/// *ratio*: both modes run on the same machine in the same process, so
+/// the ratio is machine-portable where absolute seconds are not. The
+/// recorded walls are carried for context only; the gate recomputes the
+/// ratio from the fresh run against the [`WALLBENCH_MIN_SPEEDUP`] floor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WallbenchBaseline {
+    /// Instance sizes of the suite.
+    pub sizes: Vec<usize>,
+    /// Host thread counts of the suite.
+    pub threads: Vec<usize>,
+    /// Dataset value range k.
+    pub k: u64,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Per-cell measurements.
+    pub entries: Vec<WallbenchEntry>,
+}
+
+impl WallbenchBaseline {
+    /// Reads a baseline from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Pretty-prints the baseline to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Compares a fresh run against this baseline, returning every
+    /// violation (empty = gate passes).
+    ///
+    /// The current run may cover a *subset* of the baseline's thread
+    /// counts (CI gates `SIM_THREADS=1` and `8` in separate invocations)
+    /// but must measure every baseline size for each thread count it
+    /// does cover. Gates, all structural (tolerance-free):
+    /// 1. sizes/k/seed match and the run's thread counts are all in the
+    ///    baseline grid,
+    /// 2. every measured cell is bit-identical across modes,
+    /// 3. each covered thread count keeps the per-thread-count aggregate
+    ///    speedup at or above [`WALLBENCH_MIN_SPEEDUP`].
+    pub fn compare(&self, current: &WallbenchBaseline) -> Vec<String> {
+        let mut violations = Vec::new();
+        if (&self.sizes, self.k, self.seed) != (&current.sizes, current.k, current.seed) {
+            violations.push(format!(
+                "grid mismatch: baseline sizes={:?} k={} seed={}, run sizes={:?} k={} seed={} \
+                 — regenerate with --write-baseline",
+                self.sizes, self.k, self.seed, current.sizes, current.k, current.seed
+            ));
+            return violations;
+        }
+        if current.threads.is_empty() {
+            violations.push("run covered no thread counts".to_string());
+            return violations;
+        }
+        for &t in &current.threads {
+            if !self.threads.contains(&t) {
+                violations.push(format!(
+                    "thread count {t} not in the baseline grid {:?} \
+                     — regenerate with --write-baseline",
+                    self.threads
+                ));
+                continue;
+            }
+            let mut interp = 0.0f64;
+            let mut plan = 0.0f64;
+            let mut cells = 0usize;
+            for &n in &self.sizes {
+                let Some(cur) = current.entries.iter().find(|e| e.n == n && e.threads == t) else {
+                    violations.push(format!("cell n={n} threads={t} missing from this run"));
+                    continue;
+                };
+                if !cur.identical {
+                    violations.push(format!(
+                        "cell n={n} threads={t}: plan diverged from the interpreter \
+                         — bit-identity broken"
+                    ));
+                }
+                interp += cur.interp_wall;
+                plan += cur.plan_wall;
+                cells += 1;
+            }
+            if cells == self.sizes.len() && plan > 0.0 {
+                let speedup = interp / plan;
+                if speedup < WALLBENCH_MIN_SPEEDUP {
+                    violations.push(format!(
+                        "threads={t}: suite speedup {speedup:.2}x below the \
+                         {WALLBENCH_MIN_SPEEDUP:.1}x floor \
+                         (interp {interp:.3}s / plan {plan:.3}s)"
+                    ));
+                }
+            }
+        }
+        violations
+    }
+}
+
 /// Minimum modeled-cycle reduction the chip-aware layout must deliver
 /// on ≥4-chip configurations (the multi-IPU tentpole's headline claim).
 pub const MULTI_IPU_MIN_IMPROVEMENT: f64 = 0.20;
@@ -670,6 +806,111 @@ mod tests {
         assert_eq!(back.exact, 21);
         assert_eq!(back.p99_latency_cycles, 900_000);
         assert!(b.compare(&back, CYCLE_TOLERANCE).is_empty());
+    }
+
+    fn wall_entry(n: usize, threads: usize, interp: f64, plan: f64) -> WallbenchEntry {
+        WallbenchEntry {
+            n,
+            threads,
+            interp_wall: interp,
+            plan_wall: plan,
+            speedup: interp / plan,
+            identical: true,
+        }
+    }
+
+    fn wall_base() -> WallbenchBaseline {
+        WallbenchBaseline {
+            sizes: vec![128, 512],
+            threads: vec![1, 8],
+            k: 10,
+            seed: 42,
+            entries: vec![
+                wall_entry(128, 1, 0.05, 0.02),
+                wall_entry(512, 1, 2.5, 1.0),
+                wall_entry(128, 8, 0.05, 0.02),
+                wall_entry(512, 8, 2.3, 0.9),
+            ],
+        }
+    }
+
+    #[test]
+    fn wallbench_identical_runs_pass() {
+        let b = wall_base();
+        assert!(b.compare(&b.clone()).is_empty());
+    }
+
+    #[test]
+    fn wallbench_subset_of_thread_counts_passes() {
+        let base = wall_base();
+        let mut cur = wall_base();
+        cur.threads = vec![8];
+        cur.entries.retain(|e| e.threads == 8);
+        assert!(base.compare(&cur).is_empty());
+    }
+
+    #[test]
+    fn wallbench_slow_suite_and_divergence_fail() {
+        let base = wall_base();
+
+        // The aggregate is what gates: a weak small cell is carried by a
+        // strong large one (2.55 / 1.22 > 2x here)...
+        let mut ok = wall_base();
+        ok.entries[0] = wall_entry(128, 1, 0.05, 0.04);
+        assert!(base.compare(&ok).is_empty());
+
+        // ...but a slow large cell sinks the thread count's aggregate.
+        let mut bad = wall_base();
+        bad.entries[1] = wall_entry(512, 1, 2.5, 1.5);
+        let v = base.compare(&bad);
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].contains("threads=1") && v[0].contains("floor"),
+            "{v:?}"
+        );
+
+        let mut diverged = wall_base();
+        diverged.entries[3].identical = false;
+        let v = base.compare(&diverged);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bit-identity"), "{v:?}");
+    }
+
+    #[test]
+    fn wallbench_grid_mismatch_and_missing_cell_fail() {
+        let base = wall_base();
+
+        let mut reseeded = wall_base();
+        reseeded.seed = 7;
+        let v = base.compare(&reseeded);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("grid mismatch"), "{v:?}");
+
+        let mut unknown_threads = wall_base();
+        unknown_threads.threads = vec![4];
+        unknown_threads.entries = vec![wall_entry(128, 4, 0.05, 0.02)];
+        let v = base.compare(&unknown_threads);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("not in the baseline grid"), "{v:?}");
+
+        let mut missing = wall_base();
+        missing.entries.remove(1);
+        let v = base.compare(&missing);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"), "{v:?}");
+    }
+
+    #[test]
+    fn wallbench_roundtrips_through_disk() {
+        let b = wall_base();
+        let dir = std::env::temp_dir().join("bench-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_wallbench.json");
+        b.save(&path).unwrap();
+        let back = WallbenchBaseline::load(&path).unwrap();
+        assert_eq!(back.entries.len(), 4);
+        assert!(back.entries[0].identical);
+        assert!(b.compare(&back).is_empty());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! fragment over the static graph.
 
 use crate::build::Builder;
+use ipu_sim::kernels;
 use ipu_sim::poplib::{reduce_columns_mirrored, reduce_columns_mirrored_hier, ReduceOp};
 use ipu_sim::{cost, Access, GraphError, Program};
 
@@ -30,7 +31,7 @@ impl Builder {
                     .g
                     .add_vertex_on_thread(cs_seg, tile, s, "rowmin", |ctx| {
                         let seg = ctx.f32(0);
-                        ctx.f32_mut(1)[0] = seg.iter().copied().fold(f32::INFINITY, f32::min);
+                        ctx.f32_mut(1)[0] = kernels::min_f32(&seg);
                         cost::f32_scan(seg.len())
                     })?;
                 self.g
@@ -48,7 +49,7 @@ impl Builder {
             let tile = l.tile_of_row(row);
             let v = self.g.add_vertex(cs_comb, tile, "rowmin.combine", |ctx| {
                 let mins = ctx.f32(0);
-                ctx.f32_mut(1)[0] = mins.iter().copied().fold(f32::INFINITY, f32::min);
+                ctx.f32_mut(1)[0] = kernels::min_f32(&mins);
                 cost::f32_scan(mins.len())
             })?;
             self.g
@@ -65,9 +66,7 @@ impl Builder {
                     .add_vertex_on_thread(cs_sub, tile, s, "rowsub", |ctx| {
                         let m = ctx.f32(0)[0];
                         let mut seg = ctx.f32_mut(1);
-                        for x in seg.iter_mut() {
-                            *x -= m;
-                        }
+                        kernels::sub_scalar(&mut seg, m);
                         cost::f32_update(seg.len())
                     })?;
                 self.g.connect(v, t_u.element(row), Access::Read)?;
@@ -104,9 +103,7 @@ impl Builder {
                     .add_vertex_on_thread(cs_csub, tile, s, "colsub", |ctx| {
                         let mins = ctx.f32(0);
                         let mut seg = ctx.f32_mut(1);
-                        for (x, m) in seg.iter_mut().zip(mins.iter()) {
-                            *x -= m;
-                        }
+                        kernels::sub_elementwise(&mut seg, &mins);
                         cost::f32_update(seg.len())
                     })?;
                 let cols = l.seg_cols(s);
@@ -167,12 +164,19 @@ impl Builder {
                     .add_vertex_on_thread(cs, tile, s, "compress", move |ctx| {
                         let slack = ctx.f32(0);
                         let mut comp = ctx.i32_mut(1);
+                        // Branchless compaction: store the candidate
+                        // unconditionally, advance the cursor only on a
+                        // zero. A non-zero's store lands at the same
+                        // cursor and is overwritten by the next candidate
+                        // (or the -1 fill), so the result is identical to
+                        // the branchy loop — without the data-dependent
+                        // branch that dominates this, the hottest codelet
+                        // of the whole solve.
+                        let comp = &mut comp[..slack.len()];
                         let mut k = 0;
                         for (off, &x) in slack.iter().enumerate() {
-                            if x == 0.0 {
-                                comp[k] = col0 + off as i32;
-                                k += 1;
-                            }
+                            comp[k] = col0 + off as i32;
+                            k += (x == 0.0) as usize;
                         }
                         for c in comp[k..].iter_mut() {
                             *c = -1;
@@ -866,13 +870,7 @@ impl Builder {
                         } else {
                             let slack = ctx.f32(1);
                             let ccm = ctx.i32(2);
-                            let mut m = f32::INFINITY;
-                            for (off, &x) in slack.iter().enumerate() {
-                                if ccm[c0 + off] == 0 {
-                                    m = m.min(x);
-                                }
-                            }
-                            m
+                            kernels::masked_min_where_zero(&slack, &ccm[c0..])
                         };
                         ctx.f32_mut(3)[0] = out;
                         cost::f32_scan(ctx.f32(1).len()) + cost::scalar(2)
@@ -917,17 +915,9 @@ impl Builder {
                         let ccm = ctx.i32(2);
                         let mut slack = ctx.f32_mut(3);
                         if covered {
-                            for (off, x) in slack.iter_mut().enumerate() {
-                                if ccm[c0 + off] != 0 {
-                                    *x += delta;
-                                }
-                            }
+                            kernels::add_where_nonzero(&mut slack, &ccm[c0..], delta);
                         } else {
-                            for (off, x) in slack.iter_mut().enumerate() {
-                                if ccm[c0 + off] == 0 {
-                                    *x -= delta;
-                                }
-                            }
+                            kernels::sub_where_zero(&mut slack, &ccm[c0..], delta);
                         }
                         cost::f32_update(slack.len())
                     })?;
@@ -955,11 +945,7 @@ impl Builder {
                 let delta = ctx.f32(0)[0];
                 let cov = ctx.i32(1);
                 let mut pot = ctx.f32_mut(2);
-                for (p, &c) in pot.iter_mut().zip(cov.iter()) {
-                    if c != 0 {
-                        *p -= delta;
-                    }
-                }
+                kernels::sub_where_nonzero(&mut pot, &cov, delta);
                 cost::f32_update(pot.len())
             })?;
             self.g.connect(v, t_dm.whole(), Access::Read)?;

@@ -32,23 +32,35 @@ pub type Codelet = dyn Fn(&VertexCtx) -> u64 + Send + Sync;
 /// held simultaneously. Checking out a field with the wrong type or
 /// access panics — these are programming errors in the codelet, not data-
 /// dependent conditions.
-pub struct VertexCtx<'a> {
-    fields: Vec<RefCell<FieldBuf<'a>>>,
+///
+/// The context *borrows* its field cells rather than owning them: the
+/// engine pre-resolves every vertex's fields into a per-run cell arena
+/// (the lowered execution path) or a short-lived `Vec` (the interpreted
+/// path), so building a context is just taking a slice of that arena —
+/// no allocation, no per-vertex setup. The cells hold raw pointer/length
+/// pairs; the typed slice views are materialized inside the accessors,
+/// under the engine's aliasing contract (see `exec_vertex` in
+/// `engine.rs`).
+pub struct VertexCtx<'s> {
+    fields: &'s [RefCell<FieldBuf>],
 }
 
-/// One resolved field buffer.
-pub(crate) enum FieldBuf<'a> {
-    F32(&'a [f32]),
-    F32Mut(&'a mut [f32]),
-    I32(&'a [i32]),
-    I32Mut(&'a mut [i32]),
+/// One resolved field: a raw base pointer and length. Plain data (no
+/// borrow), so arenas of these can be built once per run and reused for
+/// every superstep; the `RefCell` around each cell still enforces the
+/// per-vertex dynamic borrow rules (one writer *or* many readers per
+/// field).
+#[derive(Clone, Copy)]
+pub(crate) enum FieldBuf {
+    F32 { ptr: *const f32, len: u32 },
+    F32Mut { ptr: *mut f32, len: u32 },
+    I32 { ptr: *const i32, len: u32 },
+    I32Mut { ptr: *mut i32, len: u32 },
 }
 
-impl<'a> VertexCtx<'a> {
-    pub(crate) fn new(fields: Vec<FieldBuf<'a>>) -> Self {
-        Self {
-            fields: fields.into_iter().map(RefCell::new).collect(),
-        }
+impl<'s> VertexCtx<'s> {
+    pub(crate) fn new(fields: &'s [RefCell<FieldBuf>]) -> Self {
+        Self { fields }
     }
 
     /// Number of connected fields.
@@ -58,9 +70,15 @@ impl<'a> VertexCtx<'a> {
 
     /// Read-only view of f32 field `i` (also accepts a writable field).
     pub fn f32(&self, i: usize) -> Ref<'_, [f32]> {
-        Ref::map(self.fields[i].borrow(), |b| match b {
-            FieldBuf::F32(s) => *s,
-            FieldBuf::F32Mut(s) => &**s,
+        Ref::map(self.fields[i].borrow(), |b| match *b {
+            // SAFETY: the engine resolved `ptr`/`len` from an in-bounds
+            // tensor slice, the buffers outlive every context, and the
+            // compile-time race validation plus this cell's borrow flag
+            // rule out a live mutable alias.
+            FieldBuf::F32 { ptr, len } => unsafe { std::slice::from_raw_parts(ptr, len as usize) },
+            FieldBuf::F32Mut { ptr, len } => unsafe {
+                std::slice::from_raw_parts(ptr as *const f32, len as usize)
+            },
             _ => panic!("field {i} is not f32"),
         })
     }
@@ -68,18 +86,25 @@ impl<'a> VertexCtx<'a> {
     /// Mutable view of f32 field `i`; panics if the field was connected
     /// read-only.
     pub fn f32_mut(&self, i: usize) -> RefMut<'_, [f32]> {
-        RefMut::map(self.fields[i].borrow_mut(), |b| match b {
-            FieldBuf::F32Mut(s) => &mut **s,
-            FieldBuf::F32(_) => panic!("field {i} was connected read-only"),
+        RefMut::map(self.fields[i].borrow_mut(), |b| match *b {
+            // SAFETY: as `f32`; the exclusive borrow of this cell makes
+            // the mutable view unique.
+            FieldBuf::F32Mut { ptr, len } => unsafe {
+                std::slice::from_raw_parts_mut(ptr, len as usize)
+            },
+            FieldBuf::F32 { .. } => panic!("field {i} was connected read-only"),
             _ => panic!("field {i} is not f32"),
         })
     }
 
     /// Read-only view of i32 field `i` (also accepts a writable field).
     pub fn i32(&self, i: usize) -> Ref<'_, [i32]> {
-        Ref::map(self.fields[i].borrow(), |b| match b {
-            FieldBuf::I32(s) => *s,
-            FieldBuf::I32Mut(s) => &**s,
+        Ref::map(self.fields[i].borrow(), |b| match *b {
+            // SAFETY: as `f32`.
+            FieldBuf::I32 { ptr, len } => unsafe { std::slice::from_raw_parts(ptr, len as usize) },
+            FieldBuf::I32Mut { ptr, len } => unsafe {
+                std::slice::from_raw_parts(ptr as *const i32, len as usize)
+            },
             _ => panic!("field {i} is not i32"),
         })
     }
@@ -87,9 +112,12 @@ impl<'a> VertexCtx<'a> {
     /// Mutable view of i32 field `i`; panics if the field was connected
     /// read-only.
     pub fn i32_mut(&self, i: usize) -> RefMut<'_, [i32]> {
-        RefMut::map(self.fields[i].borrow_mut(), |b| match b {
-            FieldBuf::I32Mut(s) => &mut **s,
-            FieldBuf::I32(_) => panic!("field {i} was connected read-only"),
+        RefMut::map(self.fields[i].borrow_mut(), |b| match *b {
+            // SAFETY: as `f32_mut`.
+            FieldBuf::I32Mut { ptr, len } => unsafe {
+                std::slice::from_raw_parts_mut(ptr, len as usize)
+            },
+            FieldBuf::I32 { .. } => panic!("field {i} was connected read-only"),
             _ => panic!("field {i} is not i32"),
         })
     }
@@ -151,22 +179,32 @@ pub mod cost {
 mod tests {
     use super::*;
 
-    fn ctx_with<'a>(f: &'a mut [f32], i: &'a mut [i32]) -> VertexCtx<'a> {
-        VertexCtx::new(vec![FieldBuf::F32Mut(f), FieldBuf::I32Mut(i)])
+    fn cells_with(f: &mut [f32], i: &mut [i32]) -> Vec<RefCell<FieldBuf>> {
+        vec![
+            RefCell::new(FieldBuf::F32Mut {
+                ptr: f.as_mut_ptr(),
+                len: f.len() as u32,
+            }),
+            RefCell::new(FieldBuf::I32Mut {
+                ptr: i.as_mut_ptr(),
+                len: i.len() as u32,
+            }),
+        ]
     }
 
     #[test]
     fn simultaneous_distinct_fields() {
         let mut f = [1.0_f32, 2.0];
         let mut i = [0_i32; 2];
-        let ctx = ctx_with(&mut f, &mut i);
+        let cells = cells_with(&mut f, &mut i);
+        let ctx = VertexCtx::new(&cells);
         let src = ctx.f32(0);
         let mut dst = ctx.i32_mut(1);
         for (d, s) in dst.iter_mut().zip(src.iter()) {
             *d = *s as i32;
         }
         drop((src, dst));
-        drop(ctx);
+        drop(cells);
         assert_eq!(i, [1, 2]);
     }
 
@@ -174,7 +212,8 @@ mod tests {
     fn mutable_field_readable() {
         let mut f = [3.0_f32];
         let mut i = [0_i32];
-        let ctx = ctx_with(&mut f, &mut i);
+        let cells = cells_with(&mut f, &mut i);
+        let ctx = VertexCtx::new(&cells);
         assert_eq!(ctx.f32(0)[0], 3.0);
     }
 
@@ -182,7 +221,11 @@ mod tests {
     #[should_panic(expected = "read-only")]
     fn readonly_field_rejects_mut() {
         let f = [1.0_f32];
-        let ctx = VertexCtx::new(vec![FieldBuf::F32(&f)]);
+        let cells = vec![RefCell::new(FieldBuf::F32 {
+            ptr: f.as_ptr(),
+            len: 1,
+        })];
+        let ctx = VertexCtx::new(&cells);
         let _ = ctx.f32_mut(0);
     }
 
@@ -190,7 +233,11 @@ mod tests {
     #[should_panic(expected = "not f32")]
     fn wrong_dtype_panics() {
         let i = [1_i32];
-        let ctx = VertexCtx::new(vec![FieldBuf::I32(&i)]);
+        let cells = vec![RefCell::new(FieldBuf::I32 {
+            ptr: i.as_ptr(),
+            len: 1,
+        })];
+        let ctx = VertexCtx::new(&cells);
         let _ = ctx.f32(0);
     }
 
@@ -199,7 +246,8 @@ mod tests {
     fn double_mutable_checkout_panics() {
         let mut f = [1.0_f32];
         let mut i = [0_i32];
-        let ctx = ctx_with(&mut f, &mut i);
+        let cells = cells_with(&mut f, &mut i);
+        let ctx = VertexCtx::new(&cells);
         let _a = ctx.f32_mut(0);
         let _b = ctx.f32_mut(0);
     }

@@ -2,6 +2,27 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which host execution strategy an engine uses for compiled programs.
+///
+/// Both strategies honor the same contract: buffers, [`crate::CycleStats`],
+/// [`crate::FaultStats`], and profiles are bit-identical between them and
+/// at every host thread count — the mode affects **host wall-clock only**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Use the `SIM_EXEC` environment variable if set
+    /// (`plan`/`interp`/`interpreted`), else the lowered plan.
+    #[default]
+    Auto,
+    /// Pre-resolved straight-line execution plan: monomorphized vertex
+    /// tables, pre-sliced buffer views, flattened exchange copy lists,
+    /// fused multi-superstep worker dispatch (the fast path).
+    Plan,
+    /// Walk the lowered program tree and re-derive vertex state each
+    /// superstep (the reference path the plan is differentially tested
+    /// against).
+    Interpreted,
+}
+
 /// Hardware parameters of the simulated IPU.
 ///
 /// Defaults model the Colossus Mk2 GC200 used by the paper (§III, §V).
@@ -61,6 +82,18 @@ pub struct IpuConfig {
     /// cycle chip-wide (PCIe share; see `calibration`).
     #[serde(default = "default_host_io_bytes_per_cycle")]
     pub host_io_bytes_per_cycle: f64,
+    /// Host execution strategy ([`ExecMode`]). Affects wall-clock only;
+    /// results are bit-identical between modes.
+    #[serde(default)]
+    pub exec_mode: ExecMode,
+    /// Minimum vertex count at which a superstep (or fused run of
+    /// supersteps) is dispatched to the worker pool instead of executed on
+    /// the main thread. `0` (the default) means: use the
+    /// `SIM_PARALLEL_THRESHOLD` environment variable if set, else the
+    /// tuned built-in default. Wall-clock only — dispatch choice never
+    /// affects results.
+    #[serde(default)]
+    pub parallel_threshold: usize,
 }
 
 fn default_program_load_base_cycles() -> u64 {
@@ -90,6 +123,8 @@ impl IpuConfig {
             host_threads: 0,
             program_load_base_cycles: crate::calibration::PROGRAM_LOAD_BASE_CYCLES,
             host_io_bytes_per_cycle: crate::calibration::HOST_IO_BYTES_PER_CYCLE,
+            exec_mode: ExecMode::Auto,
+            parallel_threshold: 0,
         }
     }
 
@@ -198,6 +233,22 @@ impl IpuConfig {
     /// Useful for recording provenance next to wall-clock measurements.
     pub fn resolved_host_threads(&self) -> usize {
         crate::engine::resolve_host_threads(self)
+    }
+
+    /// The pool-dispatch vertex threshold an engine built from this config
+    /// will use: [`parallel_threshold`](Self::parallel_threshold) if
+    /// nonzero, else the `SIM_PARALLEL_THRESHOLD` environment variable,
+    /// else the tuned built-in default.
+    pub fn resolved_parallel_threshold(&self) -> usize {
+        crate::engine::resolve_parallel_threshold(self)
+    }
+
+    /// The execution mode an engine built from this config will start in:
+    /// [`exec_mode`](Self::exec_mode) if not `Auto`, else the `SIM_EXEC`
+    /// environment variable (`interp`/`interpreted` select the tree
+    /// walker), else [`ExecMode::Plan`]. Never returns `Auto`.
+    pub fn resolved_exec_mode(&self) -> ExecMode {
+        crate::engine::resolve_exec_mode(self)
     }
 }
 

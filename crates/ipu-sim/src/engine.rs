@@ -15,24 +15,31 @@
 
 use crate::calibration::{self, VERTEX_OVERHEAD};
 use crate::codelet::{FieldBuf, VertexCtx};
-use crate::config::IpuConfig;
+use crate::config::{ExecMode, IpuConfig};
 use crate::error::GraphError;
 use crate::exec::{self, ExecNode};
 use crate::fault::{FaultPlan, FaultState};
 use crate::graph::{Graph, VertexInfo};
+use crate::plan::{self, CopySeg, ExecPlan, PlanOp, PlanShared, PlanVertex};
 use crate::pool::{PoolSync, ShutdownGuard};
 use crate::profile::{ProfileConfig, ProfileReport, Profiler, BROADCAST_TILE};
 use crate::program::Program;
 use crate::stats::{CycleStats, StepBreakdown};
 use crate::tensor::{DType, Tensor, TensorSlice};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
-/// Default minimum vertices in a compute set before a superstep is worth
-/// dispatching to the worker pool (below this, pool handoff latency beats
-/// the win; override per engine with [`Engine::set_parallel_threshold`]).
-const PARALLEL_THRESHOLD: usize = 128;
+/// Default minimum vertices in a compute set (or fused plan run) before
+/// a superstep is worth dispatching to the worker pool — below this,
+/// pool handoff latency beats the win. Re-tuned for the lowered
+/// execution plan: with per-vertex setup gone, a vertex costs tens of
+/// nanoseconds, so dispatch only pays once a run carries thousands of
+/// them (measured on the wallbench suite: 128 made 8 host threads
+/// *slower* than one; 8192 is the crossover neighbourhood). Override
+/// with `IpuConfig::parallel_threshold` or `SIM_PARALLEL_THRESHOLD`.
+const PARALLEL_THRESHOLD: usize = 8192;
 
 /// Hard cap on host worker lanes (shard bookkeeping stays negligible).
 const MAX_HOST_THREADS: usize = 64;
@@ -74,7 +81,7 @@ enum RawBuf {
 /// [`Engine::restore`]. All post-construction buffer mutation (host
 /// writes, exchanges, bit flips, vertex fields) goes through this view, so
 /// the pointers stay valid for the engine's whole lifetime.
-struct RawBufs(Vec<RawBuf>);
+pub(crate) struct RawBufs(Vec<RawBuf>);
 
 // SAFETY: the pointers target heap allocations owned by the engine's
 // `buffers`, which outlive every view and are not reallocated while views
@@ -102,6 +109,16 @@ impl RawBufs {
     fn tensor_len(&self, id: usize) -> usize {
         match self.0[id] {
             RawBuf::F32(_, n) | RawBuf::I32(_, n) => n,
+        }
+    }
+
+    /// Base pointer, element count, and dtype of one tensor buffer — the
+    /// execution-plan builder resolves field views against this once at
+    /// compile instead of re-deriving them per vertex per superstep.
+    pub(crate) fn raw_parts(&self, id: usize) -> (*mut u8, usize, DType) {
+        match self.0[id] {
+            RawBuf::F32(p, n) => (p.cast(), n, DType::F32),
+            RawBuf::I32(p, n) => (p.cast(), n, DType::I32),
         }
     }
 
@@ -238,11 +255,15 @@ struct InjectedFaults {
     bit_flips: u64,
 }
 
-/// One worker lane's result slot for the current superstep.
+/// One worker lane's result slot for the current job.
 #[derive(Default)]
 struct ShardSlot {
     /// `(slot, instructions)` per executed vertex, in shard order.
     loads: Vec<(u32, u64)>,
+    /// End offsets into `loads` per superstep of a fused run (plan
+    /// execution only; the interpreted path dispatches one step per job
+    /// and ignores this).
+    groups: Vec<u32>,
     /// Payload of a codelet panic, re-raised by the main thread.
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
@@ -265,6 +286,11 @@ pub struct Engine {
     buffers: Vec<Buffer>,
     raw: RawBufs,
     program: ExecNode,
+    /// The straight-line lowering of `program`, built once at compile
+    /// (see `plan.rs`); the default execution path.
+    plan: ExecPlan,
+    /// Resolved execution path for subsequent runs (never `Auto`).
+    exec_mode: ExecMode,
     st: RunState,
     /// Modeled one-time cost of loading this program onto the device,
     /// fixed at compile time (see [`Engine::program_load_cycles`]).
@@ -368,31 +394,55 @@ unsafe fn exec_vertex(v: &VertexInfo, raw: &RawBufs) -> u64 {
         let field = match (raw.0[slice.tensor.id], access.is_exclusive()) {
             (RawBuf::F32(p, len), true) => {
                 debug_assert!(slice.end <= len);
-                FieldBuf::F32Mut(std::slice::from_raw_parts_mut(
-                    p.add(slice.start),
-                    slice.len(),
-                ))
+                FieldBuf::F32Mut {
+                    ptr: p.add(slice.start),
+                    len: slice.len() as u32,
+                }
             }
             (RawBuf::F32(p, len), false) => {
                 debug_assert!(slice.end <= len);
-                FieldBuf::F32(std::slice::from_raw_parts(p.add(slice.start), slice.len()))
+                FieldBuf::F32 {
+                    ptr: p.add(slice.start),
+                    len: slice.len() as u32,
+                }
             }
             (RawBuf::I32(p, len), true) => {
                 debug_assert!(slice.end <= len);
-                FieldBuf::I32Mut(std::slice::from_raw_parts_mut(
-                    p.add(slice.start),
-                    slice.len(),
-                ))
+                FieldBuf::I32Mut {
+                    ptr: p.add(slice.start),
+                    len: slice.len() as u32,
+                }
             }
             (RawBuf::I32(p, len), false) => {
                 debug_assert!(slice.end <= len);
-                FieldBuf::I32(std::slice::from_raw_parts(p.add(slice.start), slice.len()))
+                FieldBuf::I32 {
+                    ptr: p.add(slice.start),
+                    len: slice.len() as u32,
+                }
             }
         };
-        fields.push(field);
+        fields.push(RefCell::new(field));
     }
-    let ctx = VertexCtx::new(fields);
+    let ctx = VertexCtx::new(&fields);
     (v.codelet)(&ctx) + VERTEX_OVERHEAD
+}
+
+/// Executes one plan vertex against its slice of the pre-built cell
+/// arena (see [`PlanShared::cell_arena`]) — no per-vertex setup at all,
+/// just an index into the arena and the codelet call.
+///
+/// # Safety
+/// Same contract as [`exec_vertex`] — the plan's field pointers target
+/// the same buffers and were bounds-validated at build — plus: `cells`
+/// must have been built (or rebuilt) from the plan's *current* field
+/// pointers, i.e. after any `Engine::restore` rebind. The cells hold
+/// plain pointer/length data between calls; typed views only exist
+/// inside the codelet and are gone when it returns or unwinds (the
+/// `Ref`/`RefMut` guards restore the borrow flags either way).
+unsafe fn exec_plan_vertex(graph: &Graph, pv: &PlanVertex, cells: &[RefCell<FieldBuf>]) -> u64 {
+    let lo = pv.field_start as usize;
+    let ctx = VertexCtx::new(&cells[lo..lo + pv.field_count as usize]);
+    (graph.vertices[pv.vid as usize].codelet)(&ctx) + VERTEX_OVERHEAD
 }
 
 /// Executes lane `lane` of compute set `cs`, appending `(slot, load)`
@@ -418,7 +468,7 @@ fn run_shard(sh: &Shared, raw: &RawBufs, cs: usize, lane: usize, out: &mut Vec<(
 fn worker_loop(sh: &Shared, raw: &RawBufs, sync: &PoolSync, slot: &Mutex<ShardSlot>, lane: usize) {
     let mut seen = 0u64;
     let mut out: Vec<(u32, u64)> = Vec::new();
-    while let Some(cs) = sync.next_job(&mut seen) {
+    while let Some((cs, _)) = sync.next_job(&mut seen) {
         out.clear();
         let result = catch_unwind(AssertUnwindSafe(|| run_shard(sh, raw, cs, lane, &mut out)));
         {
@@ -429,6 +479,61 @@ fn worker_loop(sh: &Shared, raw: &RawBufs, sync: &PoolSync, slot: &Mutex<ShardSl
                 // Swap, not copy: the allocations ping-pong between the
                 // worker and its slot across supersteps.
                 Ok(()) => std::mem::swap(&mut s.loads, &mut out),
+                Err(payload) => s.panic = Some(payload),
+            }
+        }
+        sync.finish_job();
+    }
+}
+
+/// One plan-execution pool worker: waits for fused-run jobs
+/// (`(first step, step count)` into the plan's step sequence), executes
+/// its tile shard of **every** step of the run back-to-back with no
+/// intermediate barrier (Parendi-style partition persistence — the lane
+/// owns its tiles for the whole run), then publishes per-step load groups.
+fn plan_worker_loop(
+    graph: &Graph,
+    plan: &PlanShared,
+    sync: &PoolSync,
+    slot: &Mutex<ShardSlot>,
+    lane: usize,
+) {
+    let mut seen = 0u64;
+    let mut out: Vec<(u32, u64)> = Vec::new();
+    let mut groups: Vec<u32> = Vec::new();
+    // Lane-local cell arena, built once for the pool's lifetime: the pool
+    // is scoped to a single `run`, and field pointers can only be rebound
+    // (`Engine::restore`) between runs.
+    let cells = plan.cell_arena();
+    while let Some((first, count)) = sync.next_job(&mut seen) {
+        out.clear();
+        groups.clear();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for j in 0..count {
+                let step = &plan.steps[plan.step_seq[first + j] as usize];
+                let lo = step.bounds[lane] as usize;
+                let hi = step.bounds[lane + 1] as usize;
+                for pv in &step.verts[lo..hi] {
+                    // SAFETY: see `exec_plan_vertex` and the fused-run
+                    // race argument in `plan.rs` — the tile→lane
+                    // partition is global, so across the whole run this
+                    // lane only touches memory owned by its tiles (plus
+                    // replicated read-only data no step of a run writes).
+                    let load = unsafe { exec_plan_vertex(graph, pv, &cells) };
+                    out.push((pv.slot, load));
+                }
+                groups.push(out.len() as u32);
+            }
+        }));
+        {
+            let mut s = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match result {
+                Ok(()) => {
+                    std::mem::swap(&mut s.loads, &mut out);
+                    std::mem::swap(&mut s.groups, &mut groups);
+                }
                 Err(payload) => s.panic = Some(payload),
             }
         }
@@ -575,7 +680,7 @@ impl ExecCtx<'_> {
         let mut dispatched = false;
         if let Some(pool) = self.pool {
             if vertices.len() >= self.sh.parallel_threshold {
-                pool.sync.run_superstep(cs, self.sh.workers);
+                pool.sync.run_job((cs, 0), self.sh.workers);
                 // Merge in lane order. Order is irrelevant to the result
                 // (per-slot u64 sums commute; the reduction below is a
                 // max), but a fixed order keeps panic propagation
@@ -612,139 +717,7 @@ impl ExecCtx<'_> {
                 self.st.thread_load[slot] += instructions;
             }
         }
-
-        // Profiling first, while loads are still live: per-tile barrel
-        // cost and thread occupancy. `touched_slots` arrives in a
-        // thread-count-dependent order (lane merge vs. program order), so
-        // sort — the reduction below is order-independent either way, but
-        // the recorded detail must be bit-identical at any thread count.
-        let tile_detail: Option<Vec<(u32, u64, u32)>> = self.st.profiler.is_some().then(|| {
-            self.st.touched_slots.sort_unstable();
-            let mut detail: Vec<(u32, u64, u32)> = Vec::new();
-            let mut prev_slot = u32::MAX;
-            for &slot in &self.st.touched_slots {
-                if slot == prev_slot {
-                    continue; // zero-load slots can be pushed twice
-                }
-                prev_slot = slot;
-                let tile = slot / tpt as u32;
-                let load = self.st.thread_load[slot as usize];
-                match detail.last_mut() {
-                    Some(d) if d.0 == tile => {
-                        d.1 = d.1.max(load);
-                        d.2 += 1;
-                    }
-                    _ => detail.push((tile, load, 1)),
-                }
-            }
-            for d in &mut detail {
-                d.1 *= tpt as u64;
-            }
-            detail
-        });
-
-        // Tile cost: the barrel scheduler rotates over all `tpt` thread
-        // slots, so a tile finishes after `tpt * max_thread(instructions)`
-        // cycles; the superstep lasts as long as the slowest tile (C3).
-        // The chip-wide max over tiles equals `tpt *` the max over all
-        // touched slots.
-        let mut worst = 0u64;
-        for &slot in &self.st.touched_slots {
-            worst = worst.max(self.st.thread_load[slot as usize]);
-            self.st.thread_load[slot as usize] = 0;
-        }
-        let superstep = worst * tpt as u64;
-        self.st.stats.compute_cycles += superstep;
-        self.st.stats.sync_cycles += self.sh.graph.config.sync_cycles;
-        self.st.stats.supersteps += 1;
-        let b = &mut self.st.stats.per_compute_set[cs];
-        b.executions += 1;
-        b.compute_cycles += superstep;
-        let injected = if self.st.faults.is_some() {
-            self.inject_superstep_faults(cs, superstep)
-        } else {
-            InjectedFaults::default()
-        };
-        if let Some(detail) = tile_detail {
-            let sync = self.sh.graph.config.sync_cycles;
-            let p = self.st.profiler.as_mut().expect("profiler checked above");
-            p.record_superstep(cs, &detail, sync, injected.straggler_extra);
-            if injected.straggler_extra > 0 {
-                p.record_fault("straggler", injected.straggler_extra);
-            }
-            if injected.bit_flips > 0 {
-                p.record_fault("bit_flip", injected.bit_flips);
-            }
-        }
-    }
-
-    /// Fault hook run after each superstep: straggler inflation and SRAM
-    /// bit flips (see [`FaultPlan`]). Always on the serial post-join path,
-    /// so the draw sequence is independent of the host thread count.
-    /// Returns what landed, for the profiler.
-    fn inject_superstep_faults(&mut self, cs: usize, superstep: u64) -> InjectedFaults {
-        let mut injected = InjectedFaults::default();
-        let st = &mut *self.st;
-        let Some(fs) = st.faults.as_mut() else {
-            return injected;
-        };
-        if !fs.armed(st.stats.supersteps) {
-            return injected;
-        }
-        if fs.plan.straggler_rate > 0.0 && fs.draw() < fs.plan.straggler_rate {
-            // The slowest tile ran `straggler_factor` times slower; under
-            // BSP the whole chip waits for it (C3).
-            let extra = (superstep as f64 * (fs.plan.straggler_factor - 1.0)).ceil() as u64;
-            st.stats.compute_cycles += extra;
-            st.stats.per_compute_set[cs].compute_cycles += extra;
-            st.stats.faults.stragglers += 1;
-            st.stats.faults.straggler_cycles += extra;
-            injected.straggler_extra = extra;
-        }
-        if fs.plan.bit_flip_rate > 0.0
-            && !fs.flip_targets.is_empty()
-            && fs.draw() < fs.plan.bit_flip_rate
-        {
-            let target = fs.draw_index(fs.flip_targets.len());
-            let tensor = fs.flip_targets[target];
-            let element = fs.draw_index(self.raw.tensor_len(tensor));
-            let bit = fs.draw_index(32);
-            // SAFETY: element in bounds; no vertex views alive between
-            // supersteps.
-            unsafe { self.raw.flip_bit(tensor, element, bit) };
-            self.st.stats.faults.bit_flips += 1;
-            injected.bit_flips += 1;
-        }
-        injected
-    }
-
-    /// Fault hook run after each exchange phase: corrupts one delivered
-    /// element of one destination slice.
-    fn inject_exchange_fault(&mut self, dsts: &[TensorSlice]) {
-        let st = &mut *self.st;
-        let Some(fs) = st.faults.as_mut() else {
-            return;
-        };
-        if fs.plan.exchange_rate == 0.0
-            || dsts.is_empty()
-            || !fs.armed(st.stats.supersteps)
-            || fs.draw() >= fs.plan.exchange_rate
-        {
-            return;
-        }
-        let slice = dsts[fs.draw_index(dsts.len())];
-        if slice.is_empty() {
-            return;
-        }
-        let element = slice.start + fs.draw_index(slice.len());
-        let bit = fs.draw_index(32);
-        // SAFETY: element in bounds of the destination tensor; no vertex
-        // views alive between supersteps.
-        unsafe { self.raw.flip_bit(slice.tensor.id, element, bit) };
-        self.st.stats.faults.exchange_corruptions += 1;
-        if let Some(p) = self.st.profiler.as_mut() {
-            p.record_fault("exchange_corruption", 1);
-        }
+        finish_superstep(self.sh, self.raw, self.st, cs);
     }
 
     /// Diagnostic label for a diverging loop: the name of the first
@@ -756,40 +729,12 @@ impl ExecCtx<'_> {
         }
     }
 
-    /// Moves data for one copy: `dst` receives `reps` repetitions of
-    /// `src` (1 for plain copies).
+    fn inject_exchange_fault(&mut self, dsts: &[TensorSlice]) {
+        inject_exchange_fault(self.raw, self.st, dsts);
+    }
+
     fn move_data(&mut self, src: &TensorSlice, dst: &TensorSlice, reps: usize) {
-        // Move the data through a temporary, which also handles
-        // broadcast replication. (Copies were validated non-overlapping.)
-        match src.tensor.dtype {
-            DType::F32 => {
-                let tmp = &mut self.st.scratch_f32;
-                tmp.clear();
-                // SAFETY: endpoints validated at compile (bounds, dtype,
-                // lengths); staging means source and destination views
-                // are never alive at once, and no vertex views exist
-                // between supersteps.
-                unsafe {
-                    tmp.extend_from_slice(self.raw.f32(src.tensor.id, src.start, src.len()));
-                    let out = self.raw.f32_mut(dst.tensor.id, dst.start, reps * tmp.len());
-                    for chunk in out.chunks_exact_mut(tmp.len()) {
-                        chunk.copy_from_slice(tmp);
-                    }
-                }
-            }
-            DType::I32 => {
-                let tmp = &mut self.st.scratch_i32;
-                tmp.clear();
-                // SAFETY: as the F32 arm.
-                unsafe {
-                    tmp.extend_from_slice(self.raw.i32(src.tensor.id, src.start, src.len()));
-                    let out = self.raw.i32_mut(dst.tensor.id, dst.start, reps * tmp.len());
-                    for chunk in out.chunks_exact_mut(tmp.len()) {
-                        chunk.copy_from_slice(tmp);
-                    }
-                }
-            }
-        }
+        move_data(self.raw, self.st, src, dst, reps);
     }
 
     /// Charges one exchange phase covering all `pairs`, memoized by the
@@ -817,6 +762,247 @@ impl ExecCtx<'_> {
     }
 }
 
+/// The shared superstep epilogue: converts the merged per-slot loads in
+/// `st.thread_load`/`st.touched_slots` into the modeled superstep cost,
+/// updates statistics, and runs the fault/profiler hooks. Both execution
+/// paths (interpreted and plan) funnel through here — one epilogue is the
+/// easiest bit-identity proof there is.
+///
+/// When neither a profiler nor faults are installed, the lean fast path
+/// skips every recording branch: the hot loop pays for instrumentation
+/// only when instrumentation is on.
+fn finish_superstep(sh: &Shared, raw: &RawBufs, st: &mut RunState, cs: usize) {
+    let tpt = sh.graph.config.threads_per_tile;
+    // Tile cost: the barrel scheduler rotates over all `tpt` thread
+    // slots, so a tile finishes after `tpt * max_thread(instructions)`
+    // cycles; the superstep lasts as long as the slowest tile (C3).
+    // The chip-wide max over tiles equals `tpt *` the max over all
+    // touched slots.
+    if st.profiler.is_none() && st.faults.is_none() {
+        let mut worst = 0u64;
+        for &slot in &st.touched_slots {
+            worst = worst.max(st.thread_load[slot as usize]);
+            st.thread_load[slot as usize] = 0;
+        }
+        let superstep = worst * tpt as u64;
+        st.stats.compute_cycles += superstep;
+        st.stats.sync_cycles += sh.graph.config.sync_cycles;
+        st.stats.supersteps += 1;
+        let b = &mut st.stats.per_compute_set[cs];
+        b.executions += 1;
+        b.compute_cycles += superstep;
+        return;
+    }
+
+    // Profiling first, while loads are still live: per-tile barrel
+    // cost and thread occupancy. `touched_slots` arrives in a
+    // thread-count-dependent order (lane merge vs. program order), so
+    // sort — the reduction below is order-independent either way, but
+    // the recorded detail must be bit-identical at any thread count.
+    let tile_detail: Option<Vec<(u32, u64, u32)>> = st.profiler.is_some().then(|| {
+        st.touched_slots.sort_unstable();
+        let mut detail: Vec<(u32, u64, u32)> = Vec::new();
+        let mut prev_slot = u32::MAX;
+        for &slot in &st.touched_slots {
+            if slot == prev_slot {
+                continue; // zero-load slots can be pushed twice
+            }
+            prev_slot = slot;
+            let tile = slot / tpt as u32;
+            let load = st.thread_load[slot as usize];
+            match detail.last_mut() {
+                Some(d) if d.0 == tile => {
+                    d.1 = d.1.max(load);
+                    d.2 += 1;
+                }
+                _ => detail.push((tile, load, 1)),
+            }
+        }
+        for d in &mut detail {
+            d.1 *= tpt as u64;
+        }
+        detail
+    });
+
+    let mut worst = 0u64;
+    for &slot in &st.touched_slots {
+        worst = worst.max(st.thread_load[slot as usize]);
+        st.thread_load[slot as usize] = 0;
+    }
+    let superstep = worst * tpt as u64;
+    st.stats.compute_cycles += superstep;
+    st.stats.sync_cycles += sh.graph.config.sync_cycles;
+    st.stats.supersteps += 1;
+    let b = &mut st.stats.per_compute_set[cs];
+    b.executions += 1;
+    b.compute_cycles += superstep;
+    let injected = if st.faults.is_some() {
+        inject_superstep_faults(raw, st, cs, superstep)
+    } else {
+        InjectedFaults::default()
+    };
+    if let Some(detail) = tile_detail {
+        let sync = sh.graph.config.sync_cycles;
+        let p = st.profiler.as_mut().expect("profiler checked above");
+        p.record_superstep(cs, &detail, sync, injected.straggler_extra);
+        if injected.straggler_extra > 0 {
+            p.record_fault("straggler", injected.straggler_extra);
+        }
+        if injected.bit_flips > 0 {
+            p.record_fault("bit_flip", injected.bit_flips);
+        }
+    }
+}
+
+/// Fault hook run after each superstep: straggler inflation and SRAM
+/// bit flips (see [`FaultPlan`]). Always on the serial post-join path,
+/// so the draw sequence is independent of the host thread count.
+/// Returns what landed, for the profiler.
+fn inject_superstep_faults(
+    raw: &RawBufs,
+    st: &mut RunState,
+    cs: usize,
+    superstep: u64,
+) -> InjectedFaults {
+    let mut injected = InjectedFaults::default();
+    let Some(fs) = st.faults.as_mut() else {
+        return injected;
+    };
+    if !fs.armed(st.stats.supersteps) {
+        return injected;
+    }
+    if fs.plan.straggler_rate > 0.0 && fs.draw() < fs.plan.straggler_rate {
+        // The slowest tile ran `straggler_factor` times slower; under
+        // BSP the whole chip waits for it (C3).
+        let extra = (superstep as f64 * (fs.plan.straggler_factor - 1.0)).ceil() as u64;
+        st.stats.compute_cycles += extra;
+        st.stats.per_compute_set[cs].compute_cycles += extra;
+        st.stats.faults.stragglers += 1;
+        st.stats.faults.straggler_cycles += extra;
+        injected.straggler_extra = extra;
+    }
+    if fs.plan.bit_flip_rate > 0.0
+        && !fs.flip_targets.is_empty()
+        && fs.draw() < fs.plan.bit_flip_rate
+    {
+        let target = fs.draw_index(fs.flip_targets.len());
+        let tensor = fs.flip_targets[target];
+        let element = fs.draw_index(raw.tensor_len(tensor));
+        let bit = fs.draw_index(32);
+        // SAFETY: element in bounds; no vertex views alive between
+        // supersteps.
+        unsafe { raw.flip_bit(tensor, element, bit) };
+        st.stats.faults.bit_flips += 1;
+        injected.bit_flips += 1;
+    }
+    injected
+}
+
+/// Fault hook run after each exchange phase: corrupts one delivered
+/// element of one destination slice.
+fn inject_exchange_fault(raw: &RawBufs, st: &mut RunState, dsts: &[TensorSlice]) {
+    let Some(fs) = st.faults.as_mut() else {
+        return;
+    };
+    if fs.plan.exchange_rate == 0.0
+        || dsts.is_empty()
+        || !fs.armed(st.stats.supersteps)
+        || fs.draw() >= fs.plan.exchange_rate
+    {
+        return;
+    }
+    let slice = dsts[fs.draw_index(dsts.len())];
+    if slice.is_empty() {
+        return;
+    }
+    let element = slice.start + fs.draw_index(slice.len());
+    let bit = fs.draw_index(32);
+    // SAFETY: element in bounds of the destination tensor; no vertex
+    // views alive between supersteps.
+    unsafe { raw.flip_bit(slice.tensor.id, element, bit) };
+    st.stats.faults.exchange_corruptions += 1;
+    if let Some(p) = st.profiler.as_mut() {
+        p.record_fault("exchange_corruption", 1);
+    }
+}
+
+/// Moves data for one copy: `dst` receives `reps` repetitions of `src`
+/// (1 for plain copies), staged through the run-state scratch buffers
+/// (which also handles broadcast replication and source/destination
+/// sharing a tensor).
+fn move_data(raw: &RawBufs, st: &mut RunState, src: &TensorSlice, dst: &TensorSlice, reps: usize) {
+    match src.tensor.dtype {
+        DType::F32 => {
+            let tmp = &mut st.scratch_f32;
+            tmp.clear();
+            // SAFETY: endpoints validated at compile (bounds, dtype,
+            // lengths); staging means source and destination views
+            // are never alive at once, and no vertex views exist
+            // between supersteps.
+            unsafe {
+                tmp.extend_from_slice(raw.f32(src.tensor.id, src.start, src.len()));
+                let out = raw.f32_mut(dst.tensor.id, dst.start, reps * tmp.len());
+                for chunk in out.chunks_exact_mut(tmp.len()) {
+                    chunk.copy_from_slice(tmp);
+                }
+            }
+        }
+        DType::I32 => {
+            let tmp = &mut st.scratch_i32;
+            tmp.clear();
+            // SAFETY: as the F32 arm.
+            unsafe {
+                tmp.extend_from_slice(raw.i32(src.tensor.id, src.start, src.len()));
+                let out = raw.i32_mut(dst.tensor.id, dst.start, reps * tmp.len());
+                for chunk in out.chunks_exact_mut(tmp.len()) {
+                    chunk.copy_from_slice(tmp);
+                }
+            }
+        }
+    }
+}
+
+/// Direct (unstaged) execution of one flattened copy segment:
+/// `memcpy`-style, no scratch round-trip. Only used when the builder
+/// proved source and destination disjoint (every overlapping shape except
+/// same-tensor broadcast was rejected at compile; that one case stays on
+/// the staged path).
+///
+/// # Safety
+/// No vertex views may be alive (copies run between supersteps), and the
+/// segment's endpoints were bounds/dtype-validated at compile.
+unsafe fn direct_copy(raw: &RawBufs, seg: &CopySeg) {
+    let (src, dst, reps) = (&seg.src, &seg.dst, seg.reps as usize);
+    match raw.0[src.tensor.id] {
+        RawBuf::F32(sp, sn) => {
+            let RawBuf::F32(dp, dn) = raw.0[dst.tensor.id] else {
+                unreachable!("dtype validated at compile");
+            };
+            let sl = src.len();
+            debug_assert!(src.end <= sn && dst.start + reps * sl <= dn);
+            let s = sp.add(src.start);
+            let mut d = dp.add(dst.start);
+            for _ in 0..reps {
+                std::ptr::copy_nonoverlapping(s, d, sl);
+                d = d.add(sl);
+            }
+        }
+        RawBuf::I32(sp, sn) => {
+            let RawBuf::I32(dp, dn) = raw.0[dst.tensor.id] else {
+                unreachable!("dtype validated at compile");
+            };
+            let sl = src.len();
+            debug_assert!(src.end <= sn && dst.start + reps * sl <= dn);
+            let s = sp.add(src.start);
+            let mut d = dp.add(dst.start);
+            for _ in 0..reps {
+                std::ptr::copy_nonoverlapping(s, d, sl);
+                d = d.add(sl);
+            }
+        }
+    }
+}
+
 /// Models the duration of one exchange phase covering all `pairs`.
 ///
 /// The phase duration is bounded by the busiest tile: bytes it sends
@@ -826,7 +1012,7 @@ impl ExecCtx<'_> {
 /// space (§III) but not one fabric. A broadcast source is charged
 /// once per receiving chip — the exchange is a per-tile wire every
 /// same-chip destination can listen to (multicast).
-fn exchange_cost(graph: &Graph, pairs: &[(TensorSlice, TensorSlice)]) -> u64 {
+pub(crate) fn exchange_cost(graph: &Graph, pairs: &[(TensorSlice, TensorSlice)]) -> u64 {
     let config = &graph.config;
     let tiles = config.tiles;
     let mut local = vec![0u64; tiles];
@@ -932,6 +1118,327 @@ fn exchange_pair_bytes(
     acc.into_iter().map(|((s, d), b)| (s, d, b)).collect()
 }
 
+/// Per-run execution context for the lowered plan path: an instruction
+/// pointer over [`PlanOp`]s, runtime counter slots for loops, and a
+/// reusable cell arena so executing a vertex allocates nothing.
+///
+/// Shares `RunState`, [`finish_superstep`], and the fault hooks with the
+/// interpreter, which is what keeps the two paths bit-identical.
+struct PlanExec<'a> {
+    sh: &'a Shared,
+    raw: &'a RawBufs,
+    st: &'a mut RunState,
+    plan: &'a ExecPlan,
+    pool: Option<Pool<'a>>,
+    /// Runtime slots: repeat counters and while watchdogs.
+    counters: Vec<u64>,
+    /// Pre-built cell arena for the serial vertex path (pool lanes build
+    /// their own — the borrow flags are not thread-safe).
+    cells: Vec<RefCell<FieldBuf>>,
+    max_while_iterations: u64,
+}
+
+impl<'a> PlanExec<'a> {
+    fn exec(&mut self) -> Result<(), GraphError> {
+        let plan = self.plan;
+        let mut ip = 0usize;
+        while let Some(op) = plan.ops.get(ip) {
+            match op {
+                PlanOp::Run {
+                    first,
+                    count,
+                    verts,
+                } => {
+                    self.exec_run(*first as usize, *count as usize, *verts as usize);
+                    ip += 1;
+                }
+                PlanOp::Copy(id) => {
+                    self.exec_copy(*id as usize);
+                    ip += 1;
+                }
+                PlanOp::LoopInit { slot, count, exit } => {
+                    if *count == 0 {
+                        ip = *exit as usize;
+                    } else {
+                        self.counters[*slot as usize] = *count;
+                        ip += 1;
+                    }
+                }
+                PlanOp::LoopBack { slot, target } => {
+                    let c = &mut self.counters[*slot as usize];
+                    *c -= 1;
+                    if *c > 0 {
+                        ip = *target as usize;
+                    } else {
+                        ip += 1;
+                    }
+                }
+                PlanOp::WhileEnter { iters, context } => {
+                    // Fault: the loop is declared non-convergent up front
+                    // — drawn ONCE per loop entry, exactly as the
+                    // interpreter draws it, so the fault RNG streams stay
+                    // aligned across execution modes.
+                    if let Some(fs) = self.st.faults.as_mut() {
+                        if fs.plan.diverge_rate > 0.0
+                            && fs.armed(self.st.stats.supersteps)
+                            && fs.draw() < fs.plan.diverge_rate
+                        {
+                            self.st.stats.faults.forced_divergences += 1;
+                            let cc = self.sh.graph.config.control_cycles;
+                            self.st.stats.control_cycles += cc;
+                            if let Some(p) = self.st.profiler.as_mut() {
+                                p.record_control(cc, "while", true);
+                                p.record_fault("forced_divergence", 1);
+                            }
+                            return Err(GraphError::Divergence {
+                                limit: self.max_while_iterations,
+                                context: plan.contexts[*context as usize].clone(),
+                            });
+                        }
+                    }
+                    self.counters[*iters as usize] = 0;
+                    ip += 1;
+                }
+                PlanOp::WhileHead {
+                    predicate,
+                    exit,
+                    iters,
+                    context,
+                } => {
+                    let cc = self.sh.graph.config.control_cycles;
+                    self.st.stats.control_cycles += cc;
+                    // SAFETY: a 1-element i32 tensor, and no vertex views
+                    // are alive between supersteps.
+                    let taken = unsafe { self.raw.i32(predicate.id, 0, 1)[0] } != 0;
+                    if let Some(p) = self.st.profiler.as_mut() {
+                        p.record_control(cc, "while", taken);
+                    }
+                    if !taken {
+                        ip = *exit as usize;
+                        continue;
+                    }
+                    let c = &mut self.counters[*iters as usize];
+                    *c += 1;
+                    if *c > self.max_while_iterations {
+                        return Err(GraphError::Divergence {
+                            limit: self.max_while_iterations,
+                            context: plan.contexts[*context as usize].clone(),
+                        });
+                    }
+                    ip += 1;
+                }
+                PlanOp::Jump(target) => ip = *target as usize,
+                PlanOp::IfHead {
+                    predicate,
+                    else_target,
+                } => {
+                    let cc = self.sh.graph.config.control_cycles;
+                    self.st.stats.control_cycles += cc;
+                    // SAFETY: as `WhileHead`.
+                    let taken = unsafe { self.raw.i32(predicate.id, 0, 1)[0] } != 0;
+                    if let Some(p) = self.st.profiler.as_mut() {
+                        p.record_control(cc, "if", taken);
+                    }
+                    if taken {
+                        ip += 1;
+                    } else {
+                        ip = *else_target as usize;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a fused run of `count` consecutive supersteps.
+    fn exec_run(&mut self, first: usize, count: usize, verts: usize) {
+        // Bit flips mutate buffers *between* supersteps and fault draws
+        // consume the superstep counter, so fused execution is unsound
+        // under faults; degrade to step-at-a-time with a per-step pool
+        // decision, which matches the interpreter exactly.
+        if self.st.faults.is_none() {
+            if let Some(pool) = self.pool {
+                if verts >= self.sh.parallel_threshold {
+                    self.exec_steps_pooled(pool, first, count);
+                    return;
+                }
+            }
+        }
+        for j in 0..count {
+            self.exec_step(first + j);
+        }
+    }
+
+    /// Executes one superstep (step `seq` of the flattened sequence),
+    /// mirroring the interpreter's `exec_compute_set`.
+    fn exec_step(&mut self, seq: usize) {
+        let plan = self.plan;
+        let cs = plan.shared.step_seq[seq] as usize;
+        let step = &plan.shared.steps[cs];
+        debug_assert!(self.st.thread_load.iter().all(|&x| x == 0));
+        self.st.touched_slots.clear();
+
+        let mut dispatched = false;
+        if let Some(pool) = self.pool {
+            if step.verts.len() >= self.sh.parallel_threshold {
+                pool.sync.run_job((seq, 1), self.sh.workers);
+                for slot in pool.slots {
+                    let mut s = slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Some(payload) = s.panic.take() {
+                        drop(s);
+                        resume_unwind(payload);
+                    }
+                    for &(si, load) in &s.loads {
+                        let si = si as usize;
+                        if self.st.thread_load[si] == 0 {
+                            self.st.touched_slots.push(si as u32);
+                        }
+                        self.st.thread_load[si] += load;
+                    }
+                }
+                dispatched = true;
+            }
+        }
+        if !dispatched {
+            for pv in &step.verts {
+                // SAFETY: see `exec_plan_vertex`; vertices run one at a
+                // time on this thread and no other views are alive.
+                let load = unsafe { exec_plan_vertex(&self.sh.graph, pv, &self.cells) };
+                let si = pv.slot as usize;
+                if self.st.thread_load[si] == 0 {
+                    self.st.touched_slots.push(pv.slot);
+                }
+                self.st.thread_load[si] += load;
+            }
+        }
+        finish_superstep(self.sh, self.raw, self.st, cs);
+    }
+
+    /// Dispatches a whole fused run as ONE pool job: each lane executes
+    /// its tile shard of every step back-to-back (no intra-run barrier),
+    /// then the per-step load groups are merged and charged here, in
+    /// program order, on the serial path.
+    fn exec_steps_pooled(&mut self, pool: Pool<'a>, first: usize, count: usize) {
+        let plan = self.plan;
+        pool.sync.run_job((first, count), self.sh.workers);
+        let mut guards: Vec<_> = pool
+            .slots
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+            .collect();
+        // Deterministic panic propagation: the lowest panicking lane wins.
+        let mut panic = None;
+        for g in guards.iter_mut() {
+            if panic.is_none() {
+                panic = g.panic.take();
+            }
+        }
+        if let Some(payload) = panic {
+            drop(guards);
+            resume_unwind(payload);
+        }
+        let mut cursor = [0usize; MAX_HOST_THREADS];
+        for j in 0..count {
+            debug_assert!(self.st.thread_load.iter().all(|&x| x == 0));
+            self.st.touched_slots.clear();
+            for (lane, g) in guards.iter().enumerate() {
+                let end = g.groups[j] as usize;
+                for &(si, load) in &g.loads[cursor[lane]..end] {
+                    let si = si as usize;
+                    if self.st.thread_load[si] == 0 {
+                        self.st.touched_slots.push(si as u32);
+                    }
+                    self.st.thread_load[si] += load;
+                }
+                cursor[lane] = end;
+            }
+            finish_superstep(
+                self.sh,
+                self.raw,
+                self.st,
+                plan.shared.step_seq[first + j] as usize,
+            );
+        }
+    }
+
+    /// Executes one flattened exchange phase: run the copy list, charge
+    /// the precomputed cost, then the profiler/fault hooks — in the
+    /// interpreter's order.
+    fn exec_copy(&mut self, id: usize) {
+        let plan = self.plan;
+        let copy = &plan.copies[id];
+        for seg in &copy.exec_segs {
+            if seg.staged {
+                move_data(self.raw, self.st, &seg.src, &seg.dst, seg.reps as usize);
+            } else {
+                // SAFETY: the builder proved source and destination
+                // disjoint for unstaged segments; no vertex views are
+                // alive between supersteps.
+                unsafe { direct_copy(self.raw, seg) };
+            }
+        }
+        self.st.stats.exchange_cycles += copy.cost;
+        self.st.stats.sync_cycles += self.sh.graph.config.sync_cycles;
+        self.st.stats.exchanges += 1;
+        self.st.stats.exchange_bytes += copy.bytes;
+        if let Some(p) = self.st.profiler.as_mut() {
+            let pairs: Vec<(TensorSlice, TensorSlice)> =
+                copy.segs.iter().map(|s| (s.src, s.dst)).collect();
+            let pair_bytes = exchange_pair_bytes(&self.sh.graph, &pairs);
+            p.record_exchange(
+                copy.cost,
+                self.sh.graph.config.sync_cycles,
+                copy.bytes,
+                &pair_bytes,
+            );
+        }
+        if self.st.faults.is_some() {
+            let dsts: Vec<TensorSlice> = copy.segs.iter().map(|s| s.dst).collect();
+            inject_exchange_fault(self.raw, self.st, &dsts);
+        }
+    }
+}
+
+/// Resolves the pool-dispatch threshold (minimum vertices in a superstep
+/// or fused run before it is worth a pool handoff): an explicit
+/// `config.parallel_threshold` wins, then the `SIM_PARALLEL_THRESHOLD`
+/// environment variable, then the tuned default.
+pub(crate) fn resolve_parallel_threshold(config: &IpuConfig) -> usize {
+    let requested = if config.parallel_threshold > 0 {
+        config.parallel_threshold
+    } else {
+        std::env::var("SIM_PARALLEL_THRESHOLD")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    if requested > 0 {
+        requested
+    } else {
+        PARALLEL_THRESHOLD
+    }
+}
+
+fn exec_mode_from_env() -> ExecMode {
+    match std::env::var("SIM_EXEC").as_deref() {
+        Ok("interp") | Ok("interpreted") => ExecMode::Interpreted,
+        _ => ExecMode::Plan,
+    }
+}
+
+/// Resolves the execution mode: an explicit config choice wins; `Auto`
+/// consults the `SIM_EXEC` environment variable (`interp`/`interpreted`
+/// selects the tree-walking interpreter) and otherwise picks the lowered
+/// execution plan. Modeled results are bit-identical either way.
+pub(crate) fn resolve_exec_mode(config: &IpuConfig) -> ExecMode {
+    match config.exec_mode {
+        ExecMode::Auto => exec_mode_from_env(),
+        m => m,
+    }
+}
+
 impl Engine {
     pub(crate) fn new(graph: Graph, program: Program) -> Self {
         let mut buffers: Vec<Buffer> = graph
@@ -985,17 +1492,22 @@ impl Engine {
             + (image_bytes as f64 / graph.config.host_io_bytes_per_cycle).ceil() as u64;
         let workers = resolve_host_threads(&graph.config);
         let shards = build_shards(&graph, workers);
+        let parallel_threshold = resolve_parallel_threshold(&graph.config);
+        let exec_mode = resolve_exec_mode(&graph.config);
+        let plan = plan::build(&graph, &program, &vertex_thread, &raw, workers);
         Self {
             sh: Shared {
                 graph,
                 vertex_thread,
                 shards,
                 workers,
-                parallel_threshold: PARALLEL_THRESHOLD,
+                parallel_threshold,
             },
             buffers,
             raw,
             program,
+            plan,
+            exec_mode,
             st: RunState {
                 stats,
                 thread_load,
@@ -1077,6 +1589,7 @@ impl Engine {
         for shard in shards.iter_mut() {
             shard.bounds = shard_bounds(&shard.order, &graph.vertices, workers);
         }
+        self.plan.shared.recut(&self.sh.graph, workers);
     }
 
     /// Overrides the minimum vertex count before a superstep is
@@ -1084,6 +1597,24 @@ impl Engine {
     /// tests lower it to force parallel execution on tiny graphs).
     pub fn set_parallel_threshold(&mut self, min_vertices: usize) {
         self.sh.parallel_threshold = min_vertices.max(1);
+    }
+
+    /// The resolved execution path for subsequent runs (never
+    /// [`ExecMode::Auto`]).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Overrides the execution path for subsequent runs;
+    /// [`ExecMode::Auto`] re-resolves from the `SIM_EXEC` environment
+    /// variable. Buffers, statistics, faults, and profiles are
+    /// bit-identical across modes — the choice affects host wall-clock
+    /// only.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = match mode {
+            ExecMode::Auto => exec_mode_from_env(),
+            m => m,
+        };
     }
 
     /// Installs a profiler: subsequent execution records a per-superstep
@@ -1201,6 +1732,7 @@ impl Engine {
         // snapshots, but rebuild the raw views regardless — this is the
         // only point (besides construction) where they may be refreshed.
         self.raw = RawBufs::of(&mut self.buffers);
+        self.plan.shared.rebind_fields(&self.raw);
     }
 
     /// Host → device write of a whole f32 tensor (not charged to device
@@ -1274,15 +1806,79 @@ impl Engine {
 
     /// Runs the compiled program once.
     ///
-    /// With more than one host thread resolved (and at least one compute
-    /// set big enough to parallelize), a scoped worker pool is spawned
+    /// Execution takes the pre-resolved plan path by default (see
+    /// [`ExecMode`] and `plan.rs`); `ExecMode::Interpreted` walks the
+    /// lowered tree instead. With more than one host thread resolved (and
+    /// enough vertices to parallelize), a scoped worker pool is spawned
     /// for the duration of the run and supersteps execute tile-parallel;
-    /// results are bit-identical to sequential execution either way.
+    /// results are bit-identical across modes and thread counts.
     ///
     /// # Errors
     /// [`GraphError::Divergence`] if a `RepeatWhileTrue` exceeds
     /// [`Engine::max_while_iterations`].
     pub fn run(&mut self) -> Result<(), GraphError> {
+        match self.exec_mode {
+            ExecMode::Interpreted => self.run_interpreted(),
+            _ => self.run_plan(),
+        }
+    }
+
+    /// Runs via the straight-line execution plan (the default path).
+    fn run_plan(&mut self) -> Result<(), GraphError> {
+        let sh = &self.sh;
+        let raw = &self.raw;
+        let st = &mut self.st;
+        let plan = &self.plan;
+        let max_while_iterations = self.max_while_iterations;
+        let pooled = sh.workers > 1 && plan.max_run_verts >= sh.parallel_threshold;
+        if !pooled {
+            PlanExec {
+                sh,
+                raw,
+                st,
+                plan,
+                pool: None,
+                counters: vec![0; plan.n_slots],
+                cells: plan.shared.cell_arena(),
+                max_while_iterations,
+            }
+            .exec()
+        } else {
+            let sync = PoolSync::new();
+            let slots: Vec<Mutex<ShardSlot>> = (0..sh.workers)
+                .map(|_| Mutex::new(ShardSlot::default()))
+                .collect();
+            std::thread::scope(|scope| {
+                for (lane, slot) in slots.iter().enumerate() {
+                    let sync = &sync;
+                    let graph = &sh.graph;
+                    let shared = &plan.shared;
+                    scope.spawn(move || plan_worker_loop(graph, shared, sync, slot, lane));
+                }
+                // Shut the pool down even if a re-raised codelet panic
+                // unwinds out of `exec`, so the scope can join.
+                let _guard = ShutdownGuard(&sync);
+                PlanExec {
+                    sh,
+                    raw,
+                    st,
+                    plan,
+                    pool: Some(Pool {
+                        sync: &sync,
+                        slots: &slots,
+                    }),
+                    counters: vec![0; plan.n_slots],
+                    cells: plan.shared.cell_arena(),
+                    max_while_iterations,
+                }
+                .exec()
+            })
+        }
+    }
+
+    /// Runs via the tree-walking interpreter (the reference path the
+    /// differential tests compare the plan against).
+    fn run_interpreted(&mut self) -> Result<(), GraphError> {
         let program = std::mem::replace(&mut self.program, ExecNode::Seq(Vec::new()));
         let sh = &self.sh;
         let raw = &self.raw;

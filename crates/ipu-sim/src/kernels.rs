@@ -1,0 +1,287 @@
+//! SIMD-friendly inner-loop kernels shared by library codelets.
+//!
+//! Codelet bodies run on the host, so their wall-clock cost is host
+//! scalar/vector throughput — the *modeled* cycle charge (see
+//! [`crate::cost`]) is independent of how the host loop is written.
+//! These helpers restructure the hottest f32 loops so LLVM can
+//! auto-vectorize them:
+//!
+//! - **Reductions** ([`min_f32`], [`max_f32`], [`masked_min_where_zero`])
+//!   carry a loop dependence through the accumulator, which blocks
+//!   vectorization of the naive fold. They are written with a bank of
+//!   independent accumulators over fixed-width chunks; the banks only
+//!   combine after the loop.
+//! - **Masked updates** ([`add_where_nonzero`], [`sub_where_zero`],
+//!   [`sub_where_nonzero`]) replace the branchy `if mask { *x op= d }`
+//!   with an unconditional select-on-result store (`*x = if mask { x op d }
+//!   else { *x }`), which compiles to compare + blend + store.
+//!
+//! # Bit-exactness
+//!
+//! Reassociating `min`/`max` is value-exact for the data these kernels
+//! see: no NaNs reach them (slack matrices are finite by construction,
+//! and `x - x` is `+0.0`), and masked-off lanes contribute the identity.
+//! The masked updates store either the bitwise-unchanged old value or
+//! exactly the value the branchy loop would have written, so buffers are
+//! bit-identical to the scalar formulation. Floating-point **addition**
+//! is *not* reassociation-safe; summation folds must stay strictly
+//! sequential and are deliberately absent here.
+
+/// Accumulator-bank width for the reduction kernels. Eight f32 lanes
+/// match a 256-bit vector register; wider targets simply unroll.
+const LANES: usize = 8;
+
+/// Minimum of a slice, `f32::INFINITY` when empty.
+pub fn min_f32(xs: &[f32]) -> f32 {
+    let mut acc = [f32::INFINITY; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for c in &mut chunks {
+        for (a, &x) in acc.iter_mut().zip(c) {
+            *a = a.min(x);
+        }
+    }
+    let mut m = chunks
+        .remainder()
+        .iter()
+        .copied()
+        .fold(f32::INFINITY, f32::min);
+    for a in acc {
+        m = m.min(a);
+    }
+    m
+}
+
+/// Maximum of a slice, `f32::NEG_INFINITY` when empty.
+pub fn max_f32(xs: &[f32]) -> f32 {
+    let mut acc = [f32::NEG_INFINITY; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for c in &mut chunks {
+        for (a, &x) in acc.iter_mut().zip(c) {
+            *a = a.max(x);
+        }
+    }
+    let mut m = chunks
+        .remainder()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    for a in acc {
+        m = m.max(a);
+    }
+    m
+}
+
+/// Minimum of `xs[i]` over the positions where `mask[i] == 0`;
+/// `f32::INFINITY` when no position qualifies. Masked-off lanes are
+/// selected to the identity rather than branched over, so the scan
+/// vectorizes. Panics if `mask` is shorter than `xs`.
+pub fn masked_min_where_zero(xs: &[f32], mask: &[i32]) -> f32 {
+    let mask = &mask[..xs.len()];
+    let mut acc = [f32::INFINITY; LANES];
+    let mut xc = xs.chunks_exact(LANES);
+    let mut mc = mask.chunks_exact(LANES);
+    for (c, mk) in (&mut xc).zip(&mut mc) {
+        for ((a, &x), &m) in acc.iter_mut().zip(c).zip(mk) {
+            let v = if m == 0 { x } else { f32::INFINITY };
+            *a = a.min(v);
+        }
+    }
+    let mut m = f32::INFINITY;
+    for (&x, &k) in xc.remainder().iter().zip(mc.remainder()) {
+        let v = if k == 0 { x } else { f32::INFINITY };
+        m = m.min(v);
+    }
+    for a in acc {
+        m = m.min(a);
+    }
+    m
+}
+
+/// `xs[i] -= d` for every element.
+pub fn sub_scalar(xs: &mut [f32], d: f32) {
+    for x in xs.iter_mut() {
+        *x -= d;
+    }
+}
+
+/// `xs[i] -= ys[i]` elementwise over the common prefix.
+pub fn sub_elementwise(xs: &mut [f32], ys: &[f32]) {
+    for (x, &y) in xs.iter_mut().zip(ys) {
+        *x -= y;
+    }
+}
+
+/// `acc[i] = acc[i].min(xs[i])` elementwise over the common prefix.
+pub fn min_assign(acc: &mut [f32], xs: &[f32]) {
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a = a.min(x);
+    }
+}
+
+/// `acc[i] = acc[i].max(xs[i])` elementwise over the common prefix.
+pub fn max_assign(acc: &mut [f32], xs: &[f32]) {
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a = a.max(x);
+    }
+}
+
+/// `acc[i] += xs[i]` elementwise over the common prefix. Per-element
+/// order is unchanged from a scalar loop, so sums stay bit-exact.
+pub fn add_assign(acc: &mut [f32], xs: &[f32]) {
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a += x;
+    }
+}
+
+/// `xs[i] += d` where `mask[i] != 0`; other elements are stored back
+/// bitwise-unchanged. Panics if `mask` is shorter than `xs`.
+pub fn add_where_nonzero(xs: &mut [f32], mask: &[i32], d: f32) {
+    let mask = &mask[..xs.len()];
+    for (x, &m) in xs.iter_mut().zip(mask) {
+        let y = *x + d;
+        *x = if m != 0 { y } else { *x };
+    }
+}
+
+/// `xs[i] -= d` where `mask[i] == 0`; other elements are stored back
+/// bitwise-unchanged. Panics if `mask` is shorter than `xs`.
+pub fn sub_where_zero(xs: &mut [f32], mask: &[i32], d: f32) {
+    let mask = &mask[..xs.len()];
+    for (x, &m) in xs.iter_mut().zip(mask) {
+        let y = *x - d;
+        *x = if m == 0 { y } else { *x };
+    }
+}
+
+/// `xs[i] -= d` where `mask[i] != 0`; other elements are stored back
+/// bitwise-unchanged. Panics if `mask` is shorter than `xs`.
+pub fn sub_where_nonzero(xs: &mut [f32], mask: &[i32], d: f32) {
+    let mask = &mask[..xs.len()];
+    for (x, &m) in xs.iter_mut().zip(mask) {
+        let y = *x - d;
+        *x = if m != 0 { y } else { *x };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_min(xs: &[f32]) -> f32 {
+        xs.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i * 37 + 11) % 101) as f32 - 50.0)
+            .collect()
+    }
+
+    #[test]
+    fn min_matches_fold_at_every_length() {
+        for n in 0..40 {
+            let xs = ramp(n);
+            assert_eq!(min_f32(&xs).to_bits(), scalar_min(&xs).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn max_matches_fold() {
+        let xs = ramp(33);
+        let want = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(max_f32(&xs).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn empty_reductions_give_identity() {
+        assert_eq!(min_f32(&[]), f32::INFINITY);
+        assert_eq!(max_f32(&[]), f32::NEG_INFINITY);
+        assert_eq!(masked_min_where_zero(&[], &[]), f32::INFINITY);
+    }
+
+    #[test]
+    fn masked_min_matches_branchy_loop() {
+        for n in 0..40 {
+            let xs = ramp(n);
+            let mask: Vec<i32> = (0..n).map(|i| ((i * 7 + 3) % 3 == 0) as i32).collect();
+            let mut want = f32::INFINITY;
+            for (x, &m) in xs.iter().zip(&mask) {
+                if m == 0 {
+                    want = want.min(*x);
+                }
+            }
+            assert_eq!(
+                masked_min_where_zero(&xs, &mask).to_bits(),
+                want.to_bits(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_min_all_masked_is_infinity() {
+        let xs = ramp(17);
+        let mask = vec![1i32; 17];
+        assert_eq!(masked_min_where_zero(&xs, &mask), f32::INFINITY);
+    }
+
+    #[test]
+    fn masked_min_accepts_longer_mask() {
+        let xs = [3.0f32, 1.0];
+        let mask = [0i32, 1, 0, 0];
+        assert_eq!(masked_min_where_zero(&xs, &mask), 3.0);
+    }
+
+    #[test]
+    fn masked_updates_match_branchy_loops() {
+        let n = 37;
+        let base = ramp(n);
+        let mask: Vec<i32> = (0..n).map(|i| ((i % 5) < 2) as i32).collect();
+        let d = 2.5f32;
+
+        let mut got = base.clone();
+        add_where_nonzero(&mut got, &mask, d);
+        let mut want = base.clone();
+        for (x, &m) in want.iter_mut().zip(&mask) {
+            if m != 0 {
+                *x += d;
+            }
+        }
+        assert_eq!(got, want);
+
+        let mut got = base.clone();
+        sub_where_zero(&mut got, &mask, d);
+        let mut want = base.clone();
+        for (x, &m) in want.iter_mut().zip(&mask) {
+            if m == 0 {
+                *x -= d;
+            }
+        }
+        assert_eq!(got, want);
+
+        let mut got = base.clone();
+        sub_where_nonzero(&mut got, &mask, d);
+        let mut want = base;
+        for (x, &m) in want.iter_mut().zip(&mask) {
+            if m != 0 {
+                *x -= d;
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        let mut a = vec![5.0f32, 2.0, 7.0];
+        min_assign(&mut a, &[4.0, 3.0, 9.0]);
+        assert_eq!(a, vec![4.0, 2.0, 7.0]);
+        max_assign(&mut a, &[6.0, 1.0, 8.0]);
+        assert_eq!(a, vec![6.0, 2.0, 8.0]);
+        add_assign(&mut a, &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![7.0, 3.0, 9.0]);
+        sub_elementwise(&mut a, &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![6.0, 2.0, 8.0]);
+        sub_scalar(&mut a, 2.0);
+        assert_eq!(a, vec![4.0, 0.0, 6.0]);
+    }
+}

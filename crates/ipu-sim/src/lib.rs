@@ -72,6 +72,8 @@ mod error;
 mod exec;
 mod fault;
 mod graph;
+pub mod kernels;
+mod plan;
 mod pool;
 pub mod poplib;
 pub mod profile;
@@ -80,7 +82,7 @@ mod stats;
 mod tensor;
 
 pub use codelet::{cost, Codelet, VertexCtx};
-pub use config::IpuConfig;
+pub use config::{ExecMode, IpuConfig};
 pub use engine::{Engine, EngineSnapshot};
 pub use error::GraphError;
 pub use fault::{FaultPlan, FaultSpecError};

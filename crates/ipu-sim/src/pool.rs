@@ -7,12 +7,16 @@
 //! only the epoch/done protocol — what a worker *does* with a job is the
 //! engine's business.
 //!
-//! Protocol: the main thread publishes a job `(epoch + 1, compute set)` and
+//! Protocol: the main thread publishes a job `(epoch + 1, payload)` and
 //! waits until `remaining` drops to zero; each worker wakes on the epoch
-//! change, executes its shard, and decrements `remaining`. Shutdown is a
-//! flag checked whenever a worker is between jobs, and is raised both on
-//! the orderly path and (via [`ShutdownGuard`]) when the main thread
-//! unwinds, so a panicking codelet can never leave workers parked forever.
+//! change, executes its shard, and decrements `remaining`. The payload is
+//! an opaque pair of indices — the interpreted engine passes a compute-set
+//! id, the lowered execution plan passes a `(first step, step count)` run
+//! so workers can own their tile shard across several fused supersteps
+//! without intermediate barriers. Shutdown is a flag checked whenever a
+//! worker is between jobs, and is raised both on the orderly path and (via
+//! [`ShutdownGuard`]) when the main thread unwinds, so a panicking codelet
+//! can never leave workers parked forever.
 
 use std::sync::{Condvar, Mutex, MutexGuard};
 
@@ -27,7 +31,9 @@ pub(crate) struct PoolSync {
 
 struct Job {
     epoch: u64,
-    cs: usize,
+    /// Opaque payload, interpreted by the worker loop that was spawned
+    /// alongside this sync object.
+    payload: (usize, usize),
     remaining: usize,
     shutdown: bool,
 }
@@ -44,7 +50,7 @@ impl PoolSync {
         Self {
             job: Mutex::new(Job {
                 epoch: 0,
-                cs: 0,
+                payload: (0, 0),
                 remaining: 0,
                 shutdown: false,
             }),
@@ -53,12 +59,12 @@ impl PoolSync {
         }
     }
 
-    /// Main thread: publish `cs` to `workers` lanes and block until all of
-    /// them have called [`PoolSync::finish_job`].
-    pub(crate) fn run_superstep(&self, cs: usize, workers: usize) {
+    /// Main thread: publish a job payload to `workers` lanes and block
+    /// until all of them have called [`PoolSync::finish_job`].
+    pub(crate) fn run_job(&self, payload: (usize, usize), workers: usize) {
         let mut j = lock_job(&self.job);
         j.epoch += 1;
-        j.cs = cs;
+        j.payload = payload;
         j.remaining = workers;
         self.go.notify_all();
         while j.remaining > 0 {
@@ -71,7 +77,7 @@ impl PoolSync {
 
     /// Worker: block until a job newer than `*seen` is published (updating
     /// `*seen`), or return `None` on shutdown.
-    pub(crate) fn next_job(&self, seen: &mut u64) -> Option<usize> {
+    pub(crate) fn next_job(&self, seen: &mut u64) -> Option<(usize, usize)> {
         let mut j = lock_job(&self.job);
         loop {
             if j.shutdown {
@@ -79,7 +85,7 @@ impl PoolSync {
             }
             if j.epoch != *seen {
                 *seen = j.epoch;
-                return Some(j.cs);
+                return Some(j.payload);
             }
             j = self
                 .go
@@ -129,18 +135,20 @@ mod tests {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut seen = 0u64;
-                    while let Some(cs) = sync.next_job(&mut seen) {
-                        hits.fetch_add(cs as u64, Ordering::Relaxed);
+                    while let Some((a, b)) = sync.next_job(&mut seen) {
+                        hits.fetch_add((a + b) as u64, Ordering::Relaxed);
                         sync.finish_job();
                     }
                 });
             }
             let _guard = ShutdownGuard(&sync);
-            sync.run_superstep(5, workers);
-            sync.run_superstep(7, workers);
-            // All lanes completed both supersteps before run_superstep
-            // returned.
-            assert_eq!(hits.load(Ordering::Relaxed), (5 + 7) * workers as u64);
+            sync.run_job((5, 1), workers);
+            sync.run_job((7, 2), workers);
+            // All lanes completed both jobs before run_job returned.
+            assert_eq!(
+                hits.load(Ordering::Relaxed),
+                (5 + 1 + 7 + 2) * workers as u64
+            );
         });
     }
 

@@ -48,6 +48,31 @@ impl ReduceOp {
         }
     }
 
+    /// Folds a slice with this operator. `Min`/`Max` use the chunked
+    /// vectorizable kernels — value-exact to the sequential fold for the
+    /// NaN-free data the library reduces — while `Sum` stays strictly
+    /// sequential because float addition is not reassociation-safe.
+    fn f32_fold(self, xs: &[f32]) -> f32 {
+        match self {
+            ReduceOp::Min => crate::kernels::min_f32(xs),
+            ReduceOp::Max => crate::kernels::max_f32(xs),
+            ReduceOp::Sum => xs
+                .iter()
+                .fold(self.f32_identity(), |a, &b| self.f32_apply(a, b)),
+        }
+    }
+
+    /// Elementwise `acc[i] = op(acc[i], xs[i])`. Branches on the operator
+    /// once so the inner loop vectorizes; per-element fold order is
+    /// unchanged, so all three operators (including `Sum`) stay bit-exact.
+    fn f32_accumulate(self, acc: &mut [f32], xs: &[f32]) {
+        match self {
+            ReduceOp::Min => crate::kernels::min_assign(acc, xs),
+            ReduceOp::Max => crate::kernels::max_assign(acc, xs),
+            ReduceOp::Sum => crate::kernels::add_assign(acc, xs),
+        }
+    }
+
     fn i32_identity(self) -> i32 {
         match self {
             ReduceOp::Min => i32::MAX,
@@ -102,10 +127,7 @@ pub fn reduce_to_scalar(
             move |ctx| match dtype {
                 DType::F32 => {
                     let src = ctx.f32(0);
-                    let acc = src
-                        .iter()
-                        .fold(op.f32_identity(), |a, &b| op.f32_apply(a, b));
-                    ctx.f32_mut(1)[0] = acc;
+                    ctx.f32_mut(1)[0] = op.f32_fold(&src);
                     cost::f32_scan(src.len())
                 }
                 DType::I32 => {
@@ -161,10 +183,7 @@ pub fn reduce_on_tile(
     let scalar_reduce = move |ctx: &crate::VertexCtx| match dtype {
         DType::F32 => {
             let src = ctx.f32(0);
-            let acc = src
-                .iter()
-                .fold(op.f32_identity(), |a, &b| op.f32_apply(a, b));
-            ctx.f32_mut(1)[0] = acc;
+            ctx.f32_mut(1)[0] = op.f32_fold(&src);
             cost::f32_scan(src.len())
         }
         DType::I32 => {
@@ -265,11 +284,15 @@ pub fn reduce_columns_mirrored(
         let v = g.add_vertex(cs0, tile, &format!("{name}.colpartial[{i}]"), move |ctx| {
             let src = ctx.f32(0);
             let mut out = ctx.f32_mut(1);
-            for (c, o) in out.iter_mut().enumerate() {
+            // Row-sweep instead of per-column scans: each column still
+            // folds identity-then-rows-ascending (bit-exact for every
+            // operator), but the inner loop is elementwise and
+            // vectorizes.
+            for o in out.iter_mut() {
                 *o = op.f32_identity();
-                for r in 0..rows_here {
-                    *o = op.f32_apply(*o, src[r * cols + c]);
-                }
+            }
+            for r in 0..rows_here {
+                op.f32_accumulate(&mut out, &src[r * cols..(r + 1) * cols]);
             }
             cost::f32_scan(src.len())
         })?;
@@ -298,9 +321,7 @@ pub fn reduce_columns_mirrored(
                 move |ctx| {
                     let inc = ctx.f32(0);
                     let mut acc = ctx.f32_mut(1);
-                    for (a, &b) in acc.iter_mut().zip(inc.iter()) {
-                        *a = op.f32_apply(*a, b);
-                    }
+                    op.f32_accumulate(&mut acc, &inc);
                     cost::f32_update(acc.len())
                 },
             )?;
@@ -441,10 +462,7 @@ pub fn reduce_partials_hier(
             move |ctx| match dtype {
                 DType::F32 => {
                     let src = ctx.f32(0);
-                    let acc = src
-                        .iter()
-                        .fold(op.f32_identity(), |a, &b| op.f32_apply(a, b));
-                    ctx.f32_mut(1)[0] = acc;
+                    ctx.f32_mut(1)[0] = op.f32_fold(&src);
                     cost::f32_scan(src.len())
                 }
                 DType::I32 => {
@@ -511,10 +529,7 @@ pub fn reduce_to_scalar_hier(
             move |ctx| match dtype {
                 DType::F32 => {
                     let src = ctx.f32(0);
-                    let acc = src
-                        .iter()
-                        .fold(op.f32_identity(), |a, &b| op.f32_apply(a, b));
-                    ctx.f32_mut(1)[0] = acc;
+                    ctx.f32_mut(1)[0] = op.f32_fold(&src);
                     cost::f32_scan(src.len())
                 }
                 DType::I32 => {
@@ -633,11 +648,13 @@ pub fn reduce_columns_mirrored_hier(
         let v = g.add_vertex(cs0, tile, &format!("{name}.colpartial[{i}]"), move |ctx| {
             let src = ctx.f32(0);
             let mut out = ctx.f32_mut(1);
-            for (c, o) in out.iter_mut().enumerate() {
+            // Row-sweep form — see the flat builder for the bit-exactness
+            // argument.
+            for o in out.iter_mut() {
                 *o = op.f32_identity();
-                for r in 0..rows_here {
-                    *o = op.f32_apply(*o, src[r * cols + c]);
-                }
+            }
+            for r in 0..rows_here {
+                op.f32_accumulate(&mut out, &src[r * cols..(r + 1) * cols]);
             }
             cost::f32_scan(src.len())
         })?;
@@ -672,9 +689,7 @@ pub fn reduce_columns_mirrored_hier(
                     move |ctx| {
                         let inc = ctx.f32(0);
                         let mut acc = ctx.f32_mut(1);
-                        for (x, &y) in acc.iter_mut().zip(inc.iter()) {
-                            *x = op.f32_apply(*x, y);
-                        }
+                        op.f32_accumulate(&mut acc, &inc);
                         cost::f32_update(acc.len())
                     },
                 )?;
@@ -724,11 +739,13 @@ pub fn reduce_columns_mirrored_hier(
             move |ctx| {
                 let src = ctx.f32(0);
                 let mut out = ctx.f32_mut(1);
-                for (col, o) in out.iter_mut().enumerate() {
+                // Row-sweep form — see reduce_columns_mirrored for the
+                // bit-exactness argument.
+                for o in out.iter_mut() {
                     *o = op.f32_identity();
-                    for sj in 0..a {
-                        *o = op.f32_apply(*o, src[sj * cols + col]);
-                    }
+                }
+                for sj in 0..a {
+                    op.f32_accumulate(&mut out, &src[sj * cols..(sj + 1) * cols]);
                 }
                 cost::f32_scan(src.len())
             },

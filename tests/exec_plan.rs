@@ -1,0 +1,278 @@
+//! Differential tests for the lowered execution plan: at every host
+//! thread count, the plan path must be **bit-identical** to the
+//! tree-walking interpreter — buffers, `CycleStats`, `FaultStats`, and
+//! recorded profiles. The plan is a wall-clock optimization only; if any
+//! of these tests can tell the two paths (or thread counts) apart, the
+//! determinism contract is broken.
+//!
+//! Companion of `host_parallel.rs`, which pins sequential-vs-parallel
+//! identity; this suite pins interpreted-vs-plan identity across the
+//! same scenarios: plain solves, faulty solves, snapshot/restore, batch
+//! runs, and raw control-flow graphs.
+
+use hunipu::{BatchHunIpu, HunIpu};
+use ipu_sim::{
+    Access, ComputeSetId, DType, ExecMode, FaultPlan, Graph, IpuConfig, ProfileConfig, Program,
+    Tensor,
+};
+use lsap::{BatchLsapSolver, CostMatrix};
+
+/// Big enough for a non-trivial solve, small enough to keep the suite
+/// fast. The pool threshold is forced to 1 in the threaded cases so
+/// multi-thread runs really exercise the pooled plan path despite the
+/// small instance.
+const N: usize = 96;
+
+fn mk2(mode: ExecMode, threads: usize) -> IpuConfig {
+    IpuConfig {
+        host_threads: threads,
+        exec_mode: mode,
+        parallel_threshold: if threads > 1 { 1 } else { 0 },
+        ..IpuConfig::mk2()
+    }
+}
+
+/// Everything a solve can produce, stringified for exact comparison:
+/// objective bits, assignment, dual bits, and the full cycle statistics
+/// (which include per-compute-set breakdowns and fault counters).
+fn solve_fingerprint(mode: ExecMode, threads: usize, seed: u64) -> String {
+    let m = datasets::gaussian_cost_matrix(N, 100, seed);
+    let (rep, engine) = HunIpu::with_config(mk2(mode, threads))
+        .solve_with_engine(&m)
+        .unwrap();
+    let duals: Vec<u64> = rep
+        .certificate
+        .u
+        .iter()
+        .chain(rep.certificate.v.iter())
+        .map(|x| x.to_bits())
+        .collect();
+    format!(
+        "obj={:016x} pairs={:?} duals={duals:?} stats={:?}",
+        rep.objective.to_bits(),
+        rep.assignment.pairs().collect::<Vec<_>>(),
+        engine.stats()
+    )
+}
+
+#[test]
+fn solves_are_bit_identical_interpreted_vs_plan_at_every_thread_count() {
+    let reference = solve_fingerprint(ExecMode::Interpreted, 1, 11);
+    for threads in [1, 2, 8] {
+        for mode in [ExecMode::Interpreted, ExecMode::Plan] {
+            assert_eq!(
+                reference,
+                solve_fingerprint(mode, threads, 11),
+                "{mode:?} at {threads} thread(s) diverged from the sequential interpreter"
+            );
+        }
+    }
+}
+
+#[test]
+fn profiles_are_bit_identical_interpreted_vs_plan() {
+    let profile = |mode: ExecMode, threads: usize| {
+        let m = datasets::gaussian_cost_matrix(N, 100, 13);
+        let (_, engine) = HunIpu::with_config(mk2(mode, threads))
+            .with_profiling(ProfileConfig::default())
+            .solve_with_engine(&m)
+            .unwrap();
+        engine.profile().cloned().expect("profiler installed")
+    };
+    let reference = profile(ExecMode::Interpreted, 1);
+    for threads in [1, 8] {
+        for mode in [ExecMode::Interpreted, ExecMode::Plan] {
+            assert_eq!(
+                reference,
+                profile(mode, threads),
+                "{mode:?} profile at {threads} thread(s) diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulty_solves_are_bit_identical_interpreted_vs_plan() {
+    // Faults draw from a seeded stream as supersteps execute; the plan
+    // path must advance the stream exactly like the interpreter —
+    // including the outcome (success, wrong result, or divergence) and
+    // every `FaultStats` counter.
+    let run = |mode: ExecMode, threads: usize| {
+        let m = datasets::gaussian_cost_matrix(N, 100, 7);
+        let plan = FaultPlan::new(42)
+            .with_bit_flips(0.01)
+            .with_exchange_corruption(0.005)
+            .with_stragglers(0.02, 3.0)
+            .after_supersteps(50);
+        let solver = HunIpu::with_config(IpuConfig {
+            max_while_iterations: 50_000,
+            ..mk2(mode, threads)
+        })
+        .with_fault_plan(plan);
+        match solver.solve_with_engine(&m) {
+            Ok((rep, engine)) => format!(
+                "ok obj={:016x} cycles={} faults={:?}",
+                rep.objective.to_bits(),
+                engine.stats().total_cycles(),
+                engine.stats().faults
+            ),
+            Err(e) => format!("err {e}"),
+        }
+    };
+    let reference = run(ExecMode::Interpreted, 1);
+    for threads in [1, 2, 8] {
+        for mode in [ExecMode::Interpreted, ExecMode::Plan] {
+            assert_eq!(
+                reference,
+                run(mode, threads),
+                "faulty {mode:?} at {threads} thread(s) diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_snapshot_restore_is_bit_identical_interpreted_vs_plan() {
+    // Warm engines restore a pristine snapshot before every solve, which
+    // is exactly the path that must rebind the plan's pre-resolved field
+    // pointers. Stream two different instances through one warm engine
+    // per mode: both solves must match the interpreter's bit-for-bit.
+    let run = |mode: ExecMode| {
+        let solver = HunIpu::with_config(mk2(mode, 1));
+        let mut warm = solver.warm(N).unwrap();
+        let mut out = Vec::new();
+        for seed in [3u64, 4] {
+            let m = datasets::gaussian_cost_matrix(N, 100, seed);
+            let rep = warm.solve(&solver, &m).unwrap();
+            out.push(format!(
+                "obj={:016x} cycles={:?} steps={}",
+                rep.objective.to_bits(),
+                rep.stats.modeled_cycles,
+                rep.stats.device_steps
+            ));
+        }
+        out
+    };
+    assert_eq!(
+        run(ExecMode::Interpreted),
+        run(ExecMode::Plan),
+        "warm restore+solve diverged between interpreter and plan"
+    );
+}
+
+#[test]
+fn batch_runs_are_bit_identical_interpreted_vs_plan() {
+    let batch: Vec<CostMatrix> = (0..3)
+        .map(|i| datasets::gaussian_cost_matrix(N, 100, 21 + i))
+        .collect();
+    let run = |mode: ExecMode, threads: usize| {
+        let solver = HunIpu::with_config(mk2(mode, threads));
+        let rep = BatchHunIpu::with_solver(solver)
+            .solve_batch(&batch)
+            .unwrap();
+        rep.verify_all(&batch, hunipu::F32_VERIFY_EPS).unwrap();
+        rep.reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "obj={:016x} pairs={:?} cycles={:?} steps={}",
+                    r.objective.to_bits(),
+                    r.assignment.pairs().collect::<Vec<_>>(),
+                    r.stats.modeled_cycles,
+                    r.stats.device_steps
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let reference = run(ExecMode::Interpreted, 1);
+    for threads in [1, 8] {
+        for mode in [ExecMode::Interpreted, ExecMode::Plan] {
+            assert_eq!(
+                reference,
+                run(mode, threads),
+                "batch {mode:?} at {threads} thread(s) diverged"
+            );
+        }
+    }
+}
+
+/// A raw graph exercising every program node the plan lowers: a
+/// data-dependent `While` around a wide compute set, a counted `Repeat`,
+/// an `Exchange`, and an `If` — compared at the buffer-bits level.
+fn control_flow_graph() -> (Graph, Tensor, Tensor, Tensor, ComputeSetId, ComputeSetId) {
+    let tiles = 5;
+    let per = 30;
+    let n = tiles * per;
+    let mut g = Graph::new(IpuConfig::tiny(tiles));
+    let x = g.add_tensor("x", DType::F32, n);
+    for t in 0..tiles {
+        g.map_slice(x.slice(t * per..(t + 1) * per), t).unwrap();
+    }
+    let flag = g.add_tensor("flag", DType::I32, 1);
+    g.map_to_tile(flag, 0).unwrap();
+    let mirror = g.add_tensor("mirror", DType::F32, per);
+    g.map_to_tile(mirror, 1).unwrap();
+
+    let inc = g.add_compute_set("inc");
+    for i in 0..n {
+        let v = g
+            .add_vertex(inc, i / per, "inc", move |ctx| {
+                let mut x = ctx.f32_mut(0);
+                x[0] = x[0] * 1.25 + (i % 5) as f32;
+                3 + (i % 13) as u64
+            })
+            .unwrap();
+        g.connect(v, x.element(i), Access::ReadWrite).unwrap();
+    }
+    let dec = g.add_compute_set("dec");
+    let v = g
+        .add_vertex(dec, 0, "dec", |ctx| {
+            ctx.i32_mut(0)[0] -= 1;
+            2
+        })
+        .unwrap();
+    g.connect(v, flag.slice(0..1), Access::ReadWrite).unwrap();
+    (g, x, flag, mirror, inc, dec)
+}
+
+#[test]
+fn control_flow_buffers_are_bit_identical_interpreted_vs_plan() {
+    let run = |mode: ExecMode, threads: usize| {
+        let (g, x, flag, mirror, inc, dec) = control_flow_graph();
+        let per = mirror.len();
+        let program = Program::seq(vec![
+            Program::while_true(
+                flag,
+                Program::seq(vec![Program::execute(inc), Program::execute(dec)]),
+            ),
+            Program::repeat(3, Program::execute(inc)),
+            Program::exchange(vec![(x.slice(0..per), mirror.slice(0..per))]),
+            // flag is 0 here: the else branch runs one more increment.
+            Program::if_else(flag, Program::execute(dec), Program::execute(inc)),
+        ]);
+        let mut e = g.compile(program).unwrap();
+        e.set_exec_mode(mode);
+        e.set_host_threads(threads);
+        e.set_parallel_threshold(1);
+        e.write_f32(x, &vec![0.5; x.len()]).unwrap();
+        e.write_i32(flag, &[6]).unwrap();
+        e.run().unwrap();
+        let xs: Vec<u32> = e.read_f32(x).iter().map(|v| v.to_bits()).collect();
+        let ms: Vec<u32> = e
+            .peek_f32(mirror.slice(0..mirror.len()))
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        (xs, ms, e.read_i32(flag), e.stats().clone())
+    };
+    let reference = run(ExecMode::Interpreted, 1);
+    for threads in [1, 2, 8] {
+        for mode in [ExecMode::Interpreted, ExecMode::Plan] {
+            assert_eq!(
+                reference,
+                run(mode, threads),
+                "control-flow {mode:?} at {threads} thread(s) diverged"
+            );
+        }
+    }
+}
