@@ -567,6 +567,140 @@ impl ServeBaseline {
     }
 }
 
+/// Minimum cold/warm modeled-cycle speedup the warm-started re-solve
+/// must deliver at small perturbations (`k <= n/8` rows touched) — the
+/// re-solve tentpole's headline claim.
+pub const RESOLVE_MIN_SPEEDUP: f64 = 2.0;
+
+/// One `(n, k)` cell of the re-solve baseline: a stream of `ticks`
+/// perturbations of a base instance, each re-solved warm (dual repair +
+/// the Step-1-free seeded program) and cold for comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResolveEntry {
+    /// Instance size.
+    pub n: usize,
+    /// Rows perturbed per tick.
+    pub k: usize,
+    /// Re-solve ticks measured (after the initial cold solve).
+    pub ticks: usize,
+    /// Mean modeled cycles of the cold solves over the same stream.
+    pub cold_cycles: f64,
+    /// Mean modeled cycles of the warm re-solves. **Gated** (tolerance
+    /// regression; and the ≥[`RESOLVE_MIN_SPEEDUP`] floor at `k <= n/8`).
+    pub warm_cycles: f64,
+    /// `cold_cycles / warm_cycles`. Informational (recomputed by the
+    /// gate from the cycle columns).
+    pub speedup: f64,
+    /// Ticks answered by the seeded program with a verifying
+    /// certificate. **Gated**: must not drop when the baseline seeds.
+    pub seeded: u64,
+    /// Ticks whose seeded answer failed its certificate and fell back
+    /// to a cold solve (counted, never silent).
+    pub fallbacks: u64,
+    /// Warm answers whose objective disagreed with the cold CPU ground
+    /// truth. **Gated: must be 0.**
+    pub mismatches: u64,
+    /// Host wall seconds for the cell. Informational only.
+    #[serde(default)]
+    pub wall_seconds: f64,
+}
+
+/// The warm-start re-solve baseline: `bench resolve --write-baseline`
+/// records it into `BENCH_resolve.json`; `--check` re-runs the sweep
+/// and fails on regression. Everything gated is modeled (virtual
+/// cycles, counts), so two runs at any `SIM_THREADS` agree bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResolveBaseline {
+    /// Dataset / perturbation seed.
+    pub seed: u64,
+    /// Per-cell measurements.
+    pub entries: Vec<ResolveEntry>,
+}
+
+impl ResolveBaseline {
+    /// Reads a baseline from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Pretty-prints the baseline to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Compares a fresh run against this baseline, returning every
+    /// violation (empty = gate passes). Per baseline cell:
+    /// 1. the cell is still measured (same `n`, `k`, `ticks`),
+    /// 2. **zero mismatches** — every warm answer equals the cold CPU
+    ///    ground truth (correctness is never traded for speed),
+    /// 3. warm re-solve cycles did not regress by more than `tolerance`,
+    /// 4. small perturbations (`k <= n/8`) keep the
+    ///    ≥[`RESOLVE_MIN_SPEEDUP`] cold/warm speedup (recomputed from
+    ///    the cycle columns, not trusted from the stored ratio),
+    /// 5. the seeded program is still exercised wherever the baseline
+    ///    exercised it (a silent always-fallback would otherwise pass
+    ///    the correctness gates while measuring nothing).
+    pub fn compare(&self, current: &ResolveBaseline, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.seed != current.seed {
+            violations.push(format!(
+                "seed mismatch: baseline {}, run {} — regenerate with --write-baseline",
+                self.seed, current.seed
+            ));
+            return violations;
+        }
+        for base in &self.entries {
+            let Some(cur) = current
+                .entries
+                .iter()
+                .find(|e| (e.n, e.k, e.ticks) == (base.n, base.k, base.ticks))
+            else {
+                violations.push(format!(
+                    "cell n={} k={} ticks={} missing from this run",
+                    base.n, base.k, base.ticks
+                ));
+                continue;
+            };
+            let cell = format!("n={} k={}", cur.n, cur.k);
+            if cur.mismatches != 0 {
+                violations.push(format!(
+                    "{cell}: {} warm answer(s) disagree with the cold CPU ground truth",
+                    cur.mismatches
+                ));
+            }
+            let limit = base.warm_cycles * (1.0 + tolerance);
+            if cur.warm_cycles > limit {
+                violations.push(format!(
+                    "{cell}: warm re-solve cycles regressed {:.0} -> {:.0} (+{:.1}%, tolerance {:.0}%)",
+                    base.warm_cycles,
+                    cur.warm_cycles,
+                    (cur.warm_cycles / base.warm_cycles - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+            if cur.k * 8 <= cur.n {
+                let speedup = cur.cold_cycles / cur.warm_cycles;
+                if speedup < RESOLVE_MIN_SPEEDUP {
+                    violations.push(format!(
+                        "{cell}: warm speedup {speedup:.2}x below the {RESOLVE_MIN_SPEEDUP:.1}x floor",
+                    ));
+                }
+            }
+            if base.seeded > 0 && cur.seeded == 0 {
+                violations.push(format!(
+                    "{cell}: seeded program no longer taken (baseline seeded {} ticks, run 0 — all fallbacks)",
+                    base.seeded
+                ));
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -923,6 +1057,118 @@ mod tests {
         let back = MultiIpuBaseline::load(&path).unwrap();
         assert_eq!(back.entries.len(), 1);
         assert_eq!(back.entries[0].chip_aware_cycles, 500.0);
+        assert!(b.compare(&back, CYCLE_TOLERANCE).is_empty());
+    }
+
+    fn resolve_cell(n: usize, k: usize, cold: f64, warm: f64, seeded: u64) -> ResolveEntry {
+        ResolveEntry {
+            n,
+            k,
+            ticks: 4,
+            cold_cycles: cold,
+            warm_cycles: warm,
+            speedup: cold / warm,
+            seeded,
+            fallbacks: 4 - seeded,
+            mismatches: 0,
+            wall_seconds: 0.5,
+        }
+    }
+
+    fn resolve(entries: Vec<ResolveEntry>) -> ResolveBaseline {
+        ResolveBaseline { seed: 1, entries }
+    }
+
+    #[test]
+    fn resolve_identical_runs_pass() {
+        let b = resolve(vec![
+            resolve_cell(128, 1, 8000.0, 2000.0, 4),
+            resolve_cell(128, 128, 8000.0, 7500.0, 4),
+        ]);
+        assert!(b.compare(&b.clone(), CYCLE_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn resolve_mismatch_with_ground_truth_always_fails() {
+        let base = resolve(vec![resolve_cell(128, 1, 8000.0, 2000.0, 4)]);
+        let mut bad = base.clone();
+        bad.entries[0].mismatches = 1;
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("ground truth"), "{v:?}");
+    }
+
+    #[test]
+    fn resolve_warm_cycle_regression_fails_beyond_tolerance() {
+        let base = resolve(vec![resolve_cell(128, 1, 8000.0, 2000.0, 4)]);
+        let mut ok = base.clone();
+        ok.entries[0].warm_cycles = 2100.0;
+        assert!(base.compare(&ok, CYCLE_TOLERANCE).is_empty());
+        let mut bad = base.clone();
+        bad.entries[0].warm_cycles = 2500.0;
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("regressed"), "{v:?}");
+    }
+
+    #[test]
+    fn resolve_speedup_floor_applies_only_to_small_perturbations() {
+        // k = n (full perturbation): no speedup floor, 1.05x passes.
+        let full = resolve(vec![resolve_cell(128, 128, 8000.0, 7600.0, 4)]);
+        assert!(full.compare(&full.clone(), CYCLE_TOLERANCE).is_empty());
+        // k = n/8: the floor applies — recomputed from the cycle columns,
+        // a stale stored `speedup` does not save the run.
+        let base = resolve(vec![resolve_cell(128, 16, 8000.0, 2000.0, 4)]);
+        let mut bad = base.clone();
+        bad.entries[0].warm_cycles = 2100.0; // within tolerance...
+        bad.entries[0].cold_cycles = 4000.0; // ...but only 1.9x now
+        bad.entries[0].speedup = 4.0; // stale claim, must be ignored
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("below the 2.0x floor"), "{v:?}");
+    }
+
+    #[test]
+    fn resolve_silent_always_fallback_fails() {
+        let base = resolve(vec![resolve_cell(128, 1, 8000.0, 2000.0, 4)]);
+        let mut bad = base.clone();
+        bad.entries[0].seeded = 0;
+        bad.entries[0].fallbacks = 4;
+        // Fallback path solves cold, so cycles would also regress; keep
+        // them flat here to isolate the seeded-exercise gate.
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert!(v.iter().any(|m| m.contains("no longer taken")), "{v:?}");
+    }
+
+    #[test]
+    fn resolve_missing_cell_and_seed_change_fail() {
+        let base = resolve(vec![
+            resolve_cell(128, 1, 8000.0, 2000.0, 4),
+            resolve_cell(256, 32, 30000.0, 9000.0, 4),
+        ]);
+        let v = base.compare(
+            &resolve(vec![resolve_cell(128, 1, 8000.0, 2000.0, 4)]),
+            CYCLE_TOLERANCE,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"), "{v:?}");
+        let mut reseeded = base.clone();
+        reseeded.seed = 2;
+        let v = base.compare(&reseeded, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("seed mismatch"), "{v:?}");
+    }
+
+    #[test]
+    fn resolve_roundtrips_through_disk() {
+        let b = resolve(vec![resolve_cell(128, 16, 8000.0, 2000.0, 4)]);
+        let dir = std::env::temp_dir().join("bench-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_resolve.json");
+        b.save(&path).unwrap();
+        let back = ResolveBaseline::load(&path).unwrap();
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].warm_cycles, 2000.0);
         assert!(b.compare(&back, CYCLE_TOLERANCE).is_empty());
     }
 }

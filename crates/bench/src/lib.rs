@@ -18,9 +18,9 @@ pub mod runners;
 pub mod serve_load;
 
 pub use baseline::{
-    BaselineEntry, BatchBaseline, MultiIpuBaseline, MultiIpuEntry, ServeBaseline,
-    WallbenchBaseline, WallbenchEntry, CYCLE_TOLERANCE, MULTI_IPU_MIN_IMPROVEMENT,
-    WALLBENCH_MIN_SPEEDUP,
+    BaselineEntry, BatchBaseline, MultiIpuBaseline, MultiIpuEntry, ResolveBaseline, ResolveEntry,
+    ServeBaseline, WallbenchBaseline, WallbenchEntry, CYCLE_TOLERANCE, MULTI_IPU_MIN_IMPROVEMENT,
+    RESOLVE_MIN_SPEEDUP, WALLBENCH_MIN_SPEEDUP,
 };
 pub use cli::Args;
 pub use record::{ExperimentRecord, Measurement};

@@ -165,6 +165,7 @@ impl LsapSolver for Auction {
             dual_updates: 0,
             device_steps: 0,
             profile_events: 0,
+            ..Default::default()
         };
         Ok(SolveReport {
             assignment,

@@ -109,6 +109,7 @@ impl LsapSolver for Munkres {
             dual_updates: state.dual_updates,
             device_steps: 0,
             profile_events: 0,
+            ..Default::default()
         };
         Ok(SolveReport {
             assignment,

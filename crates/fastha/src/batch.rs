@@ -595,6 +595,7 @@ impl LockstepRun {
                     dual_updates: self.dual_updates[i],
                     device_steps: launches / b + if i == 0 { launches % b } else { 0 },
                     profile_events: 0,
+                    ..Default::default()
                 },
             });
         }

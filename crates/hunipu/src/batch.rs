@@ -359,6 +359,7 @@ impl BatchHunIpu {
                 dual_updates: share(fused.stats.dual_updates, g, k),
                 device_steps: share(fused.stats.device_steps, g, k),
                 profile_events: 0,
+                ..Default::default()
             },
         };
         report.verify(small, self.verify_eps).ok()?;

@@ -62,12 +62,14 @@ mod build;
 mod layout;
 mod solver;
 mod steps;
+mod streaming;
 mod warm;
 
 pub use ablation::{AblationConfig, DynSlice};
 pub use batch::{BatchHunIpu, BatchStrategy};
 pub use layout::{Layout, COL_SEG};
 pub use solver::{HunIpu, LayoutMode, F32_VERIFY_EPS};
+pub use streaming::StreamingHunIpu;
 pub use warm::WarmEngine;
 
 /// Default column-segment size (§IV-E footnote: "we empirically find

@@ -213,6 +213,26 @@ impl HunIpu {
         &self,
         n: usize,
     ) -> Result<(ipu_sim::Engine, crate::build::Ts), LsapError> {
+        self.compile_with(n, false)
+    }
+
+    /// Builds and compiles the warm-start re-solve program for instance
+    /// size `n`: the same graph as [`HunIpu::compile_for`] driven by
+    /// [`Builder::assemble_seeded`] (no Step 1 — the host uploads the
+    /// reduced slack and repaired duals). A separate program in a
+    /// separate engine so the cold path's cycle accounting is untouched.
+    pub(crate) fn compile_for_seeded(
+        &self,
+        n: usize,
+    ) -> Result<(ipu_sim::Engine, crate::build::Ts), LsapError> {
+        self.compile_with(n, true)
+    }
+
+    fn compile_with(
+        &self,
+        n: usize,
+        seeded: bool,
+    ) -> Result<(ipu_sim::Engine, crate::build::Ts), LsapError> {
         let backend = |e: ipu_sim::GraphError| LsapError::Backend {
             detail: e.to_string(),
         };
@@ -234,7 +254,11 @@ impl HunIpu {
         };
         let mut builder =
             Builder::with_layout(self.config.clone(), layout, self.ablation).map_err(backend)?;
-        let program = builder.assemble().map_err(backend)?;
+        let program = if seeded {
+            builder.assemble_seeded().map_err(backend)?
+        } else {
+            builder.assemble().map_err(backend)?
+        };
         let Builder { g, t, .. } = builder;
         let mut engine = g.compile(program).map_err(backend)?;
         if let Some(cfg) = &self.profile {
@@ -293,7 +317,58 @@ impl HunIpu {
         engine.write_i32(t.row_prime, &neg1).map_err(backend)?;
 
         engine.run().map_err(backend)?;
+        self.extract_report(engine, t, matrix, start, false)
+    }
 
+    /// Loads a warm-start re-solve into a compiled *seeded* engine (from
+    /// [`HunIpu::compile_for_seeded`]) and runs it. Instead of the raw
+    /// cost matrix, the host uploads the repaired seed: the reduced slack
+    /// (non-negative, exact `0.0` at each row argmin) and the feasible
+    /// dual potentials `u, v`, exactly the state Step 1 would have
+    /// produced had the duals been derivable by row/column subtractions.
+    /// The matching state starts at −1 as in a cold solve; Step 2's
+    /// greedy starring rebuilds the matching from the (near-complete)
+    /// zero structure, and the search loop repairs the remainder.
+    pub(crate) fn run_instance_seeded(
+        &self,
+        engine: &mut ipu_sim::Engine,
+        t: &crate::build::Ts,
+        matrix: &CostMatrix,
+        seed: &lsap::RepairedSeedF32,
+        start: Instant,
+    ) -> Result<SolveReport, LsapError> {
+        let n = matrix.n();
+        let backend = |e: ipu_sim::GraphError| LsapError::Backend {
+            detail: e.to_string(),
+        };
+        match self.next_fault_plan() {
+            Some(plan) => engine.set_fault_plan(plan),
+            None => engine.clear_fault_plan(),
+        }
+
+        engine.write_f32(t.slack, &seed.slack).map_err(backend)?;
+        engine.write_f32(t.u, &seed.u).map_err(backend)?;
+        engine.write_f32(t.v, &seed.v).map_err(backend)?;
+        let neg1 = vec![-1i32; n];
+        engine.write_i32(t.row_star, &neg1).map_err(backend)?;
+        engine.write_i32(t.col_star, &neg1).map_err(backend)?;
+        engine.write_i32(t.row_prime, &neg1).map_err(backend)?;
+
+        engine.run().map_err(backend)?;
+        self.extract_report(engine, t, matrix, start, true)
+    }
+
+    /// Reads the finished device state back into a [`SolveReport`] —
+    /// shared by the cold and seeded launch paths.
+    fn extract_report(
+        &self,
+        engine: &mut ipu_sim::Engine,
+        t: &crate::build::Ts,
+        matrix: &CostMatrix,
+        start: Instant,
+        seeded: bool,
+    ) -> Result<SolveReport, LsapError> {
+        let n = matrix.n();
         let row_star = engine.read_i32(t.row_star);
         let row_to_col = row_star
             .iter()
@@ -322,6 +397,8 @@ impl HunIpu {
             profile_events: engine
                 .profile()
                 .map_or(0, |p| p.events.len() as u64 + p.dropped),
+            seeded,
+            ..Default::default()
         };
         Ok(SolveReport {
             assignment,

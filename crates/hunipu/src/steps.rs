@@ -999,4 +999,41 @@ impl Builder {
             Program::while_true(self.t.not_done, outer_body),
         ]))
     }
+
+    /// Assembles the warm-start re-solve driver: identical to
+    /// [`Builder::assemble`] minus Step 1. The host uploads an
+    /// already-reduced slack matrix together with repaired dual
+    /// potentials (`lsap::repair_duals_f32` guarantees the slack is
+    /// non-negative with an exact `0.0` per row — the invariant Step 1
+    /// otherwise establishes), so the initial subtraction would recompute
+    /// state the host already has. This is a *separate* program compiled
+    /// into a separate engine: the cold path stays byte-for-byte
+    /// unchanged, preserving every committed cycle baseline.
+    pub fn assemble_seeded(&mut self) -> Result<Program, GraphError> {
+        let compress = self.frag_compress()?;
+        let step2 = self.frag_step2()?;
+        let step3 = self.frag_step3()?;
+        let search = self.frag_search_loop(&compress)?;
+
+        let t_searching = self.t.searching;
+        let cs_begin = self.g.add_compute_set("begin_search");
+        self.collector_vertex(
+            cs_begin,
+            "begin",
+            vec![(t_searching.whole(), Access::Write)],
+            |ctx| {
+                ctx.i32_mut(0)[0] = 1;
+                cost::scalar(1)
+            },
+        )?;
+
+        let outer_body = Program::seq(vec![Program::execute(cs_begin), search, step3.clone()]);
+        Ok(Program::seq(vec![
+            compress.clone(),
+            step2,
+            compress,
+            step3,
+            Program::while_true(self.t.not_done, outer_body),
+        ]))
+    }
 }

@@ -18,7 +18,7 @@
 
 use crate::HunIpu;
 use ipu_sim::EngineSnapshot;
-use lsap::{CostMatrix, LsapError, SolveReport};
+use lsap::{CostMatrix, LsapError, SolveReport, WarmStart};
 use std::time::Instant;
 
 /// One compiled solve program kept hot for streaming same-shape
@@ -31,6 +31,18 @@ pub struct WarmEngine {
     /// engine bit-identical to a freshly compiled one.
     pristine: EngineSnapshot,
     n: usize,
+    /// Warm-start re-solve program ([`crate::build::Builder::assemble_seeded`]),
+    /// compiled lazily on the first [`WarmEngine::solve_seeded`] so
+    /// cold-only users never pay for it.
+    seeded: Option<SeededProgram>,
+}
+
+/// The seeded companion program: same shape, no Step 1, own pristine
+/// snapshot so seeded solves are as repeatable as cold ones.
+struct SeededProgram {
+    engine: ipu_sim::Engine,
+    t: crate::build::Ts,
+    pristine: EngineSnapshot,
 }
 
 impl WarmEngine {
@@ -75,6 +87,60 @@ impl WarmEngine {
         self.engine.restore(&self.pristine);
         solver.run_instance(&mut self.engine, &self.t, matrix, Instant::now())
     }
+
+    /// Whether the seeded re-solve program has been compiled yet (it is
+    /// built lazily by the first [`WarmEngine::solve_seeded`]).
+    pub fn seeded_ready(&self) -> bool {
+        self.seeded.is_some()
+    }
+
+    /// One-time modeled cost of loading the seeded re-solve program, once
+    /// compiled ([`None`] before the first seeded solve). Pools charge it
+    /// like [`WarmEngine::program_load_cycles`]: once per warm-up, never
+    /// per solve.
+    pub fn seeded_program_load_cycles(&self) -> Option<u64> {
+        self.seeded.as_ref().map(|s| s.engine.program_load_cycles())
+    }
+
+    /// Streams a warm-started re-solve through the seeded program: the
+    /// previous solve's duals are repaired against `matrix` on the host
+    /// ([`lsap::repair_duals_f32`]), the reduced slack and repaired `u, v`
+    /// are uploaded in place of the raw cost matrix, and the device runs
+    /// Steps 2–6 only — Step 1's reductions are skipped entirely.
+    ///
+    /// The result is a complete [`SolveReport`] with its own
+    /// [`lsap::DualCertificate`]; callers gate acceptance on
+    /// [`SolveReport::verify`] exactly as for a cold solve (the
+    /// [`lsap::IncrementalSolver`] does this and falls back to a cold
+    /// solve on failure). `stats.seeded` is set so fallback accounting
+    /// stays observable.
+    pub fn solve_seeded(
+        &mut self,
+        solver: &HunIpu,
+        matrix: &CostMatrix,
+        warm: &WarmStart,
+    ) -> Result<SolveReport, LsapError> {
+        let n = solver.validate_size(matrix)?;
+        if n != self.n {
+            return Err(LsapError::ShapeMismatch {
+                expected: format!("{0}x{0} (this warm engine's compiled shape)", self.n),
+                found: format!("{n}x{n}"),
+            });
+        }
+        let seed = lsap::repair_duals_f32(matrix, warm)?;
+        if self.seeded.is_none() {
+            let (engine, t) = solver.compile_for_seeded(self.n)?;
+            let pristine = engine.snapshot();
+            self.seeded = Some(SeededProgram {
+                engine,
+                t,
+                pristine,
+            });
+        }
+        let s = self.seeded.as_mut().expect("compiled above");
+        s.engine.restore(&s.pristine);
+        solver.run_instance_seeded(&mut s.engine, &s.t, matrix, &seed, Instant::now())
+    }
 }
 
 impl HunIpu {
@@ -91,6 +157,7 @@ impl HunIpu {
             t,
             pristine,
             n,
+            seeded: None,
         })
     }
 }

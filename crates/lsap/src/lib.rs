@@ -36,6 +36,7 @@ mod assignment;
 mod batch;
 mod certificate;
 mod error;
+pub mod incremental;
 mod matrix;
 pub mod policy;
 mod rectangular;
@@ -48,6 +49,10 @@ pub use batch::{
 };
 pub use certificate::DualCertificate;
 pub use error::LsapError;
+pub use incremental::{
+    repair_duals, repair_duals_f32, DeltaUpdate, IncrementalSolver, RepairedSeed, RepairedSeedF32,
+    ResolveStats, SeedSolve, StreamSnapshot, WarmStart,
+};
 pub use matrix::CostMatrix;
 pub use policy::{checked_attempt, classify, Attempt, RetryClass};
 pub use rectangular::solve_rectangular;

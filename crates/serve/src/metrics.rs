@@ -27,6 +27,16 @@ pub struct TenantMetrics {
     pub rerouted: u64,
     /// IPU attempts beyond the first, summed over requests.
     pub retries: u64,
+    /// Exact answers served by the warm-started (seeded) re-solve rung:
+    /// the tenant's previous duals for this shape were repaired on the
+    /// host and the device ran the Step-1-free program, and the answer's
+    /// certificate verified.
+    pub seeded: u64,
+    /// Seeded re-solve attempts whose answer failed certificate
+    /// verification (stale seed or device fault) and fell back to the
+    /// cold rung. The fallback contract is never-silent: every fallback
+    /// is counted here.
+    pub seeded_fallbacks: u64,
     /// Completion-minus-arrival, in virtual cycles, for every answered
     /// request (exact or degraded), in completion order.
     latencies: Vec<u64>,

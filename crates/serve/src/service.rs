@@ -40,7 +40,7 @@ use crate::pool::EnginePool;
 use cpu_hungarian::JonkerVolgenant;
 use hunipu::{HunIpu, F32_VERIFY_EPS};
 use lsap::policy::{self, RetryClass};
-use lsap::{Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver};
+use lsap::{Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver, WarmStart};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -184,6 +184,13 @@ pub struct ServiceConfig {
     /// Deadline budget applied when a request does not set one; `None`
     /// means no deadline.
     pub default_budget_cycles: Option<u64>,
+    /// Warm-started re-solves: when a tenant submits the same shape
+    /// again, repair its previous duals against the new matrix and run
+    /// the Step-1-free seeded program first, certificate-gated with a
+    /// counted fallback to the cold rung. Streams of related instances
+    /// (the re-solve workload) get most of their work for free; unrelated
+    /// instances still verify or fall back, never silently wrong.
+    pub warm_start: bool,
 }
 
 impl Default for ServiceConfig {
@@ -198,15 +205,56 @@ impl Default for ServiceConfig {
             max_attempts: 2,
             verify_eps: F32_VERIFY_EPS,
             default_budget_cycles: None,
+            warm_start: true,
         }
     }
 }
 
-/// Ladder rungs that have learned cycle estimates.
+/// Ladder rungs that have learned cycle estimates. Seeded re-solves are
+/// tracked separately from cold IPU solves: they are systematically
+/// cheaper, and mixing the two would make deadline skip decisions
+/// flip-flop with the request mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Rung {
+    IpuSeeded,
     Ipu,
     Cpu,
+}
+
+/// Warm-start states retained per `(tenant, n)`. Small and bounded: a
+/// [`WarmStart`] is O(n) floats, and the cache keeps at most
+/// [`WARM_CACHE_CAPACITY`] entries, least recently used first out.
+const WARM_CACHE_CAPACITY: usize = 32;
+
+#[derive(Default)]
+struct WarmCache {
+    /// Most recently used first; linear scans are fine at this size.
+    entries: Vec<((String, usize), WarmStart)>,
+}
+
+impl WarmCache {
+    fn get(&mut self, tenant: &str, n: usize) -> Option<WarmStart> {
+        let i = self
+            .entries
+            .iter()
+            .position(|((t, k), _)| t == tenant && *k == n)?;
+        let e = self.entries.remove(i);
+        let ws = e.1.clone();
+        self.entries.insert(0, e);
+        Some(ws)
+    }
+
+    fn put(&mut self, tenant: &str, n: usize, ws: WarmStart) {
+        self.remove(tenant, n);
+        if self.entries.len() == WARM_CACHE_CAPACITY {
+            self.entries.pop();
+        }
+        self.entries.insert(0, ((tenant.to_string(), n), ws));
+    }
+
+    fn remove(&mut self, tenant: &str, n: usize) {
+        self.entries.retain(|((t, k), _)| !(t == tenant && *k == n));
+    }
 }
 
 #[derive(Debug)]
@@ -238,6 +286,8 @@ pub struct AssignmentService {
     /// Last observed device cycles per (rung, shape) — the basis for
     /// deadline skip decisions. Learned, deterministic.
     estimates: HashMap<(Rung, usize), u64>,
+    /// Per-(tenant, shape) warm-start state for the seeded rung.
+    warm_starts: WarmCache,
     clock_hz: f64,
 }
 
@@ -270,6 +320,7 @@ impl AssignmentService {
             device_free_at: 0,
             next_id: 0,
             estimates: HashMap::new(),
+            warm_starts: WarmCache::default(),
             clock_hz,
         }
     }
@@ -462,6 +513,86 @@ impl AssignmentService {
         // reports `attempts - 1` as its retry count.
         let mut attempts = 0u32;
 
+        // Rung 0: warm-started re-solve. When this tenant has an exact
+        // answer for this shape already, its duals are repaired against
+        // the new matrix on the host and the device runs the Step-1-free
+        // seeded program. Certificate-gated like every exact rung; any
+        // failure (stale seed, device fault) drops the seed, counts a
+        // fallback, and descends to the cold rung — never silent.
+        if self.cfg.warm_start {
+            'seeded: {
+                let Some(ws) = self.warm_starts.get(&p.tenant, n) else {
+                    break 'seeded;
+                };
+                // Host-side usefulness gate (free on the virtual clock):
+                // repair the duals against the new matrix and count how
+                // much of the previous matching survives. A seed from an
+                // unrelated matrix is still *feasible* — the seeded solve
+                // would succeed — but the device would rebuild the
+                // matching almost from scratch, slower than a cold solve.
+                // Only the device work is modeled, so this check costs
+                // zero cycles.
+                let Ok(seed) = lsap::repair_duals_f32(&p.matrix, &ws) else {
+                    self.warm_starts.remove(&p.tenant, n);
+                    break 'seeded;
+                };
+                if seed.assignment.matched_count() * 2 < n {
+                    break 'seeded;
+                }
+                let (admit, tr) = self.ipu_breaker.admit(*t_busy);
+                if let Some(tr) = tr {
+                    self.metrics.breaker_transitions.push(tr);
+                }
+                if !admit {
+                    break 'seeded;
+                }
+                let est = self.estimates.get(&(Rung::IpuSeeded, n)).copied();
+                if let (Some(d), Some(e)) = (p.deadline, est) {
+                    if t_busy.saturating_add(e) > d {
+                        break 'seeded;
+                    }
+                }
+                let Ok((warm, load)) = self.pool.checkout(&self.ipu, n) else {
+                    break 'seeded;
+                };
+                *t_busy += load;
+                let seeded_was_ready = warm.seeded_ready();
+                attempts += 1;
+                let att =
+                    policy::checked_attempt(&p.matrix, self.cfg.verify_eps, None, "hunipu", || {
+                        warm.solve_seeded(&self.ipu, &p.matrix, &ws)
+                    });
+                if !seeded_was_ready {
+                    // The first seeded solve on this engine compiles and
+                    // loads the seeded program — charge it like a pool
+                    // miss, once.
+                    *t_busy += warm.seeded_program_load_cycles().unwrap_or(0);
+                }
+                let cycles = att.modeled_cycles.or(est).unwrap_or(0);
+                *t_busy += cycles;
+                match att.outcome {
+                    Ok(report) => {
+                        self.estimates.insert((Rung::IpuSeeded, n), cycles);
+                        if let Some(tr) = self.ipu_breaker.record_success(*t_busy) {
+                            self.metrics.breaker_transitions.push(tr);
+                        }
+                        self.metrics.tenant(&p.tenant).seeded += 1;
+                        self.warm_starts
+                            .put(&p.tenant, n, WarmStart::from_report(&report));
+                        let retries = attempts.saturating_sub(1);
+                        return self.finish_exact(p, start, *t_busy, "hunipu", report, retries);
+                    }
+                    Err(_) => {
+                        // The seed, not necessarily the device, is suspect:
+                        // drop it and let the cold attempts below exercise
+                        // the breaker.
+                        self.metrics.tenant(&p.tenant).seeded_fallbacks += 1;
+                        self.warm_starts.remove(&p.tenant, n);
+                    }
+                }
+            }
+        }
+
         // Rung 1: exact on the IPU, retried under decorrelated fault
         // epochs as budget and breaker allow.
         for k in 0..self.cfg.max_attempts {
@@ -501,6 +632,10 @@ impl AssignmentService {
                     self.estimates.insert((Rung::Ipu, n), cycles);
                     if let Some(tr) = self.ipu_breaker.record_success(*t_busy) {
                         self.metrics.breaker_transitions.push(tr);
+                    }
+                    if self.cfg.warm_start {
+                        self.warm_starts
+                            .put(&p.tenant, n, WarmStart::from_report(&report));
                     }
                     let retries = attempts.saturating_sub(1);
                     return self.finish_exact(p, start, *t_busy, "hunipu", report, retries);
@@ -552,6 +687,12 @@ impl AssignmentService {
                         self.metrics.breaker_transitions.push(tr);
                     }
                     self.metrics.tenant(&p.tenant).rerouted += 1;
+                    if self.cfg.warm_start {
+                        // CPU duals (f64) seed the device rung just as
+                        // well: the repair casts them through f32.
+                        self.warm_starts
+                            .put(&p.tenant, n, WarmStart::from_report(&report));
+                    }
                     let retries = attempts.saturating_sub(1);
                     return self.finish_exact(p, start, *t_busy, "cpu-jv", report, retries);
                 }

@@ -481,3 +481,137 @@ fn greedy_is_the_floor_when_both_exact_rungs_are_benched() {
         Quality::Exact => panic!("a greedy answer must never claim exactness"),
     }
 }
+
+/// Sequential same-shape requests from one tenant descend to the seeded
+/// rung after the first answer: the tenant's previous duals are repaired
+/// and the device skips Step 1, with every answer still
+/// certificate-verified and the re-solves strictly cheaper on the device
+/// clock than the tenant's cold solve.
+#[test]
+fn same_tenant_same_shape_streams_hit_the_seeded_rung() {
+    const N: usize = 12;
+    let mut svc = service(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 1,
+        batch_window_cycles: 0,
+        ..ServiceConfig::default()
+    });
+    // A stream: each request perturbs one row of the previous instance
+    // by an integer bump (integer costs keep the f32 dual repair exact),
+    // so most of the previous matching survives and the usefulness gate
+    // lets the seeded rung run.
+    let mut matrices = vec![inst(N, 60)];
+    for tick in 1..4usize {
+        let mut m = matrices[tick - 1].clone();
+        let row = (tick * 5) % N;
+        for j in 0..N {
+            m.set(row, j, m.get(row, j) + ((tick + j) % 7) as f64 + 1.0);
+        }
+        matrices.push(m);
+    }
+    for m in &matrices {
+        let t = svc.now() + 1;
+        svc.submit_at(t, Request::new("streamer", m.clone()))
+            .unwrap();
+        svc.run_until_idle();
+    }
+    let done = svc.take_completed();
+    assert_eq!(done.len(), 4);
+    let mut latencies = Vec::new();
+    for (out, m) in done.iter().zip(&matrices) {
+        let r = out.response().expect("clean path answers");
+        assert_eq!(r.backend, "hunipu");
+        assert_sound(r, m);
+        latencies.push(r.completion - r.arrival);
+    }
+    let t = &svc.metrics().tenants["streamer"];
+    assert_eq!(t.exact, 4);
+    // First request solves cold; the rest ride the warm duals (or fall
+    // back with an explicit count — with no faults armed they must not).
+    assert_eq!(t.seeded, 3, "metrics: {t:?}");
+    assert_eq!(t.seeded_fallbacks, 0);
+    // The second request pays the one-time seeded program load; from the
+    // third on, the full re-solve (repair + Steps 2-6) must beat the
+    // tenant's cold solve on the device clock.
+    assert!(
+        latencies[2] < latencies[0] && latencies[3] < latencies[0],
+        "warm re-solves should be cheaper: {latencies:?}"
+    );
+}
+
+/// Disabling warm starts in the config removes the seeded rung entirely.
+#[test]
+fn warm_start_opt_out_never_seeds() {
+    const N: usize = 12;
+    let mut svc = service(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 1,
+        batch_window_cycles: 0,
+        warm_start: false,
+        ..ServiceConfig::default()
+    });
+    for s in 0..3 {
+        let t = svc.now() + 1;
+        svc.submit_at(t, Request::new("cold-only", inst(N, 70 + s)))
+            .unwrap();
+        svc.run_until_idle();
+    }
+    let t = &svc.metrics().tenants["cold-only"];
+    assert_eq!(t.exact, 3);
+    assert_eq!((t.seeded, t.seeded_fallbacks), (0, 0));
+}
+
+/// A fault storm corrupting the seeded re-solve must surface as counted
+/// fallbacks (or breaker-benched cold attempts) — never as an incorrect
+/// answer.
+#[test]
+fn seeded_rung_falls_back_loudly_under_fault_storm() {
+    const N: usize = 12;
+    let mut svc = service(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 1,
+        batch_window_cycles: 0,
+        breaker_threshold: 1000, // keep the IPU rung admitting all storm long
+        ..ServiceConfig::default()
+    });
+    // Clean first answer plants the warm start.
+    let m0 = inst(N, 80);
+    svc.submit_at(1, Request::new("stormy", m0.clone()))
+        .unwrap();
+    svc.run_until_idle();
+    // Storm: every device launch (seeded and cold) is corrupted, so the
+    // request must reroute to the CPU rung — exactly, not silently.
+    // Flips from superstep 0: a one-row seeded re-solve is short enough
+    // to finish before a delayed storm starts, which would let it answer
+    // cleanly.
+    svc.set_fault_plan(Some(
+        FaultPlan::new(9)
+            .with_bit_flips(0.2)
+            .targeting("slack")
+            .after_supersteps(0),
+    ));
+    // One perturbed row keeps the warm start useful, so the seeded rung
+    // genuinely launches into the storm (instead of being skipped by the
+    // host-side usefulness gate).
+    let mut m1 = m0.clone();
+    for j in 0..N {
+        m1.set(3, j, m1.get(3, j) + 5.0);
+    }
+    let t = svc.now() + 1;
+    svc.submit_at(t, Request::new("stormy", m1.clone()))
+        .unwrap();
+    svc.run_until_idle();
+    let done = svc.take_completed();
+    for (out, m) in done.iter().zip([&m0, &m1]) {
+        let r = out.response().expect("ladder answers despite the storm");
+        assert_sound(r, m);
+    }
+    let t = &svc.metrics().tenants["stormy"];
+    assert_eq!(t.exact, 2);
+    assert_eq!(
+        t.seeded_fallbacks, 1,
+        "the corrupted seeded attempt must be counted: {t:?}"
+    );
+    assert_eq!(t.seeded, 0);
+    assert_eq!(t.rerouted, 1, "storm answer comes from the CPU rung");
+}
