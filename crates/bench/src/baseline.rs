@@ -701,6 +701,159 @@ impl ResolveBaseline {
     }
 }
 
+/// Maximum dispatch regret the calibrated portfolio may leave on the
+/// table, per grid cell: `measured(picked) / measured(oracle-best) − 1`
+/// must stay ≤ 10%. A mispick near a cost crossover is cheap (the two
+/// engines measure alike there) and passes; dispatching to an engine
+/// clearly slower than the best one fails the gate and means the
+/// committed `PortfolioTable::calibrated` constants are stale —
+/// regenerate them with `bench calibrate --emit-rust`.
+pub const PORTFOLIO_MAX_REGRET: f64 = 0.10;
+
+/// One engine's measured cost in a portfolio grid cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasuredCost {
+    /// Engine name.
+    pub engine: String,
+    /// Measured amortized modeled seconds per instance.
+    pub seconds_per_instance: f64,
+}
+
+/// One `(n, k, batch, chips)` cell of the portfolio regret baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortfolioEntry {
+    /// Instance size.
+    pub n: usize,
+    /// Value-range factor of the instance family.
+    pub k: u64,
+    /// Instances amortized per engine checkout.
+    pub batch: usize,
+    /// Chips the IPU engine spans.
+    pub chips: usize,
+    /// The engine `PortfolioTable::calibrated` picked for this shape.
+    pub picked: String,
+    /// The engine with the cheapest *measured* cost (the oracle).
+    pub oracle: String,
+    /// Measured amortized seconds/instance of the picked engine.
+    /// **Gated**: at most `(1 + PORTFOLIO_MAX_REGRET) ×` the oracle's.
+    pub picked_seconds: f64,
+    /// Measured amortized seconds/instance of the oracle-best engine.
+    /// **Gated** against drift (modeled costs are deterministic).
+    pub oracle_seconds: f64,
+    /// `picked_seconds / oracle_seconds − 1`. Informational — the gate
+    /// recomputes it from the measured columns.
+    pub regret: f64,
+    /// Every candidate's measured cost in this cell, for context.
+    pub measured: Vec<MeasuredCost>,
+    /// Host wall seconds for the cell. Informational only.
+    #[serde(default)]
+    pub wall_seconds: f64,
+}
+
+/// The portfolio dispatch-regret baseline: `bench portfolio
+/// --write-baseline` records it into `BENCH_portfolio.json`; `--check`
+/// re-measures the grid and fails when the calibrated table's pick
+/// leaves more than [`PORTFOLIO_MAX_REGRET`] on the table in any cell,
+/// or when a measured cost drifts. Every dispatched answer is
+/// certificate-verified by the harness before its cost is trusted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortfolioBaseline {
+    /// Dataset seed.
+    pub seed: u64,
+    /// Per-cell measurements.
+    pub entries: Vec<PortfolioEntry>,
+}
+
+impl PortfolioBaseline {
+    /// Reads a baseline from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Pretty-prints the baseline to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Compares a fresh run against this baseline, returning every
+    /// violation (empty = gate passes). Per baseline cell:
+    /// 1. the cell is still measured (same `n`, `k`, `batch`, `chips`),
+    /// 2. the oracle column is really the measured minimum (a harness
+    ///    that mislabels the oracle would otherwise hide regret),
+    /// 3. **the regret gate**: the picked engine's measured cost is
+    ///    within [`PORTFOLIO_MAX_REGRET`] of oracle-best — recomputed
+    ///    from the measured columns, tolerance-independent,
+    /// 4. the oracle-best cost itself did not regress by more than
+    ///    `tolerance` (the underlying engines got slower — a perf
+    ///    regression even if dispatch still picks them correctly).
+    pub fn compare(&self, current: &PortfolioBaseline, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.seed != current.seed {
+            violations.push(format!(
+                "seed mismatch: baseline {}, run {} — regenerate with --write-baseline",
+                self.seed, current.seed
+            ));
+            return violations;
+        }
+        for base in &self.entries {
+            let key = (base.n, base.k, base.batch, base.chips);
+            let Some(cur) = current
+                .entries
+                .iter()
+                .find(|e| (e.n, e.k, e.batch, e.chips) == key)
+            else {
+                violations.push(format!(
+                    "cell n={} k={} batch={} chips={} missing from this run",
+                    base.n, base.k, base.batch, base.chips
+                ));
+                continue;
+            };
+            let cell = format!(
+                "n={} k={} batch={} chips={}",
+                cur.n, cur.k, cur.batch, cur.chips
+            );
+            let measured_min = cur
+                .measured
+                .iter()
+                .map(|m| m.seconds_per_instance)
+                .fold(f64::INFINITY, f64::min);
+            if cur.oracle_seconds > measured_min * (1.0 + 1e-9) {
+                violations.push(format!(
+                    "{cell}: oracle column {:.3e} is not the measured minimum {:.3e}",
+                    cur.oracle_seconds, measured_min
+                ));
+            }
+            if cur.picked_seconds > cur.oracle_seconds * (1.0 + PORTFOLIO_MAX_REGRET) {
+                violations.push(format!(
+                    "{cell}: dispatch regret {:.1}% exceeds the {:.0}% gate \
+                     (picked {} at {:.3e}s vs oracle {} at {:.3e}s) \
+                     — recalibrate with `bench calibrate --emit-rust`",
+                    (cur.picked_seconds / cur.oracle_seconds - 1.0) * 100.0,
+                    PORTFOLIO_MAX_REGRET * 100.0,
+                    cur.picked,
+                    cur.picked_seconds,
+                    cur.oracle,
+                    cur.oracle_seconds
+                ));
+            }
+            if cur.oracle_seconds > base.oracle_seconds * (1.0 + tolerance) {
+                violations.push(format!(
+                    "{cell}: oracle-best cost regressed {:.3e} -> {:.3e} (+{:.1}%, tolerance {:.0}%)",
+                    base.oracle_seconds,
+                    cur.oracle_seconds,
+                    (cur.oracle_seconds / base.oracle_seconds - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1169,6 +1322,108 @@ mod tests {
         let back = ResolveBaseline::load(&path).unwrap();
         assert_eq!(back.entries.len(), 1);
         assert_eq!(back.entries[0].warm_cycles, 2000.0);
+        assert!(b.compare(&back, CYCLE_TOLERANCE).is_empty());
+    }
+
+    fn portfolio_cell(n: usize, picked_s: f64, oracle_s: f64) -> PortfolioEntry {
+        PortfolioEntry {
+            n,
+            k: 10,
+            batch: 1,
+            chips: 1,
+            picked: "jv".into(),
+            oracle: "jv".into(),
+            picked_seconds: picked_s,
+            oracle_seconds: oracle_s,
+            regret: picked_s / oracle_s - 1.0,
+            measured: vec![
+                MeasuredCost {
+                    engine: "jv".into(),
+                    seconds_per_instance: oracle_s,
+                },
+                MeasuredCost {
+                    engine: "hunipu".into(),
+                    seconds_per_instance: oracle_s * 20.0,
+                },
+            ],
+            wall_seconds: 0.1,
+        }
+    }
+
+    fn portfolio(entries: Vec<PortfolioEntry>) -> PortfolioBaseline {
+        PortfolioBaseline { seed: 1, entries }
+    }
+
+    #[test]
+    fn portfolio_identical_runs_pass() {
+        let b = portfolio(vec![portfolio_cell(64, 1.0e-4, 1.0e-4)]);
+        assert!(b.compare(&b.clone(), CYCLE_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn portfolio_regret_gate_is_tolerance_independent() {
+        let base = portfolio(vec![portfolio_cell(64, 1.05e-4, 1.0e-4)]);
+        // 5% regret passes...
+        assert!(base.compare(&base.clone(), CYCLE_TOLERANCE).is_empty());
+        // ...30% regret fails, recomputed from the measured columns even
+        // though the stored `regret` field claims otherwise.
+        let mut bad = portfolio(vec![portfolio_cell(64, 1.3e-4, 1.0e-4)]);
+        bad.entries[0].regret = 0.0;
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].contains("regret") && v[0].contains("recalibrate"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn portfolio_oracle_drift_and_mislabeled_oracle_fail() {
+        let base = portfolio(vec![portfolio_cell(64, 1.0e-4, 1.0e-4)]);
+        // The engines themselves got slower: oracle cost beyond tolerance.
+        let bad = portfolio(vec![portfolio_cell(64, 1.2e-4, 1.2e-4)]);
+        let v = base.compare(&bad, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("oracle-best cost regressed"), "{v:?}");
+        // A harness bug that labels a non-minimal engine as oracle would
+        // hide regret — caught structurally.
+        let mut lying = portfolio(vec![portfolio_cell(64, 1.0e-4, 1.0e-4)]);
+        lying.entries[0].measured[0].seconds_per_instance = 0.5e-4;
+        let v = base.compare(&lying, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("not the measured minimum"), "{v:?}");
+    }
+
+    #[test]
+    fn portfolio_missing_cell_and_seed_change_fail() {
+        let base = portfolio(vec![
+            portfolio_cell(64, 1.0e-4, 1.0e-4),
+            portfolio_cell(128, 2.0e-4, 2.0e-4),
+        ]);
+        let v = base.compare(
+            &portfolio(vec![portfolio_cell(64, 1.0e-4, 1.0e-4)]),
+            CYCLE_TOLERANCE,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"), "{v:?}");
+        let mut reseeded = base.clone();
+        reseeded.seed = 2;
+        let v = base.compare(&reseeded, CYCLE_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("seed mismatch"), "{v:?}");
+    }
+
+    #[test]
+    fn portfolio_roundtrips_through_disk() {
+        let b = portfolio(vec![portfolio_cell(64, 1.0e-4, 1.0e-4)]);
+        let dir = std::env::temp_dir().join("bench-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_portfolio.json");
+        b.save(&path).unwrap();
+        let back = PortfolioBaseline::load(&path).unwrap();
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].measured.len(), 2);
+        assert_eq!(back.entries[0].oracle, "jv");
         assert!(b.compare(&back, CYCLE_TOLERANCE).is_empty());
     }
 }

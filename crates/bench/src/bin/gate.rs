@@ -1,0 +1,32 @@
+//! `bench gate` — one command that runs every registered baseline gate.
+//!
+//! ```text
+//! cargo run --release -p bench --bin gate -- --all           # what CI runs
+//! cargo run --release -p bench --bin gate -- --only serve    # one gate
+//! cargo run --release -p bench --bin gate -- --all --drift   # weekly drift job
+//! ```
+//!
+//! `--all` (or `--only NAME`) runs each gate from [`bench::GATES`] in
+//! check mode — the gate binary's own `--check` plus a record-exists
+//! assertion — and prints one pass/fail summary table; output of passing
+//! gates is swallowed, failing gates replay theirs. `--drift` instead
+//! re-records every baseline to a scratch file and diffs it against the
+//! committed one (volatile wall-clock keys ignored), catching modeled
+//! costs that moved *within* the gate tolerance. Exit code = number of
+//! failed gates.
+
+use bench::{run_gates, Args};
+
+fn main() {
+    let args = Args::parse();
+    if !args.all && args.only.is_none() {
+        eprintln!(
+            "usage: bench gate (--all | --only NAME) [--drift]\n\
+             registered gates: {:?}",
+            bench::GATES.iter().map(|g| g.name).collect::<Vec<_>>()
+        );
+        std::process::exit(2);
+    }
+    let failures = run_gates(args.only.as_deref(), args.drift);
+    std::process::exit(failures.min(100) as i32);
+}

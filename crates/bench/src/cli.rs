@@ -46,6 +46,18 @@ pub struct Args {
     /// `--baseline PATH`: baseline file override (default
     /// `BENCH_batch.json` at the repo root).
     pub baseline: Option<String>,
+    /// `--emit-rust`: print fitted cost models as a Rust literal
+    /// (`bench calibrate`).
+    pub emit_rust: bool,
+    /// `--all`: run every registered baseline gate (`bench gate`).
+    pub all: bool,
+    /// `--drift`: re-record every baseline to a scratch directory and
+    /// diff against the committed files (`bench gate`, the weekly
+    /// scheduled job).
+    pub drift: bool,
+    /// `--only NAME`: restrict `bench gate` to gates whose name contains
+    /// NAME.
+    pub only: Option<String>,
     /// Positional arguments.
     pub positional: Vec<String>,
 }
@@ -133,12 +145,19 @@ impl Args {
                 "--baseline" => {
                     out.baseline = Some(it.next().expect("--baseline needs a path"));
                 }
+                "--emit-rust" => out.emit_rust = true,
+                "--all" => out.all = true,
+                "--drift" => out.drift = true,
+                "--only" => {
+                    out.only = Some(it.next().expect("--only needs a gate name"));
+                }
                 other if other.starts_with("--") => {
                     panic!(
                         "unknown flag {other}; supported: \
                          --full --uniform --sizes --ks --threads --seed \
                          --tile-sample --max-events --out --batch --check \
-                         --write-baseline --baseline"
+                         --write-baseline --baseline --emit-rust --all \
+                         --drift --only"
                     )
                 }
                 other => out.positional.push(other.to_string()),
@@ -224,5 +243,14 @@ mod tests {
     #[should_panic(expected = "--batch must be >= 1")]
     fn zero_batch_panics() {
         parse("--batch 0");
+    }
+
+    #[test]
+    fn gate_runner_flags_parse() {
+        let a = parse("--all --drift --only portfolio --emit-rust");
+        assert!(a.all && a.drift && a.emit_rust);
+        assert_eq!(a.only.as_deref(), Some("portfolio"));
+        let b = parse("--check");
+        assert!(!b.all && !b.drift && !b.emit_rust && b.only.is_none());
     }
 }

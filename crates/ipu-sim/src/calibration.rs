@@ -37,8 +37,35 @@
 /// Tiles on the Mk2 GC200.
 pub const MK2_TILES: usize = 1472;
 
+/// Mk2 tile clock, Hz (§III of the paper; Jia et al. report the same
+/// 1.325 GHz for the GC2 and Graphcore lists it for the GC200).
+pub const MK2_CLOCK_HZ: f64 = 1.325e9;
+
+/// On-chip exchange bandwidth per tile, bytes per cycle.
+///
+/// Citadel's microbenchmarks measure ~5.8 GB/s sustained per-tile
+/// exchange bandwidth and ~8 TB/s aggregate; 4 B/cycle at
+/// [`MK2_CLOCK_HZ`] gives 5.3 GB/s per tile and 7.8 TB/s aggregate
+/// across [`MK2_TILES`] — within 10% of both observations (the
+/// derivation is asserted by this module's tests).
+pub const EXCHANGE_BYTES_PER_CYCLE: f64 = 4.0;
+
 /// Chip-wide BSP synchronization charge, cycles.
+///
+/// Citadel measures internal sync latency from 35 ns (a minimal sync
+/// zone, [`SYNC_CYCLES_INTERNAL_MIN`]) up to ~150 ns when the sync
+/// spans the full chip under load. The solver's supersteps are
+/// chip-wide (every tile owns matrix columns), so the simulator charges
+/// the full-chip figure: 150 ns ≈ 200 cycles at 1.325 GHz, kept at 150
+/// cycles to stay on the paper's earlier-calibration anchor — between
+/// the two measured bounds, and deliberately *not* retuned
+/// per-benchmark (all committed baselines share it).
 pub const SYNC_CYCLES: u64 = 150;
+
+/// Floor of the measured internal-sync latency: 35 ns at
+/// [`MK2_CLOCK_HZ`] ≈ 46 cycles (Citadel). A lower bound for any
+/// sync-zone configuration; the cost models use [`SYNC_CYCLES`].
+pub const SYNC_CYCLES_INTERNAL_MIN: u64 = 46;
 
 /// Fixed charge to set up one exchange phase, cycles.
 pub const EXCHANGE_SETUP_CYCLES: u64 = 50;
@@ -94,3 +121,50 @@ pub const IMAGE_BYTES_PER_TENSOR: u64 = 24;
 /// Modeled program-image bytes per lowered control-flow/exchange node
 /// (sequence entries, loop headers, pre-compiled exchange sequences).
 pub const IMAGE_BYTES_PER_NODE: u64 = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The constants must stay anchored to the Citadel measurements they
+    /// cite: if someone retunes one, these derivations force the docs
+    /// (and the downstream cost models) to be revisited too.
+    #[test]
+    fn exchange_constants_match_citadel_bandwidths() {
+        // Per-tile: 4 B/cycle · 1.325 GHz = 5.3 GB/s vs measured ~5.8 GB/s.
+        let per_tile_gb_s = EXCHANGE_BYTES_PER_CYCLE * MK2_CLOCK_HZ / 1e9;
+        assert!(
+            (per_tile_gb_s - 5.8).abs() / 5.8 < 0.10,
+            "per-tile exchange bandwidth {per_tile_gb_s:.2} GB/s drifted \
+             from Citadel's ~5.8 GB/s"
+        );
+        // Aggregate: × 1472 tiles = 7.8 TB/s vs the paper's "8 TB/s".
+        let aggregate_tb_s = per_tile_gb_s * MK2_TILES as f64 / 1e3;
+        assert!(
+            (aggregate_tb_s - 8.0).abs() / 8.0 < 0.05,
+            "aggregate exchange bandwidth {aggregate_tb_s:.2} TB/s drifted \
+             from the ~8 TB/s all-to-all figure"
+        );
+    }
+
+    #[test]
+    fn sync_charge_sits_between_the_measured_bounds() {
+        // 35 ns floor ≤ charged sync ≤ 150 ns full-chip ceiling.
+        let ns = |cycles: u64| cycles as f64 / MK2_CLOCK_HZ * 1e9;
+        assert!((ns(SYNC_CYCLES_INTERNAL_MIN) - 35.0).abs() < 1.0);
+        assert!(ns(SYNC_CYCLES) >= 35.0 && ns(SYNC_CYCLES) <= 150.0);
+        const { assert!(SYNC_CYCLES_INTERNAL_MIN < SYNC_CYCLES) };
+    }
+
+    #[test]
+    fn inter_chip_fabric_is_an_order_slower_than_on_chip() {
+        // Ten 32 GB/s IPU-Links spread over 1472 tiles: ~0.16 B/cycle,
+        // ~25× below the on-chip 4 B/cycle — the reason chip-aware
+        // layouts keep hot state chip-local and the portfolio's chip
+        // multipliers exceed 1 at bench sizes.
+        let links_b_per_cycle = 320e9 / MK2_CLOCK_HZ / MK2_TILES as f64;
+        assert!((links_b_per_cycle - INTER_IPU_BYTES_PER_CYCLE).abs() < 0.01);
+        let ratio = EXCHANGE_BYTES_PER_CYCLE / INTER_IPU_BYTES_PER_CYCLE;
+        assert!((20.0..30.0).contains(&ratio), "on/off-chip ratio {ratio}");
+    }
+}

@@ -111,8 +111,8 @@ impl IpuConfig {
             tiles: calibration_tiles(),
             threads_per_tile: 6,
             tile_memory_bytes: 624 * 1024,
-            clock_hz: 1.325e9,
-            exchange_bytes_per_cycle: 4.0,
+            clock_hz: crate::calibration::MK2_CLOCK_HZ,
+            exchange_bytes_per_cycle: crate::calibration::EXCHANGE_BYTES_PER_CYCLE,
             sync_cycles: crate::calibration::SYNC_CYCLES,
             exchange_setup_cycles: crate::calibration::EXCHANGE_SETUP_CYCLES,
             control_cycles: crate::calibration::CONTROL_CYCLES,

@@ -12,7 +12,11 @@
 //! - [`LsapSolver`] — the trait all solvers (CPU, simulated GPU, simulated
 //!   IPU) implement, and [`SolveReport`] with modeled-runtime accounting,
 //! - [`BatchLsapSolver`] — the batched counterpart solving `B` instances
-//!   through one engine, with amortized accounting in [`BatchStats`].
+//!   through one engine, with amortized accounting in [`BatchStats`],
+//! - [`portfolio`] — analytic per-engine cost models and the
+//!   [`PortfolioSolver`] that dispatches each instance to the predicted-
+//!   cheapest engine, with the [`ResilientSolver`] retry/fallback loop
+//!   run in predicted order.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@ mod error;
 pub mod incremental;
 mod matrix;
 pub mod policy;
+pub mod portfolio;
 mod rectangular;
 mod resilient;
 mod solver;
@@ -55,6 +60,9 @@ pub use incremental::{
 };
 pub use matrix::CostMatrix;
 pub use policy::{checked_attempt, classify, Attempt, RetryClass};
+pub use portfolio::{
+    EngineCostModel, InstanceShape, PortfolioSolver, PortfolioTable, PowerLaw, Prediction,
+};
 pub use rectangular::solve_rectangular;
 pub use resilient::{AttemptRecord, ResilientSolver, RetryPolicy};
 pub use solver::{LsapSolver, SolveReport, SolverStats};

@@ -1,0 +1,946 @@
+//! Cost-model-driven solver portfolio.
+//!
+//! The workspace has four engine families — HunIPU (simulated Mk2),
+//! FastHA (simulated A100), and the CPU trio (JV / Munkres / auction) —
+//! whose relative cost moves with instance shape: per-checkout overhead
+//! (IPU program load, the GPU's lockstep launch/sync latency) amortizes
+//! away under batching, extra chips *raise* IPU cost at bench sizes
+//! (inter-chip exchange is ~25× slower than the on-chip fabric, see
+//! `ipu_sim::calibration`), and FastHA only takes power-of-two sizes.
+//! The calibrated ordering is not obvious from first principles: the
+//! modeled-EPYC JV solver owns single instances across the whole bench
+//! grid, HunIPU beats the classic Munkres CPU baseline ~20× at `n = 512`
+//! (the paper's comparison), and FastHA overtakes HunIPU only once a
+//! batch amortizes its launch latency. In the deadline-bound serving
+//! setting a wrong pick is not a perf miss, it is a serviced-latency
+//! bug: a request dispatched to an engine 10× slower than the best one
+//! burns its budget and degrades.
+//!
+//! This module turns the hand-ordered fallback chain into a *predicted*
+//! one:
+//!
+//! - [`EngineCostModel`] — an analytic per-engine cost model
+//!   `cost(n, k, batch, chips)`: a power law in `n`, a power-law density
+//!   multiplier in the value-range factor `k`, a per-chip-count
+//!   multiplier table, and a per-checkout overhead law (program load,
+//!   lockstep launch rounds) paid once and amortized across the batch,
+//! - [`PortfolioTable`] — a set of models with [`PortfolioTable::rank`]
+//!   ordering engines by predicted per-instance seconds for a shape;
+//!   [`PortfolioTable::calibrated`] carries coefficients fitted offline
+//!   by `bench calibrate` from the simulators' deterministic modeled
+//!   costs (regenerate with
+//!   `cargo run --release -p bench --bin calibrate -- --emit-rust`),
+//! - [`PortfolioSolver`] — an [`LsapSolver`] that predicts the cheapest
+//!   registered engine per instance and runs the [`ResilientSolver`]
+//!   retry/fallback loop over the chain *in predicted order*, so a
+//!   mispredicted or faulty engine degrades to the next-cheapest rather
+//!   than to an arbitrary hand-picked fallback.
+//!
+//! Predictions are *dispatch decisions*, never answers: every result
+//! still passes the LP-duality certificate check before it is returned,
+//! so the worst a bad model can do is cost time — measured as **regret**
+//! (picked cost / oracle-best cost − 1) by `bench portfolio` and gated
+//! ≤10% in CI against `BENCH_portfolio.json`.
+
+use crate::resilient::{run_solver_with_retries, AttemptRecord, RetryPolicy, StepOutcome};
+use crate::{CostMatrix, LsapError, LsapSolver, SolveReport, COST_EPS};
+use serde::{Deserialize, Serialize};
+
+/// Reference value-range factor: the paper's default `k = 10` (costs
+/// drawn from `[1, k·n]`). Density multipliers are normalized to 1 here.
+pub const K_REF: f64 = 10.0;
+
+/// The shape features the cost models see.
+///
+/// `k` is the value-range factor of the instance family (costs in
+/// `[1, k·n]`): larger `k` means fewer ties / sparser zeros in the slack
+/// matrix and more dual-update work for every engine family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceShape {
+    /// Problem size (the matrix is `n × n`).
+    pub n: usize,
+    /// Value-range factor (≥ 1; see [`K_REF`]).
+    pub k: f64,
+    /// Same-shape instances solved through one engine checkout.
+    pub batch: usize,
+    /// Chips the IPU engine would span.
+    pub chips: usize,
+}
+
+impl InstanceShape {
+    /// A single-instance, single-chip shape.
+    pub fn single(n: usize, k: f64) -> Self {
+        Self {
+            n,
+            k: k.max(1.0),
+            batch: 1,
+            chips: 1,
+        }
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch must be >= 1");
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the chip count.
+    pub fn with_chips(mut self, chips: usize) -> Self {
+        assert!(chips >= 1, "chips must be >= 1");
+        self.chips = chips;
+        self
+    }
+
+    /// Infers the shape of a concrete matrix: `n` from its dimension and
+    /// `k` from the value range (`max entry ≈ k·n` for the paper's
+    /// instance families).
+    pub fn from_matrix(matrix: &CostMatrix, batch: usize, chips: usize) -> Self {
+        let n = matrix.n().max(1);
+        let (_, max) = matrix.min_max();
+        let k = if max.is_finite() && max > 0.0 {
+            (max / n as f64).max(1.0)
+        } else {
+            K_REF
+        };
+        Self { n, k, batch, chips }
+    }
+}
+
+/// `cost(n) = coeff · n^exponent`, the backbone of every model term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLaw {
+    /// Multiplicative coefficient (> 0).
+    pub coeff: f64,
+    /// Exponent (≥ 0 so cost is monotone in `n`).
+    pub exponent: f64,
+}
+
+impl PowerLaw {
+    /// Evaluates the law at `n`.
+    pub fn eval(&self, n: f64) -> f64 {
+        self.coeff * n.powf(self.exponent)
+    }
+
+    /// The identically-zero law (engines with no per-checkout overhead).
+    pub const fn zero() -> Self {
+        Self {
+            coeff: 0.0,
+            exponent: 0.0,
+        }
+    }
+
+    /// Least-squares log–log fit through measured `(x, cost)` points
+    /// (the standard way to fit a power law): returns `None` with fewer
+    /// than two distinct positive points. The exponent is clamped to
+    /// `[0, 5]` so a noisy sweep cannot produce a non-monotone or
+    /// absurdly steep model.
+    pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+            .map(|&(x, y)| (x.ln(), y.ln()))
+            .collect();
+        if pts.len() < 2 || pts.iter().all(|(x, _)| *x == pts[0].0) {
+            return None;
+        }
+        let m = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+        let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+        let denom = m * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let exponent = ((m * sxy - sx * sy) / denom).clamp(0.0, 5.0);
+        let coeff = ((sy - exponent * sx) / m).exp();
+        Some(Self { coeff, exponent })
+    }
+}
+
+/// Which instance sizes an engine can take at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Support {
+    /// Any square instance.
+    Any,
+    /// Power-of-two sizes only (FastHA's kernel grid).
+    PowerOfTwo,
+}
+
+impl Support {
+    /// `true` if an `n × n` instance is solvable by the engine.
+    pub fn accepts(&self, n: usize) -> bool {
+        match self {
+            Support::Any => n >= 1,
+            Support::PowerOfTwo => n >= 1 && n.is_power_of_two(),
+        }
+    }
+}
+
+/// Analytic cost model of one engine, in the engine's **native cost
+/// unit** (simulated device cycles for HunIPU, modeled seconds for the
+/// GPU and CPU engines — the latter use `clock_hz = 1.0`).
+///
+/// Total predicted cost of a batch:
+///
+/// ```text
+/// total = batch · solve(n) · (k / K_REF)^density_exponent · chip_mult(chips)
+///       + overhead(n)
+/// ```
+///
+/// `overhead(n)` is the per-checkout cost — IPU program load, or the
+/// GPU's lockstep launch/sync rounds, which grow with `n` — that a
+/// sequential caller pays per solve and a batch engine pays once; this
+/// is exactly what moves the ordering when serving batches. With solve
+/// `coeff > 0`, overhead `coeff ≥ 0`, all exponents ≥ 0 and positive
+/// chip multipliers, the total is monotone in both `n` and `batch`
+/// (property-tested).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCostModel {
+    /// Engine name, matching [`LsapSolver::name`] (`"hunipu"`, `"jv"`, …).
+    pub engine: String,
+    /// Converts native cost units to seconds (`seconds = cost / clock_hz`);
+    /// `1.0` for models already denominated in seconds.
+    pub clock_hz: f64,
+    /// Per-instance solve cost at `k = K_REF`, one chip, native units.
+    pub solve: PowerLaw,
+    /// Exponent of the `(k / K_REF)` density multiplier (≥ 0).
+    pub density_exponent: f64,
+    /// `(chips, multiplier)` table, ascending in chips; empty = always 1.
+    /// Looked up with log-space interpolation and clamped at the ends.
+    pub chip_mult: Vec<(usize, f64)>,
+    /// Per-checkout overhead as a function of `n`, native units
+    /// ([`PowerLaw::zero`] for engines with none).
+    pub overhead: PowerLaw,
+    /// Which sizes the engine accepts.
+    pub support: Support,
+}
+
+impl EngineCostModel {
+    /// `true` if the engine can solve an `n × n` instance at all.
+    pub fn supports(&self, n: usize) -> bool {
+        self.support.accepts(n)
+    }
+
+    /// The chip-count multiplier for `chips`, interpolated linearly in
+    /// `log2(chips)` between table entries and clamped outside them.
+    pub fn chip_multiplier(&self, chips: usize) -> f64 {
+        let t = &self.chip_mult;
+        if t.is_empty() {
+            return 1.0;
+        }
+        if chips <= t[0].0 {
+            return t[0].1;
+        }
+        if chips >= t[t.len() - 1].0 {
+            return t[t.len() - 1].1;
+        }
+        for w in t.windows(2) {
+            let (c0, m0) = w[0];
+            let (c1, m1) = w[1];
+            if chips >= c0 && chips <= c1 {
+                let x = ((chips as f64).log2() - (c0 as f64).log2())
+                    / ((c1 as f64).log2() - (c0 as f64).log2());
+                return m0 + x * (m1 - m0);
+            }
+        }
+        1.0
+    }
+
+    /// Total predicted cost of solving `shape.batch` instances, native
+    /// units (monotone in `n` and `batch`).
+    pub fn batch_cost(&self, shape: InstanceShape) -> f64 {
+        let density = (shape.k.max(1.0) / K_REF).powf(self.density_exponent);
+        shape.batch as f64
+            * self.solve.eval(shape.n as f64)
+            * density
+            * self.chip_multiplier(shape.chips)
+            + self.overhead.eval(shape.n as f64)
+    }
+
+    /// Amortized predicted cost per instance, native units.
+    pub fn cost_per_instance(&self, shape: InstanceShape) -> f64 {
+        self.batch_cost(shape) / shape.batch.max(1) as f64
+    }
+
+    /// Amortized predicted seconds per instance (the cross-engine
+    /// comparison currency).
+    pub fn seconds_per_instance(&self, shape: InstanceShape) -> f64 {
+        self.cost_per_instance(shape) / self.clock_hz
+    }
+
+    /// Panics if a coefficient breaks the monotonicity contract — called
+    /// by [`PortfolioTable::new`] so a bad hand edit fails fast.
+    fn validate(&self) {
+        assert!(
+            self.clock_hz > 0.0,
+            "{}: clock_hz must be positive",
+            self.engine
+        );
+        assert!(
+            self.solve.coeff > 0.0 && self.solve.exponent >= 0.0,
+            "{}: solve power law must be positive and monotone",
+            self.engine
+        );
+        assert!(
+            self.density_exponent >= 0.0,
+            "{}: density exponent must be >= 0",
+            self.engine
+        );
+        assert!(
+            self.overhead.coeff >= 0.0 && self.overhead.exponent >= 0.0,
+            "{}: overhead law must be non-negative and monotone",
+            self.engine
+        );
+        assert!(
+            self.chip_mult.windows(2).all(|w| w[0].0 < w[1].0),
+            "{}: chip_mult must be ascending in chips",
+            self.engine
+        );
+        assert!(
+            self.chip_mult.iter().all(|&(c, m)| c >= 1 && m > 0.0),
+            "{}: chip_mult entries must be positive",
+            self.engine
+        );
+    }
+}
+
+/// One engine's predicted cost for a shape (see [`PortfolioTable::rank`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Engine name.
+    pub engine: String,
+    /// Predicted amortized seconds per instance.
+    pub seconds_per_instance: f64,
+    /// `false` if the engine cannot take this size at all (ranked last).
+    pub supported: bool,
+}
+
+/// A set of per-engine cost models with shape-based ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioTable {
+    /// The models, in no particular order.
+    pub models: Vec<EngineCostModel>,
+}
+
+impl PortfolioTable {
+    /// Builds a table, validating every model's monotonicity contract.
+    pub fn new(models: Vec<EngineCostModel>) -> Self {
+        for m in &models {
+            m.validate();
+        }
+        Self { models }
+    }
+
+    /// The model for `engine`, if present.
+    pub fn get(&self, engine: &str) -> Option<&EngineCostModel> {
+        self.models.iter().find(|m| m.engine == engine)
+    }
+
+    /// Ranks all models for `shape`: supported engines first, cheapest
+    /// predicted seconds per instance first; unsupported engines follow
+    /// (still cost-ordered) so they can serve as last-resort fallbacks
+    /// for callers that pad or reshape.
+    pub fn rank(&self, shape: InstanceShape) -> Vec<Prediction> {
+        let mut out: Vec<Prediction> = self
+            .models
+            .iter()
+            .map(|m| Prediction {
+                engine: m.engine.clone(),
+                seconds_per_instance: m.seconds_per_instance(shape),
+                supported: m.supports(shape.n),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.supported
+                .cmp(&a.supported)
+                .then(a.seconds_per_instance.total_cmp(&b.seconds_per_instance))
+        });
+        out
+    }
+
+    /// The supported engine with the cheapest prediction for `shape`.
+    pub fn pick(&self, shape: InstanceShape) -> Option<&EngineCostModel> {
+        self.models
+            .iter()
+            .filter(|m| m.supports(shape.n))
+            .min_by(|a, b| {
+                a.seconds_per_instance(shape)
+                    .total_cmp(&b.seconds_per_instance(shape))
+            })
+    }
+
+    /// The default calibrated table.
+    ///
+    /// Coefficients are fitted offline by `bench calibrate` from the
+    /// simulators' *modeled* costs — deterministic pure functions of the
+    /// instance, so the fit is reproducible bit-for-bit on any host
+    /// (regenerate with
+    /// `cargo run --release -p bench --bin calibrate -- --emit-rust` and
+    /// paste the emitted table here). Anchors, for intuition:
+    ///
+    /// - `hunipu`: Mk2 cycles; n=64 ≈ 3.0M solve cycles + ~0.51M program
+    ///   load, n=512 ≈ 144M (~0.11 s) — a growing-exponent regime fitted
+    ///   ~n^2.1 over the bench range. Extra chips *raise* cycles at
+    ///   these sizes (inter-chip exchange), hence chip multipliers > 1.
+    /// - `fastha`: A100 modeled seconds. Lockstep launch/sync rounds —
+    ///   the overhead law, ~n^1.8, 0.45 s at n=512 — dominate a solo
+    ///   solve and amortize across a batch; the per-instance marginal
+    ///   (`solve`) is far smaller. Power-of-two sizes only.
+    /// - `jv` / `munkres` / `auction`: modeled EPYC seconds from the
+    ///   instrumented operation counts, no per-checkout overhead. JV is
+    ///   the cheapest engine for single instances across the whole bench
+    ///   grid; Munkres (the paper's CPU baseline) loses to the IPU ~20×
+    ///   at n=512.
+    pub fn calibrated() -> Self {
+        Self::new(vec![
+            EngineCostModel {
+                engine: "hunipu".into(),
+                clock_hz: 1325000000.0,
+                solve: PowerLaw {
+                    coeff: 7.250668e2,
+                    exponent: 1.9374,
+                },
+                density_exponent: 0.0632,
+                chip_mult: vec![(1, 1.0000), (2, 1.2858), (4, 1.5052)],
+                overhead: PowerLaw {
+                    coeff: 4.531293e5,
+                    exponent: 0.0337,
+                },
+                support: Support::Any,
+            },
+            EngineCostModel {
+                engine: "fastha".into(),
+                clock_hz: 1.0,
+                solve: PowerLaw {
+                    coeff: 5.532379e-6,
+                    exponent: 1.2755,
+                },
+                density_exponent: 0.0967,
+                chip_mult: Vec::new(),
+                overhead: PowerLaw {
+                    coeff: 5.717878e-6,
+                    exponent: 1.8096,
+                },
+                support: Support::PowerOfTwo,
+            },
+            EngineCostModel {
+                engine: "jv".into(),
+                clock_hz: 1.0,
+                solve: PowerLaw {
+                    coeff: 1.765365e-9,
+                    exponent: 2.4497,
+                },
+                density_exponent: 0.0136,
+                chip_mult: Vec::new(),
+                overhead: PowerLaw::zero(),
+                support: Support::Any,
+            },
+            EngineCostModel {
+                engine: "munkres".into(),
+                clock_hz: 1.0,
+                solve: PowerLaw {
+                    coeff: 3.929367e-10,
+                    exponent: 3.6404,
+                },
+                density_exponent: 0.0777,
+                chip_mult: Vec::new(),
+                overhead: PowerLaw::zero(),
+                support: Support::Any,
+            },
+            EngineCostModel {
+                engine: "auction".into(),
+                clock_hz: 1.0,
+                solve: PowerLaw {
+                    coeff: 1.922903e-8,
+                    exponent: 2.1010,
+                },
+                density_exponent: 0.0348,
+                chip_mult: Vec::new(),
+                overhead: PowerLaw::zero(),
+                support: Support::Any,
+            },
+        ])
+    }
+}
+
+/// A cost-model-dispatched, self-verifying solver.
+///
+/// Registered engines are matched to models in the table by
+/// [`LsapSolver::name`]. Each [`LsapSolver::solve`] call infers the
+/// instance's [`InstanceShape`], orders the chain by predicted seconds
+/// per instance (unsupported engines last), and runs the same
+/// verify/retry/escalate loop as [`ResilientSolver`] over the predicted
+/// order — so dispatch changes *which engine goes first*, never the
+/// correctness contract.
+///
+/// ```
+/// use lsap::{CostMatrix, LsapSolver};
+/// use lsap::portfolio::{PortfolioSolver, PortfolioTable};
+/// # use lsap::{Assignment, DualCertificate, LsapError, SolveReport, SolverStats};
+/// # struct Diag(&'static str);
+/// # impl LsapSolver for Diag {
+/// #     fn name(&self) -> &'static str { self.0 }
+/// #     fn solve(&mut self, m: &CostMatrix) -> Result<SolveReport, LsapError> {
+/// #         let n = m.n();
+/// #         let assignment = Assignment::from_permutation((0..n).collect());
+/// #         let objective = assignment.cost(m)?;
+/// #         Ok(SolveReport {
+/// #             assignment,
+/// #             objective,
+/// #             certificate: DualCertificate::new(
+/// #                 (0..n).map(|i| i as f64).collect(),
+/// #                 (0..n).map(|j| j as f64).collect(),
+/// #             ),
+/// #             stats: SolverStats::default(),
+/// #         })
+/// #     }
+/// # }
+/// let m = CostMatrix::from_fn(6, 6, |i, j| (i + j) as f64).unwrap();
+/// let mut solver = PortfolioSolver::new(PortfolioTable::calibrated())
+///     .with_engine(Diag("jv"))
+///     .with_engine(Diag("hunipu"));
+/// let report = solver.solve(&m).unwrap();
+/// // n=6: the CPU model is far cheaper than paying the IPU program
+/// // load, so "jv" ran (and answered) first.
+/// assert_eq!(solver.history()[0].solver, "jv");
+/// assert_eq!(report.objective, 30.0);
+/// ```
+pub struct PortfolioSolver {
+    table: PortfolioTable,
+    engines: Vec<Box<dyn LsapSolver>>,
+    policy: RetryPolicy,
+    eps: f64,
+    batch: usize,
+    chips: usize,
+    history: Vec<AttemptRecord>,
+    last_ranking: Vec<Prediction>,
+}
+
+impl std::fmt::Debug for PortfolioSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortfolioSolver")
+            .field("engines", &self.engine_names())
+            .field("policy", &self.policy)
+            .field("eps", &self.eps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PortfolioSolver {
+    /// An empty portfolio over `table` with the default retry policy and
+    /// verification tolerance [`COST_EPS`].
+    pub fn new(table: PortfolioTable) -> Self {
+        Self {
+            table,
+            engines: Vec::new(),
+            policy: RetryPolicy::default(),
+            eps: COST_EPS,
+            batch: 1,
+            chips: 1,
+            history: Vec::new(),
+            last_ranking: Vec::new(),
+        }
+    }
+
+    /// Registers an engine; its [`LsapSolver::name`] must have a model in
+    /// the table.
+    ///
+    /// # Panics
+    /// If the table has no model for the engine.
+    pub fn with_engine(self, engine: impl LsapSolver + 'static) -> Self {
+        self.with_engine_boxed(Box::new(engine))
+    }
+
+    /// Registers an already-boxed engine (for chains built at runtime).
+    ///
+    /// # Panics
+    /// If the table has no model for the engine.
+    pub fn with_engine_boxed(mut self, engine: Box<dyn LsapSolver>) -> Self {
+        assert!(
+            self.table.get(engine.name()).is_some(),
+            "no cost model for engine {:?}",
+            engine.name()
+        );
+        self.engines.push(engine);
+        self
+    }
+
+    /// Replaces the retry policy (applies per engine, like
+    /// [`ResilientSolver`](crate::ResilientSolver)).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        assert!(policy.max_attempts >= 1);
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the verification tolerance (use e.g. the f32 device
+    /// tolerance when an f32 backend is registered).
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Declares the serving context the predictions should assume
+    /// (amortization across `batch` same-shape instances on a
+    /// `chips`-chip device). Defaults to `batch = 1, chips = 1`.
+    pub fn with_context(mut self, batch: usize, chips: usize) -> Self {
+        assert!(batch >= 1 && chips >= 1);
+        self.batch = batch;
+        self.chips = chips;
+        self
+    }
+
+    /// The attempt history of the most recent solve, in execution order.
+    pub fn history(&self) -> &[AttemptRecord] {
+        &self.history
+    }
+
+    /// The prediction ranking used by the most recent solve (supported
+    /// engines first, cheapest first).
+    pub fn last_ranking(&self) -> &[Prediction] {
+        &self.last_ranking
+    }
+
+    /// Registered engine names, in registration order.
+    pub fn engine_names(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// The cost-model table.
+    pub fn table(&self) -> &PortfolioTable {
+        &self.table
+    }
+
+    /// The ranking the portfolio would use for `matrix` right now.
+    pub fn rank_for(&self, matrix: &CostMatrix) -> Vec<Prediction> {
+        self.table
+            .rank(InstanceShape::from_matrix(matrix, self.batch, self.chips))
+    }
+}
+
+impl LsapSolver for PortfolioSolver {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn solve(&mut self, matrix: &CostMatrix) -> Result<SolveReport, LsapError> {
+        self.history.clear();
+        let shape = InstanceShape::from_matrix(matrix, self.batch, self.chips);
+        self.last_ranking = self.table.rank(shape);
+        // Order the registered engines by the ranking (engines sharing a
+        // name keep registration order; unranked names cannot exist — the
+        // constructor requires a model).
+        let position = |name: &str| {
+            self.last_ranking
+                .iter()
+                .position(|p| p.engine == name)
+                .unwrap_or(usize::MAX)
+        };
+        self.engines.sort_by_key(|e| position(e.name()));
+        for engine in &mut self.engines {
+            match run_solver_with_retries(
+                engine.as_mut(),
+                &self.policy,
+                self.eps,
+                matrix,
+                &mut self.history,
+            ) {
+                StepOutcome::Done(report) => return Ok(report),
+                StepOutcome::Abort(e) => return Err(e),
+                StepOutcome::Exhausted => {}
+            }
+        }
+        Err(LsapError::Exhausted {
+            attempts: self.history.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assignment, DualCertificate, SolverStats};
+
+    fn model(engine: &str, coeff: f64, exponent: f64) -> EngineCostModel {
+        EngineCostModel {
+            engine: engine.into(),
+            clock_hz: 1.0,
+            solve: PowerLaw { coeff, exponent },
+            density_exponent: 0.0,
+            chip_mult: Vec::new(),
+            overhead: PowerLaw::zero(),
+            support: Support::Any,
+        }
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exact_law() {
+        let pts: Vec<(f64, f64)> = [16.0, 32.0, 64.0, 128.0]
+            .iter()
+            .map(|&n: &f64| (n, 3.5 * n.powf(2.25)))
+            .collect();
+        let law = PowerLaw::fit(&pts).unwrap();
+        assert!((law.coeff - 3.5).abs() < 1e-9, "coeff {}", law.coeff);
+        assert!((law.exponent - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_fit_rejects_degenerate_input() {
+        assert!(PowerLaw::fit(&[]).is_none());
+        assert!(PowerLaw::fit(&[(64.0, 10.0)]).is_none());
+        assert!(PowerLaw::fit(&[(64.0, 10.0), (64.0, 12.0)]).is_none());
+        assert!(PowerLaw::fit(&[(64.0, -1.0), (128.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn chip_multiplier_interpolates_and_clamps() {
+        let mut m = model("x", 1.0, 1.0);
+        m.chip_mult = vec![(1, 1.0), (4, 2.0)];
+        assert_eq!(m.chip_multiplier(1), 1.0);
+        assert_eq!(m.chip_multiplier(4), 2.0);
+        assert_eq!(m.chip_multiplier(8), 2.0, "clamped above");
+        // log2-space midpoint between 1 and 4 chips.
+        assert!((m.chip_multiplier(2) - 1.5).abs() < 1e-12);
+        let empty = model("y", 1.0, 1.0);
+        assert_eq!(empty.chip_multiplier(16), 1.0);
+    }
+
+    #[test]
+    fn batch_overhead_amortizes_per_instance() {
+        let mut m = model("x", 10.0, 1.0);
+        m.overhead = PowerLaw {
+            coeff: 100.0,
+            exponent: 0.0,
+        };
+        let solo = InstanceShape::single(8, K_REF);
+        let batched = solo.with_batch(10);
+        assert_eq!(m.cost_per_instance(solo), 180.0);
+        assert_eq!(m.cost_per_instance(batched), 90.0);
+        // Total cost still grows with the batch.
+        assert!(m.batch_cost(batched) > m.batch_cost(solo));
+        // An n-dependent overhead law is evaluated at the instance size.
+        m.overhead = PowerLaw {
+            coeff: 2.0,
+            exponent: 2.0,
+        };
+        assert_eq!(m.batch_cost(solo), 80.0 + 2.0 * 64.0);
+    }
+
+    #[test]
+    fn density_multiplier_is_normalized_at_k_ref() {
+        let mut m = model("x", 1.0, 2.0);
+        m.density_exponent = 0.5;
+        let base = m.cost_per_instance(InstanceShape::single(32, K_REF));
+        assert_eq!(base, 32.0 * 32.0);
+        let denser = m.cost_per_instance(InstanceShape::single(32, 4.0 * K_REF));
+        assert!((denser / base - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_orders_supported_cheapest_first() {
+        let mut gpu = model("gpu", 0.5, 1.0);
+        gpu.support = Support::PowerOfTwo;
+        let table =
+            PortfolioTable::new(vec![model("slow", 10.0, 1.0), model("fast", 1.0, 1.0), gpu]);
+        // n=32 (pow2): gpu cheapest, then fast, then slow.
+        let r = table.rank(InstanceShape::single(32, K_REF));
+        let names: Vec<&str> = r.iter().map(|p| p.engine.as_str()).collect();
+        assert_eq!(names, vec!["gpu", "fast", "slow"]);
+        // n=33: gpu unsupported, ranked last despite being cheapest.
+        let r = table.rank(InstanceShape::single(33, K_REF));
+        let names: Vec<&str> = r.iter().map(|p| p.engine.as_str()).collect();
+        assert_eq!(names, vec!["fast", "slow", "gpu"]);
+        assert!(!r[2].supported);
+        assert_eq!(
+            table.pick(InstanceShape::single(33, K_REF)).unwrap().engine,
+            "fast"
+        );
+    }
+
+    #[test]
+    fn calibrated_table_orders_engines_by_shape() {
+        let t = PortfolioTable::calibrated();
+        // The modeled-EPYC JV owns single instances across the bench
+        // grid — at both ends of it.
+        for n in [32, 512] {
+            let pick = t.pick(InstanceShape::single(n, K_REF)).unwrap();
+            assert_eq!(pick.engine, "jv", "single n={n} goes to the CPU JV");
+        }
+        // The paper's comparison: the IPU beats the Munkres CPU baseline
+        // by an order of magnitude at n=512.
+        let s = InstanceShape::single(512, K_REF);
+        let ipu = t.get("hunipu").unwrap().seconds_per_instance(s);
+        let munkres = t.get("munkres").unwrap().seconds_per_instance(s);
+        assert!(
+            munkres / ipu > 10.0,
+            "expected >10x IPU speedup over Munkres at n=512, got {:.1}x",
+            munkres / ipu
+        );
+        // FastHA's launch latency loses to the IPU solo but amortizes
+        // ahead of it under batching.
+        let fastha = t.get("fastha").unwrap();
+        let hunipu = t.get("hunipu").unwrap();
+        assert!(fastha.seconds_per_instance(s) > hunipu.seconds_per_instance(s));
+        let batched = s.with_batch(8);
+        assert!(fastha.seconds_per_instance(batched) < hunipu.seconds_per_instance(batched));
+        // Extra chips raise IPU cost at bench sizes (inter-chip fabric).
+        assert!(hunipu.seconds_per_instance(s.with_chips(4)) > hunipu.seconds_per_instance(s));
+    }
+
+    #[test]
+    fn calibrated_table_validates() {
+        // PortfolioTable::new re-validates: a broken hand edit panics.
+        let t = PortfolioTable::calibrated();
+        assert!(t.get("hunipu").is_some() && t.get("jv").is_some());
+        assert!(t.models.len() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn negative_exponent_is_rejected() {
+        PortfolioTable::new(vec![model("bad", 1.0, -0.5)]);
+    }
+
+    // ---- PortfolioSolver dispatch ----
+
+    fn good_report(m: &CostMatrix) -> SolveReport {
+        let n = m.n();
+        let assignment = Assignment::from_permutation((0..n).collect());
+        let objective = assignment.cost(m).unwrap();
+        SolveReport {
+            assignment,
+            objective,
+            certificate: DualCertificate::new(
+                (0..n).map(|i| i as f64).collect(),
+                (0..n).map(|j| j as f64).collect(),
+            ),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Mock engine: optionally always-corrupt, records nothing itself —
+    /// the portfolio's history is the observable.
+    struct Mock {
+        name: &'static str,
+        corrupt: bool,
+    }
+
+    impl LsapSolver for Mock {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn solve(&mut self, m: &CostMatrix) -> Result<SolveReport, LsapError> {
+            let mut r = good_report(m);
+            if self.corrupt {
+                r.objective += 7.0;
+            }
+            Ok(r)
+        }
+    }
+
+    fn gradient(n: usize) -> CostMatrix {
+        CostMatrix::from_fn(n, n, |i, j| (i + j) as f64).unwrap()
+    }
+
+    fn two_engine_table() -> PortfolioTable {
+        // "cheap" wins below n=100, "big" wins above.
+        PortfolioTable::new(vec![model("cheap", 1.0, 1.0), model("big", 100.0, 0.0)])
+    }
+
+    #[test]
+    fn dispatch_runs_predicted_cheapest_first() {
+        let m = gradient(6);
+        let mut s = PortfolioSolver::new(two_engine_table())
+            .with_engine(Mock {
+                name: "big",
+                corrupt: false,
+            })
+            .with_engine(Mock {
+                name: "cheap",
+                corrupt: false,
+            });
+        let report = s.solve(&m).unwrap();
+        report.verify(&m, COST_EPS).unwrap();
+        assert_eq!(s.history().len(), 1);
+        assert_eq!(
+            s.history()[0].solver,
+            "cheap",
+            "prediction reordered the chain"
+        );
+        assert_eq!(s.last_ranking()[0].engine, "cheap");
+    }
+
+    #[test]
+    fn corrupt_pick_falls_back_to_next_cheapest() {
+        let m = gradient(5);
+        let mut s = PortfolioSolver::new(two_engine_table())
+            .with_engine(Mock {
+                name: "cheap",
+                corrupt: true,
+            })
+            .with_engine(Mock {
+                name: "big",
+                corrupt: false,
+            })
+            .with_policy(RetryPolicy::attempts(2));
+        let report = s.solve(&m).unwrap();
+        report.verify(&m, COST_EPS).unwrap();
+        let h = s.history();
+        assert_eq!(h.len(), 3, "2 corrupt attempts + fallback success");
+        assert_eq!(h[0].solver, "cheap");
+        assert_eq!(h[2].solver, "big");
+        assert!(h[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("failed verification"));
+    }
+
+    #[test]
+    fn exhaustion_reports_full_history() {
+        let m = gradient(4);
+        let mut s = PortfolioSolver::new(two_engine_table())
+            .with_engine(Mock {
+                name: "cheap",
+                corrupt: true,
+            })
+            .with_engine(Mock {
+                name: "big",
+                corrupt: true,
+            })
+            .with_policy(RetryPolicy::attempts(1));
+        let err = s.solve(&m).unwrap_err();
+        let LsapError::Exhausted { attempts } = err else {
+            panic!("expected Exhausted");
+        };
+        assert_eq!(attempts.len(), 2);
+        assert_eq!(attempts[0].solver, "cheap");
+        assert_eq!(attempts[1].solver, "big");
+    }
+
+    #[test]
+    #[should_panic(expected = "no cost model")]
+    fn unknown_engine_is_rejected_at_registration() {
+        let _ = PortfolioSolver::new(two_engine_table()).with_engine(Mock {
+            name: "mystery",
+            corrupt: false,
+        });
+    }
+
+    #[test]
+    fn shape_inference_reads_n_and_value_range() {
+        // Entries in [1, 190]: max = 63·3 + 1 = 190, so k = 190/8.
+        let m = CostMatrix::from_fn(8, 8, |i, j| ((i * 8 + j) * 3) as f64 + 1.0).unwrap();
+        let s = InstanceShape::from_matrix(&m, 4, 2);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.batch, 4);
+        assert_eq!(s.chips, 2);
+        assert!(
+            (s.k - 190.0 / 8.0).abs() < 1e-9,
+            "k inferred as max/n, got {}",
+            s.k
+        );
+    }
+}

@@ -40,6 +40,7 @@ use crate::pool::EnginePool;
 use cpu_hungarian::JonkerVolgenant;
 use hunipu::{HunIpu, F32_VERIFY_EPS};
 use lsap::policy::{self, RetryClass};
+use lsap::portfolio::{InstanceShape, PortfolioTable};
 use lsap::{Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver, WarmStart};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -191,6 +192,18 @@ pub struct ServiceConfig {
     /// (the re-solve workload) get most of their work for free; unrelated
     /// instances still verify or fall back, never silently wrong.
     pub warm_start: bool,
+    /// Cost-model-driven dispatch: order the exact rungs (device vs CPU)
+    /// by [`lsap::portfolio::PortfolioTable::calibrated`] predictions for
+    /// each request's shape instead of always trying the device first,
+    /// and let deadline skip decisions fall back to the model's predicted
+    /// cycles for rungs with no learned estimate yet (so the *first*
+    /// request under a tight deadline can already skip a rung that
+    /// cannot fit, instead of paying once to learn that). The answer
+    /// path is unchanged — every exact rung stays certificate-gated —
+    /// so a wrong prediction costs latency, never correctness. Off by
+    /// default: the committed serving baseline records the
+    /// device-first ladder.
+    pub portfolio: bool,
 }
 
 impl Default for ServiceConfig {
@@ -206,6 +219,7 @@ impl Default for ServiceConfig {
             verify_eps: F32_VERIFY_EPS,
             default_budget_cycles: None,
             warm_start: true,
+            portfolio: false,
         }
     }
 }
@@ -288,6 +302,8 @@ pub struct AssignmentService {
     estimates: HashMap<(Rung, usize), u64>,
     /// Per-(tenant, shape) warm-start state for the seeded rung.
     warm_starts: WarmCache,
+    /// Calibrated cost models when [`ServiceConfig::portfolio`] is on.
+    portfolio_table: Option<PortfolioTable>,
     clock_hz: f64,
 }
 
@@ -298,6 +314,7 @@ impl AssignmentService {
         assert!(cfg.max_batch >= 1, "max batch must be >= 1");
         assert!(cfg.max_attempts >= 1, "need at least one attempt");
         let clock_hz = solver.config().clock_hz;
+        let portfolio_table = cfg.portfolio.then(PortfolioTable::calibrated);
         Self {
             pool: EnginePool::new(cfg.pool_capacity),
             ipu_breaker: CircuitBreaker::new(
@@ -321,6 +338,7 @@ impl AssignmentService {
             next_id: 0,
             estimates: HashMap::new(),
             warm_starts: WarmCache::default(),
+            portfolio_table,
             clock_hz,
         }
     }
@@ -546,7 +564,7 @@ impl AssignmentService {
                 if !admit {
                     break 'seeded;
                 }
-                let est = self.estimates.get(&(Rung::IpuSeeded, n)).copied();
+                let est = self.rung_estimate(Rung::IpuSeeded, &p.matrix);
                 if let (Some(d), Some(e)) = (p.deadline, est) {
                     if t_busy.saturating_add(e) > d {
                         break 'seeded;
@@ -593,115 +611,32 @@ impl AssignmentService {
             }
         }
 
-        // Rung 1: exact on the IPU, retried under decorrelated fault
-        // epochs as budget and breaker allow.
-        for k in 0..self.cfg.max_attempts {
-            let (admit, tr) = self.ipu_breaker.admit(*t_busy);
-            if let Some(tr) = tr {
-                self.metrics.breaker_transitions.push(tr);
-            }
-            if !admit {
-                break;
-            }
-            if let (Some(d), Some(&est)) = (p.deadline, self.estimates.get(&(Rung::Ipu, n))) {
-                if t_busy.saturating_add(est) > d {
-                    break; // deadline pressure, not backend failure
-                }
-            }
-            let Ok((warm, load)) = self.pool.checkout(&self.ipu, n) else {
-                break; // shape cannot compile on this device: descend
-            };
-            *t_busy += load;
-            attempts += 1;
-            if k > 0 {
-                self.metrics.tenant(&p.tenant).retries += 1;
-            }
-            let att =
-                policy::checked_attempt(&p.matrix, self.cfg.verify_eps, None, "hunipu", || {
-                    warm.solve(&self.ipu, &p.matrix)
-                });
-            // Fault-killed runs report no cycle count; charge the learned
-            // estimate so failures are not modeled as free.
-            let cycles = att
-                .modeled_cycles
-                .or_else(|| self.estimates.get(&(Rung::Ipu, n)).copied())
-                .unwrap_or(0);
-            *t_busy += cycles;
-            match att.outcome {
-                Ok(report) => {
-                    self.estimates.insert((Rung::Ipu, n), cycles);
-                    if let Some(tr) = self.ipu_breaker.record_success(*t_busy) {
-                        self.metrics.breaker_transitions.push(tr);
-                    }
-                    if self.cfg.warm_start {
-                        self.warm_starts
-                            .put(&p.tenant, n, WarmStart::from_report(&report));
-                    }
-                    let retries = attempts.saturating_sub(1);
-                    return self.finish_exact(p, start, *t_busy, "hunipu", report, retries);
-                }
-                Err(e) => match policy::classify(&e) {
-                    RetryClass::Retry => {
-                        if let Some(tr) = self.ipu_breaker.record_failure(*t_busy) {
-                            self.metrics.breaker_transitions.push(tr);
-                        }
-                    }
-                    RetryClass::Escalate | RetryClass::Abort => break,
+        // Rungs 1–2: the exact rungs. The classic ladder tries the
+        // device first and reroutes to the CPU; with
+        // [`ServiceConfig::portfolio`] on, the calibrated cost models
+        // pick the order per shape (at the sizes the models were fitted
+        // on, JV wins single instances, so the CPU becomes the first
+        // exact rung). Either order keeps both rungs certificate-gated.
+        for rung in self.exact_rung_order(&p.matrix) {
+            let (report, backend) = match rung {
+                Rung::Ipu => match self.attempt_ipu(&p, t_busy, &mut attempts) {
+                    Some(r) => (r, "hunipu"),
+                    None => continue,
                 },
-            }
-        }
-
-        // Rung 2: exact on the CPU (reroute).
-        'cpu: {
-            let (admit, tr) = self.cpu_breaker.admit(*t_busy);
-            if let Some(tr) = tr {
-                self.metrics.breaker_transitions.push(tr);
-            }
-            if !admit {
-                break 'cpu;
-            }
-            if let (Some(d), Some(&est)) = (p.deadline, self.estimates.get(&(Rung::Cpu, n))) {
-                if t_busy.saturating_add(est) > d {
-                    break 'cpu;
-                }
-            }
-            attempts += 1;
-            let att = policy::checked_attempt(&p.matrix, lsap::COST_EPS, None, "cpu-jv", || {
-                self.cpu.solve(&p.matrix)
-            });
-            // CPU cycles tick a different clock; convert through modeled
-            // seconds onto the service's device clock.
-            let cycles = match &att.outcome {
-                Ok(report) => report
-                    .stats
-                    .modeled_seconds
-                    .map(|s| (s * self.clock_hz).ceil() as u64)
-                    .unwrap_or(0),
-                Err(_) => self.estimates.get(&(Rung::Cpu, n)).copied().unwrap_or(0),
+                Rung::Cpu => match self.attempt_cpu(&p, t_busy, &mut attempts) {
+                    Some(r) => (r, "cpu-jv"),
+                    None => continue,
+                },
+                Rung::IpuSeeded => unreachable!("the seeded rung runs above the ladder"),
             };
-            *t_busy += cycles;
-            match att.outcome {
-                Ok(report) => {
-                    self.estimates.insert((Rung::Cpu, n), cycles);
-                    if let Some(tr) = self.cpu_breaker.record_success(*t_busy) {
-                        self.metrics.breaker_transitions.push(tr);
-                    }
-                    self.metrics.tenant(&p.tenant).rerouted += 1;
-                    if self.cfg.warm_start {
-                        // CPU duals (f64) seed the device rung just as
-                        // well: the repair casts them through f32.
-                        self.warm_starts
-                            .put(&p.tenant, n, WarmStart::from_report(&report));
-                    }
-                    let retries = attempts.saturating_sub(1);
-                    return self.finish_exact(p, start, *t_busy, "cpu-jv", report, retries);
-                }
-                Err(_) => {
-                    if let Some(tr) = self.cpu_breaker.record_failure(*t_busy) {
-                        self.metrics.breaker_transitions.push(tr);
-                    }
-                }
+            if self.cfg.warm_start {
+                // CPU duals (f64) seed the device rung just as well as
+                // device duals: the repair casts them through f32.
+                self.warm_starts
+                    .put(&p.tenant, n, WarmStart::from_report(&report));
             }
+            let retries = attempts.saturating_sub(1);
+            return self.finish_exact(p, start, *t_busy, backend, report, retries);
         }
 
         // Rung 3: greedy with an explicit gap bound — the answer of last
@@ -746,6 +681,168 @@ impl AssignmentService {
                 cycle: *t_busy,
             }),
         }
+    }
+
+    /// Exact attempt(s) on the device, retried under decorrelated fault
+    /// epochs as budget and breaker allow. Returns the verified report
+    /// on success, `None` to descend the ladder.
+    fn attempt_ipu(
+        &mut self,
+        p: &Pending,
+        t_busy: &mut u64,
+        attempts: &mut u32,
+    ) -> Option<lsap::SolveReport> {
+        let n = p.n;
+        for k in 0..self.cfg.max_attempts {
+            let (admit, tr) = self.ipu_breaker.admit(*t_busy);
+            if let Some(tr) = tr {
+                self.metrics.breaker_transitions.push(tr);
+            }
+            if !admit {
+                break;
+            }
+            if let (Some(d), Some(est)) = (p.deadline, self.rung_estimate(Rung::Ipu, &p.matrix)) {
+                if t_busy.saturating_add(est) > d {
+                    break; // deadline pressure, not backend failure
+                }
+            }
+            let Ok((warm, load)) = self.pool.checkout(&self.ipu, n) else {
+                break; // shape cannot compile on this device: descend
+            };
+            *t_busy += load;
+            *attempts += 1;
+            if k > 0 {
+                self.metrics.tenant(&p.tenant).retries += 1;
+            }
+            let att =
+                policy::checked_attempt(&p.matrix, self.cfg.verify_eps, None, "hunipu", || {
+                    warm.solve(&self.ipu, &p.matrix)
+                });
+            // Fault-killed runs report no cycle count; charge the learned
+            // (or, with the portfolio on, predicted) estimate so failures
+            // are not modeled as free.
+            let cycles = att
+                .modeled_cycles
+                .or_else(|| self.rung_estimate(Rung::Ipu, &p.matrix))
+                .unwrap_or(0);
+            *t_busy += cycles;
+            match att.outcome {
+                Ok(report) => {
+                    self.estimates.insert((Rung::Ipu, n), cycles);
+                    if let Some(tr) = self.ipu_breaker.record_success(*t_busy) {
+                        self.metrics.breaker_transitions.push(tr);
+                    }
+                    return Some(report);
+                }
+                Err(e) => match policy::classify(&e) {
+                    RetryClass::Retry => {
+                        if let Some(tr) = self.ipu_breaker.record_failure(*t_busy) {
+                            self.metrics.breaker_transitions.push(tr);
+                        }
+                    }
+                    RetryClass::Escalate | RetryClass::Abort => break,
+                },
+            }
+        }
+        None
+    }
+
+    /// One exact attempt on the CPU (the reroute rung).
+    fn attempt_cpu(
+        &mut self,
+        p: &Pending,
+        t_busy: &mut u64,
+        attempts: &mut u32,
+    ) -> Option<lsap::SolveReport> {
+        let n = p.n;
+        let (admit, tr) = self.cpu_breaker.admit(*t_busy);
+        if let Some(tr) = tr {
+            self.metrics.breaker_transitions.push(tr);
+        }
+        if !admit {
+            return None;
+        }
+        if let (Some(d), Some(est)) = (p.deadline, self.rung_estimate(Rung::Cpu, &p.matrix)) {
+            if t_busy.saturating_add(est) > d {
+                return None;
+            }
+        }
+        *attempts += 1;
+        let att = policy::checked_attempt(&p.matrix, lsap::COST_EPS, None, "cpu-jv", || {
+            self.cpu.solve(&p.matrix)
+        });
+        // CPU cycles tick a different clock; convert through modeled
+        // seconds onto the service's device clock.
+        let cycles = match &att.outcome {
+            Ok(report) => report
+                .stats
+                .modeled_seconds
+                .map(|s| (s * self.clock_hz).ceil() as u64)
+                .unwrap_or(0),
+            Err(_) => self.rung_estimate(Rung::Cpu, &p.matrix).unwrap_or(0),
+        };
+        *t_busy += cycles;
+        match att.outcome {
+            Ok(report) => {
+                self.estimates.insert((Rung::Cpu, n), cycles);
+                if let Some(tr) = self.cpu_breaker.record_success(*t_busy) {
+                    self.metrics.breaker_transitions.push(tr);
+                }
+                self.metrics.tenant(&p.tenant).rerouted += 1;
+                Some(report)
+            }
+            Err(_) => {
+                if let Some(tr) = self.cpu_breaker.record_failure(*t_busy) {
+                    self.metrics.breaker_transitions.push(tr);
+                }
+                None
+            }
+        }
+    }
+
+    /// Order of the exact rungs for this request. Device-first by
+    /// default; with the portfolio on, whichever engine the calibrated
+    /// models predict cheaper for the request's shape goes first.
+    fn exact_rung_order(&self, matrix: &CostMatrix) -> [Rung; 2] {
+        let Some(table) = &self.portfolio_table else {
+            return [Rung::Ipu, Rung::Cpu];
+        };
+        let shape = InstanceShape::from_matrix(matrix, 1, 1);
+        let predict = |engine: &str| {
+            table
+                .models
+                .iter()
+                .find(|m| m.engine == engine)
+                .map(|m| m.seconds_per_instance(shape))
+        };
+        match (predict("hunipu"), predict("jv")) {
+            (Some(ipu), Some(cpu)) if cpu < ipu => [Rung::Cpu, Rung::Ipu],
+            _ => [Rung::Ipu, Rung::Cpu],
+        }
+    }
+
+    /// A rung's cycle estimate for deadline skip decisions: the last
+    /// observed cycles for this (rung, shape) when one exists, else —
+    /// with the portfolio on — the calibrated model's prediction
+    /// converted onto the device clock. The seeded rung has no offline
+    /// model (its cost depends on seed quality, not shape alone), so it
+    /// stays learned-only.
+    fn rung_estimate(&self, rung: Rung, matrix: &CostMatrix) -> Option<u64> {
+        if let Some(&est) = self.estimates.get(&(rung, matrix.n())) {
+            return Some(est);
+        }
+        let table = self.portfolio_table.as_ref()?;
+        let engine = match rung {
+            Rung::Ipu => "hunipu",
+            Rung::Cpu => "jv",
+            Rung::IpuSeeded => return None,
+        };
+        let shape = InstanceShape::from_matrix(matrix, 1, 1);
+        table
+            .models
+            .iter()
+            .find(|m| m.engine == engine)
+            .map(|m| (m.seconds_per_instance(shape) * self.clock_hz).ceil() as u64)
     }
 
     /// Wraps a verified exact report, enforcing the completion deadline:
