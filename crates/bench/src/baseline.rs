@@ -854,6 +854,159 @@ impl PortfolioBaseline {
     }
 }
 
+/// Minimum modeled compute-cycle advantage the sparse k=8 solve must
+/// keep over the dense solve of the same instance (the beyond-SRAM
+/// tentpole's headline sparse claim, stated at n=1024). Applies from
+/// [`SCALE_SPARSE_FLOOR_MIN_N`] up: at small n the fixed per-sweep
+/// overheads dominate and the k/n ratio advantage has not opened yet.
+pub const SCALE_SPARSE_MIN_SPEEDUP: f64 = 5.0;
+
+/// Smallest n at which [`SCALE_SPARSE_MIN_SPEEDUP`] is enforced.
+pub const SCALE_SPARSE_FLOOR_MIN_N: usize = 1024;
+
+/// One (engine, n) cell of the beyond-SRAM scaling baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleEntry {
+    /// Representation: "dense", "sparse_k8", or "tiled".
+    pub engine: String,
+    /// Instance size.
+    pub n: usize,
+    /// Whether the representation compiles under the per-tile SRAM
+    /// budget at this n. **Gated exactly**: the dense n=4096 cell must
+    /// stay infeasible (it proves the ceiling the tiled path breaks),
+    /// and every other cell must stay feasible.
+    pub feasible: bool,
+    /// Modeled compute cycles of the verified solve. **Gated.** Zero
+    /// for infeasible cells.
+    pub compute_cycles: f64,
+    /// Modeled total cycles (compute + exchange + sync + host IO).
+    /// Informational context for the compute column.
+    pub total_cycles: f64,
+    /// Bytes streamed through the host PCIe link. Informational — the
+    /// tiled rows are the only nonzero ones.
+    pub host_bytes: f64,
+    /// Peak SRAM bytes resident on any one tile. **Gated**: an
+    /// out-of-core layout that silently grows resident again would pass
+    /// a cycles-only gate.
+    pub resident_bytes_per_tile: f64,
+    /// Host wall seconds for the cell. Informational only.
+    #[serde(default)]
+    pub wall_seconds: f64,
+}
+
+/// The beyond-SRAM scaling baseline: `bench scale --write-baseline`
+/// records it into `BENCH_scale.json`; `--check` re-runs the grid and
+/// fails on regression. Everything gated is modeled and deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleBaseline {
+    /// Dataset seed.
+    pub seed: u64,
+    /// Per-cell measurements.
+    pub entries: Vec<ScaleEntry>,
+}
+
+impl ScaleBaseline {
+    /// Reads a baseline from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Pretty-prints the baseline to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Compares a fresh run against this baseline, returning every
+    /// violation (empty = gate passes). Per baseline cell:
+    /// 1. the cell is still measured (same engine, n),
+    /// 2. its feasibility did not flip — in either direction (a dense
+    ///    n=4096 cell that suddenly "fits" means the SRAM accounting
+    ///    broke, not that the ceiling moved),
+    /// 3. compute cycles did not regress by more than `tolerance`,
+    /// 4. resident bytes/tile did not grow by more than `tolerance`,
+    /// 5. **the sparse headline**: wherever both are measured, the
+    ///    sparse k=8 solve keeps ≥[`SCALE_SPARSE_MIN_SPEEDUP`]× fewer
+    ///    compute cycles than the dense solve of the same n.
+    pub fn compare(&self, current: &ScaleBaseline, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.seed != current.seed {
+            violations.push(format!(
+                "seed mismatch: baseline {}, run {} — regenerate with --write-baseline",
+                self.seed, current.seed
+            ));
+            return violations;
+        }
+        for base in &self.entries {
+            let Some(cur) = current
+                .entries
+                .iter()
+                .find(|e| (e.engine.as_str(), e.n) == (base.engine.as_str(), base.n))
+            else {
+                violations.push(format!(
+                    "cell {} n={} missing from this run",
+                    base.engine, base.n
+                ));
+                continue;
+            };
+            let cell = format!("{} n={}", cur.engine, cur.n);
+            if cur.feasible != base.feasible {
+                violations.push(format!(
+                    "{cell}: feasibility flipped {} -> {} — the SRAM budget accounting changed",
+                    base.feasible, cur.feasible
+                ));
+                continue;
+            }
+            if !cur.feasible {
+                continue;
+            }
+            if cur.compute_cycles > base.compute_cycles * (1.0 + tolerance) {
+                violations.push(format!(
+                    "{cell}: compute cycles regressed {:.0} -> {:.0} (+{:.1}%, tolerance {:.0}%)",
+                    base.compute_cycles,
+                    cur.compute_cycles,
+                    (cur.compute_cycles / base.compute_cycles - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+            if cur.resident_bytes_per_tile > base.resident_bytes_per_tile * (1.0 + tolerance) {
+                violations.push(format!(
+                    "{cell}: resident bytes/tile grew {:.0} -> {:.0} (+{:.1}%, tolerance {:.0}%)",
+                    base.resident_bytes_per_tile,
+                    cur.resident_bytes_per_tile,
+                    (cur.resident_bytes_per_tile / base.resident_bytes_per_tile - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        for sparse in current
+            .entries
+            .iter()
+            .filter(|e| e.engine == "sparse_k8" && e.n >= SCALE_SPARSE_FLOOR_MIN_N)
+        {
+            let Some(dense) = current
+                .entries
+                .iter()
+                .find(|e| e.engine == "dense" && e.n == sparse.n && e.feasible)
+            else {
+                continue;
+            };
+            let speedup = dense.compute_cycles / sparse.compute_cycles.max(1.0);
+            if speedup < SCALE_SPARSE_MIN_SPEEDUP {
+                violations.push(format!(
+                    "n={}: sparse k=8 compute advantage {speedup:.2}x fell below the \
+                     {SCALE_SPARSE_MIN_SPEEDUP:.0}x floor (dense {:.0} vs sparse {:.0} cycles)",
+                    sparse.n, dense.compute_cycles, sparse.compute_cycles
+                ));
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

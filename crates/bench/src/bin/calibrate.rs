@@ -45,7 +45,7 @@ use datasets::gaussian_cost_matrix;
 use fastha::BatchFastHa;
 use hunipu::{BatchHunIpu, HunIpu};
 use ipu_sim::IpuConfig;
-use lsap::portfolio::{EngineCostModel, PortfolioTable, PowerLaw, Support, K_REF};
+use lsap::portfolio::{EngineClass, EngineCostModel, PortfolioTable, PowerLaw, Support, K_REF};
 use lsap::{BatchLsapSolver, CostMatrix, LsapSolver};
 
 /// Seeds averaged per sweep cell (deterministic smoothing).
@@ -260,7 +260,9 @@ fn fit_hunipu(
         density_exponent: density_exponent(&k_points),
         chip_mult,
         overhead,
-        support: Support::Any,
+        support: Support::UpToSramCeiling,
+        class: EngineClass::Dense,
+        candidate_exponent: 0.0,
     }
 }
 
@@ -339,6 +341,8 @@ fn fit_fastha(
         chip_mult: Vec::new(),
         overhead,
         support: Support::PowerOfTwo,
+        class: EngineClass::Dense,
+        candidate_exponent: 0.0,
     }
 }
 
@@ -389,6 +393,8 @@ fn fit_cpu(
         chip_mult: Vec::new(),
         overhead: PowerLaw::zero(),
         support: Support::Any,
+        class: EngineClass::Dense,
+        candidate_exponent: 0.0,
     }
 }
 
@@ -425,6 +431,8 @@ fn emit_rust(table: &PortfolioTable) {
             println!("        }},");
         }
         println!("        support: Support::{:?},", m.support);
+        println!("        class: EngineClass::{:?},", m.class);
+        println!("        candidate_exponent: {:.4},", m.candidate_exponent);
         println!("    }},");
     }
     println!("])");

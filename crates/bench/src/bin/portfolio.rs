@@ -289,6 +289,7 @@ fn build_cell(
         k: k as f64,
         batch,
         chips,
+        candidates: None,
     };
     let picked_model = table.pick(shape).expect("some engine supports every n");
     let picked = measured

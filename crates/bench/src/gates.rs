@@ -110,6 +110,14 @@ pub const GATES: &[GateSpec] = &[
         record: "target/experiments/portfolio.json",
         volatile: WALL_KEYS,
     },
+    GateSpec {
+        name: "scale",
+        bin: "scale",
+        args: &["--check"],
+        baseline: "BENCH_scale.json",
+        record: "target/experiments/scale.json",
+        volatile: WALL_KEYS,
+    },
 ];
 
 /// Outcome of one gate run, for the summary table.

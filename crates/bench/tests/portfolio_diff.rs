@@ -63,6 +63,7 @@ fn calibrated_pick_matches_the_committed_decision_in_every_cell() {
             k: e.k as f64,
             batch: e.batch,
             chips: e.chips,
+            candidates: None,
         };
         let pick = table.pick(shape).expect("some engine supports every n");
         assert_eq!(

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+use lsap::sparse::SparseCost;
 use lsap::CostMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,6 +72,37 @@ pub fn uniform_cost_matrix(n: usize, k: u64, seed: u64) -> CostMatrix {
 /// representable in f32 (integer values below 2^24).
 pub fn f32_exact(n: usize, k: u64) -> bool {
     k.saturating_mul(n as u64) < (1 << 24)
+}
+
+/// Prunes a dense instance to its `cand` cheapest columns per row — the
+/// GRAMPA-style candidate screening used by the sparse k-candidate
+/// engine. Ties break toward the lower column id, so the prune is
+/// deterministic; repairing a prune that cut an optimal edge is the job
+/// of [`lsap::solve_pruned_with_repair`].
+pub fn prune_topk(m: &CostMatrix, cand: usize) -> SparseCost {
+    SparseCost::from_dense_topk(m, cand).expect("dense instance is square and nonempty")
+}
+
+/// A diagonally dominant integer instance whose optimum follows a known
+/// permutation: `c[i][p(i)] = 1` with `p(i) = (i + shift) mod n`, every
+/// other entry in `[10, 16]`. Step 2 of Munkres matches almost every row
+/// immediately, so even n = 4096 solves in a handful of device steps —
+/// the regime the large-n scaling tests and benches need to stay
+/// tractable under simulation. `conflicts` rows (starting at row 0) are
+/// additionally given a second `1` at `p(i+1)`, creating contention that
+/// forces a few augmenting searches without changing the optimum's cost.
+///
+/// All entries are small integers, so f32 device arithmetic is exact and
+/// certificates verify at machine precision.
+pub fn diag_dominant(n: usize, shift: usize, conflicts: usize) -> CostMatrix {
+    CostMatrix::from_fn(n, n, |i, j| {
+        if j == (i + shift) % n || (i < conflicts && j == (i + 1 + shift) % n) {
+            1.0
+        } else {
+            10.0 + ((i * 31 + j * 7) % 7) as f64
+        }
+    })
+    .expect("n > 0")
 }
 
 #[cfg(test)]
@@ -134,6 +166,47 @@ mod tests {
         assert!(f32_exact(512, 10000)); // 5.12e6 < 2^24
         assert!(!f32_exact(8192, 10000)); // 8.19e7 > 2^24
         assert!(f32_exact(8192, 1000)); // 8.19e6 < 2^24
+    }
+
+    #[test]
+    fn prune_topk_keeps_cheapest_candidates() {
+        let m = uniform_cost_matrix(32, 10, 11);
+        let sc = prune_topk(&m, 4);
+        assert_eq!(sc.n(), 32);
+        assert_eq!(sc.k(), 4);
+        for i in 0..32 {
+            // Every kept candidate is no more expensive than every
+            // dropped column.
+            let kept_max = sc
+                .row_costs(i)
+                .iter()
+                .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            let dropped_min = (0..32)
+                .filter(|&j| !sc.row_cols(i).contains(&(j as u32)))
+                .map(|j| m.get(i, j))
+                .fold(f64::INFINITY, f64::min);
+            assert!(kept_max <= dropped_min);
+        }
+    }
+
+    #[test]
+    fn diag_dominant_has_known_optimum() {
+        let n = 64;
+        let m = diag_dominant(n, 3, 4);
+        for i in 0..n {
+            assert_eq!(m.get(i, (i + 3) % n), 1.0);
+        }
+        // Conflict rows carry a second 1 at the next shifted column.
+        assert_eq!(m.get(0, 4), 1.0);
+        assert_eq!(m.get(5, (5 + 4) % n), 10.0 + ((5 * 31 + ((5 + 4) % n) * 7) % 7) as f64);
+        let (lo, hi) = m.min_max();
+        assert_eq!(lo, 1.0);
+        assert!(hi <= 16.0);
+        // The shifted identity costs exactly n, and nothing beats it:
+        // any row off its 1-entries pays at least 10.
+        let perm: Vec<usize> = (0..n).map(|i| (i + 3) % n).collect();
+        let cost: f64 = perm.iter().enumerate().map(|(i, &j)| m.get(i, j)).sum();
+        assert_eq!(cost, n as f64);
     }
 
     #[test]

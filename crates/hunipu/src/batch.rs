@@ -89,6 +89,12 @@ struct EngineKey {
     ipus: usize,
     tiles_per_ipu: usize,
     hierarchical: bool,
+    /// `true` when the solver routes this shape out-of-core
+    /// ([`crate::LayoutMode::Tiled`], or an Auto upgrade past the SRAM
+    /// ceiling). The in-SRAM dense program and the streamed tiled
+    /// program are different graphs with different cycle accounting, so
+    /// a cache entry compiled for one must never serve the other.
+    tiled: bool,
 }
 
 impl EngineKey {
@@ -98,6 +104,7 @@ impl EngineKey {
             ipus: solver.config().ipus,
             tiles_per_ipu: solver.config().tiles_per_ipu,
             hierarchical: solver.hierarchical(),
+            tiled: solver.takes_tiled_path(n),
         }
     }
 }

@@ -8,6 +8,32 @@ use ipu_sim::{
 };
 use std::ops::Range;
 
+/// Which cost-matrix representation the device graph stores.
+///
+/// The dense mode is the paper's layout: the full `n x n` slack matrix
+/// resident in tile SRAM. The two other modes break that SRAM ceiling:
+/// `Sparse` keeps only `k` candidate columns per row (CSR-style), and
+/// `Tiled` keeps the cost matrix in host memory and streams it through
+/// the device one column block at a time, so only duals, matching state,
+/// and one block are ever resident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Storage {
+    /// Full `n x n` slack in SRAM.
+    Dense,
+    /// `k` candidate columns per row; per-tile memory O(n·k / tiles).
+    Sparse {
+        /// Candidate columns stored per row.
+        k: usize,
+    },
+    /// Out-of-core block streaming over host-resident costs.
+    Tiled {
+        /// Columns per streamed block (the resident working-set width).
+        block_cols: usize,
+        /// Zero-list capacity per row (Step 2 warm-start bound).
+        zcap: usize,
+    },
+}
+
 /// All device state of one HunIPU instance.
 ///
 /// Naming follows the paper: `slack` and the compressed matrix (§IV-B),
@@ -87,6 +113,23 @@ pub(crate) struct Ts {
     pub k_row_m: Tensor,
     /// Step 6's Δ, f32.
     pub delta_m: Tensor,
+    // ---- representation-specific state (all `None` in dense mode) ----
+    /// Candidate column ids, i32 `n x k` (sparse mode): `cand[r*k + p]`
+    /// is the absolute column of stored entry `p` of row `r`.
+    pub cand: Option<Tensor>,
+    /// Host-resident cost matrix, f32 `n x n` (tiled mode) — never
+    /// mapped to a tile, streamed through PCIe block by block.
+    pub host_cost: Option<Tensor>,
+    /// Replicated column-potential mirror, f32 `n` (tiled mode): lets
+    /// every tile recompute `c - u - v` slacks on streamed blocks.
+    pub vm: Option<Tensor>,
+    /// Per-row uncovered minima, f32 `n` (tiled Step 6 accumulator).
+    pub rowacc: Option<Tensor>,
+    /// Collector flag: Step 6's δ was finite, so the dual update may run.
+    pub delta_ok: Option<Tensor>,
+    /// Collector flag: the candidate graph admits no perfect matching
+    /// (δ = ∞ in sparse Step 6 — a Hall violation from pruning).
+    pub infeasible: Option<Tensor>,
 }
 
 /// Builds the static HunIPU graph for one problem size on one device.
@@ -95,6 +138,7 @@ pub(crate) struct Builder {
     pub l: Layout,
     pub t: Ts,
     pub ab: crate::ablation::AblationConfig,
+    pub storage: Storage,
 }
 
 impl Builder {
@@ -103,15 +147,42 @@ impl Builder {
         l: Layout,
         ab: crate::ablation::AblationConfig,
     ) -> Result<Self, GraphError> {
+        Self::with_layout_storage(config, l, ab, Storage::Dense)
+    }
+
+    pub fn with_layout_storage(
+        config: IpuConfig,
+        l: Layout,
+        ab: crate::ablation::AblationConfig,
+        storage: Storage,
+    ) -> Result<Self, GraphError> {
         let mut g = Graph::new(config);
         let n = l.n;
         let th = l.threads;
         let c = l.collector_tile;
 
+        // Per-row widths of the two matrix-shaped buffers. The layout's
+        // `width` drives thread segmentation and must match the width the
+        // per-thread fragments iterate (slack in dense/sparse, the zero
+        // list in tiled mode).
+        let (slack_w, comp_w) = match storage {
+            Storage::Dense => (n, n),
+            Storage::Sparse { k } => (k, k),
+            Storage::Tiled { block_cols, zcap } => (block_cols, zcap),
+        };
+        match storage {
+            Storage::Dense => debug_assert_eq!(l.width, n),
+            Storage::Sparse { k } => debug_assert_eq!(l.width, k),
+            Storage::Tiled { zcap, .. } => debug_assert_eq!(l.width, zcap),
+        }
+
         // Matrix-shaped tensors: row blocks of `rows_per_tile` rows per
-        // tile, in tile order (contiguous in the flat layout).
-        let slack = g.add_tensor("slack", DType::F32, n * n);
-        let compress = g.add_tensor("compress", DType::I32, n * n);
+        // tile, in tile order (contiguous in the flat layout). In dense
+        // mode both span the full `n` columns; sparse stores `k` entries
+        // per row, tiled stores one streamed block and a bounded zero
+        // list.
+        let slack = g.add_tensor("slack", DType::F32, n * slack_w);
+        let compress = g.add_tensor("compress", DType::I32, n * comp_w);
         let zero_count = g.add_tensor("zero_count", DType::I32, n * th);
         let seg_min = g.add_tensor("seg_min", DType::F32, n * th);
         let row_total = g.add_tensor("row_total", DType::I32, n);
@@ -124,8 +195,8 @@ impl Builder {
         let u = g.add_tensor("u", DType::F32, n);
         let prop = g.add_tensor("prop", DType::I32, n);
         for (tensor, per_row) in [
-            (slack, n),
-            (compress, n),
+            (slack, slack_w),
+            (compress, comp_w),
             (zero_count, th),
             (seg_min, th),
             (row_total, 1),
@@ -189,6 +260,44 @@ impl Builder {
         let k_row_m = g.add_replicated("k_row_m", DType::I32, 1);
         let delta_m = g.add_replicated("delta_m", DType::F32, 1);
 
+        // Representation-specific tensors, created strictly after every
+        // shared tensor so the dense graph stays byte-identical to the
+        // seed (committed cycle baselines depend on it).
+        let mut cand = None;
+        let mut host_cost = None;
+        let mut vm = None;
+        let mut rowacc = None;
+        let mut delta_ok = None;
+        let mut infeasible = None;
+        match storage {
+            Storage::Dense => {}
+            Storage::Sparse { k } => {
+                let t = g.add_tensor("cand", DType::I32, n * k);
+                for tile in l.owner_tiles() {
+                    let rows = l.rows_of_tile(tile);
+                    g.map_slice(t.slice(rows.start * k..rows.end * k), tile)?;
+                }
+                cand = Some(t);
+            }
+            Storage::Tiled { .. } => {
+                host_cost = Some(g.add_host_tensor("host_cost", DType::F32, n * n));
+                vm = Some(g.add_replicated("v_m", DType::F32, n));
+                let t = g.add_tensor("rowacc", DType::F32, n);
+                for tile in l.owner_tiles() {
+                    g.map_slice(t.slice(l.rows_of_tile(tile)), tile)?;
+                }
+                rowacc = Some(t);
+            }
+        }
+        if storage != Storage::Dense {
+            let ok = g.add_tensor("delta_ok", DType::I32, 1);
+            let inf = g.add_tensor("infeasible", DType::I32, 1);
+            g.map_to_tile(ok, c)?;
+            g.map_to_tile(inf, c)?;
+            delta_ok = Some(ok);
+            infeasible = Some(inf);
+        }
+
         let t = Ts {
             slack,
             compress,
@@ -231,8 +340,20 @@ impl Builder {
             cur_col_m,
             k_row_m,
             delta_m,
+            cand,
+            host_cost,
+            vm,
+            rowacc,
+            delta_ok,
+            infeasible,
         };
-        Ok(Self { g, l, t, ab })
+        Ok(Self {
+            g,
+            l,
+            t,
+            ab,
+            storage,
+        })
     }
 
     /// Interval list of a per-row tensor (`per_row` elements per row):

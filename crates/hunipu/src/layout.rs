@@ -31,6 +31,15 @@ pub const COL_SEG: usize = 32;
 pub struct Layout {
     /// Problem size (square matrix side).
     pub n: usize,
+    /// Stored elements per row of the matrix-shaped tensors. Equal to
+    /// `n` for the dense layouts; the sparse k-candidate layout stores
+    /// only `k` entries per row, and the tiled out-of-core layout keeps
+    /// just a small zero-list per row on the device. Thread segments
+    /// ([`Layout::seg_cols`]) and flat row indexing
+    /// ([`Layout::row_range`]) partition *this* width, so the step
+    /// builders that walk per-row storage compile unchanged against
+    /// narrow rows; the per-column state stays `n`-sized regardless.
+    pub width: usize,
     /// Rows per tile (the last used tile may hold fewer).
     pub rows_per_tile: usize,
     /// Number of tiles that own matrix rows.
@@ -78,6 +87,7 @@ impl Layout {
         let used_tiles = n.div_ceil(rows_per_tile);
         Self {
             n,
+            width: n,
             rows_per_tile,
             used_tiles,
             threads,
@@ -134,6 +144,7 @@ impl Layout {
         let rows_per_tile = chip_rpt.iter().copied().max().unwrap_or(1);
         Self {
             n,
+            width: n,
             rows_per_tile,
             used_tiles,
             threads,
@@ -144,6 +155,18 @@ impl Layout {
             chip_rows,
             chip_rpt,
         }
+    }
+
+    /// Narrows the per-row storage width (candidates per row for the
+    /// sparse layout, zero-list capacity for the tiled one). Row
+    /// ownership and per-column state are untouched.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or exceeds `n`.
+    pub fn with_width(mut self, width: usize) -> Self {
+        assert!(width >= 1 && width <= self.n, "width must be in 1..=n");
+        self.width = width;
+        self
     }
 
     /// The tile owning matrix row `row`.
@@ -244,12 +267,14 @@ impl Layout {
         self.chip_rows[chip].len().div_ceil(self.chip_rpt[chip])
     }
 
-    /// The column range of thread segment `seg` (`0..threads`) within a
-    /// row, balanced to within one element.
+    /// The position range of thread segment `seg` (`0..threads`) within
+    /// a stored row ([`Layout::width`] elements), balanced to within one
+    /// element. On dense layouts positions are column indices; on narrow
+    /// layouts they index the per-row candidate/zero storage.
     pub fn seg_cols(&self, seg: usize) -> Range<usize> {
         debug_assert!(seg < self.threads);
-        let base = self.n / self.threads;
-        let extra = self.n % self.threads;
+        let base = self.width / self.threads;
+        let extra = self.width % self.threads;
         let start = seg * base + seg.min(extra);
         let len = base + usize::from(seg < extra);
         start..(start + len)
@@ -290,16 +315,16 @@ impl Layout {
         c * self.tiles_per_chip + (seg - c * per) % owners
     }
 
-    /// Flat range of row `row` inside an `n x n` row-major tensor.
+    /// Flat range of row `row` inside an `n x width` row-major tensor.
     pub fn row_range(&self, row: usize) -> Range<usize> {
-        row * self.n..(row + 1) * self.n
+        row * self.width..(row + 1) * self.width
     }
 
-    /// Flat range of `(row, thread segment)` inside an `n x n` row-major
-    /// tensor.
+    /// Flat range of `(row, thread segment)` inside an `n x width`
+    /// row-major tensor.
     pub fn row_seg_range(&self, row: usize, seg: usize) -> Range<usize> {
         let c = self.seg_cols(seg);
-        row * self.n + c.start..row * self.n + c.end
+        row * self.width + c.start..row * self.width + c.end
     }
 }
 
@@ -383,6 +408,25 @@ mod tests {
     #[should_panic(expected = "empty problem")]
     fn zero_size_rejected() {
         Layout::new(0, 4, 6);
+    }
+
+    #[test]
+    fn narrow_width_partitions_row_storage_not_columns() {
+        let l = Layout::new(64, 8, 6).with_width(8);
+        // Thread segments split the 8 stored positions...
+        let mut covered = 0;
+        for s in 0..6 {
+            let c = l.seg_cols(s);
+            assert_eq!(c.start, covered);
+            covered = c.end;
+        }
+        assert_eq!(covered, 8);
+        assert_eq!(l.row_range(3), 24..32);
+        // ...while per-column state stays n-sized.
+        assert_eq!(l.n_col_segs(), 2);
+        assert_eq!(l.col_seg_cols(1), 32..64);
+        // Row ownership is unchanged by the width.
+        assert_eq!(l.tile_of_row(63), Layout::new(64, 8, 6).tile_of_row(63));
     }
 
     #[test]

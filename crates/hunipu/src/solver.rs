@@ -2,9 +2,10 @@
 //! loads the cost matrix, runs the device program, and extracts the
 //! verified result.
 
-use crate::build::Builder;
+use crate::build::{Builder, Storage};
 use crate::layout::Layout;
 use ipu_sim::{FaultPlan, IpuConfig, ProfileConfig};
+use lsap::sparse::SparseCost;
 use lsap::{
     Assignment, CostMatrix, DualCertificate, LsapError, LsapSolver, SolveReport, SolverStats,
 };
@@ -35,6 +36,16 @@ pub enum LayoutMode {
     /// cross each IPU-Link once per phase. Requires `config.ipus > 1`
     /// (single-chip chip-aware degenerates to flat by construction).
     ChipAware,
+    /// Force the out-of-core tiled layout: the cost matrix stays
+    /// host-resident and streams through PCIe block by block, while
+    /// duals, matching state, and one active block live in SRAM. Breaks
+    /// the dense SRAM ceiling (per-tile memory `O(n·block_cols/tiles)`
+    /// instead of `O(n²/tiles)`) at the price of re-streaming the matrix
+    /// every search sweep. Requires integer costs below 2^24 (the
+    /// streamed slack is recomputed in f32 on the fly). Single-chip
+    /// structure; [`LayoutMode::Auto`] upgrades to this automatically
+    /// when the dense slack cannot fit the per-tile budget.
+    Tiled,
 }
 
 /// The paper's IPU-optimized Hungarian algorithm, executed on the
@@ -55,7 +66,20 @@ pub struct HunIpu {
     fault_epoch: Cell<u64>,
     profile: Option<ProfileConfig>,
     layout_mode: LayoutMode,
+    tiled_block_cols: usize,
+    tiled_zcap: usize,
 }
+
+/// Default streamed-block width for [`LayoutMode::Tiled`] (columns per
+/// PCIe block; the resident work buffer is `n × TILED_BLOCK_COLS` f32
+/// spread over the row owners).
+pub const TILED_BLOCK_COLS: usize = 512;
+
+/// Default zero-list capacity per row for [`LayoutMode::Tiled`] — the
+/// bounded Step 2 warm-start lists (the search loop itself rescans
+/// streamed blocks, so truncation only costs iterations, never
+/// correctness).
+pub const TILED_ZCAP: usize = 8;
 
 impl Default for HunIpu {
     fn default() -> Self {
@@ -74,6 +98,8 @@ impl HunIpu {
             fault_epoch: Cell::new(0),
             profile: None,
             layout_mode: LayoutMode::Auto,
+            tiled_block_cols: TILED_BLOCK_COLS,
+            tiled_zcap: TILED_ZCAP,
         }
     }
 
@@ -167,6 +193,41 @@ impl HunIpu {
             LayoutMode::Auto => self.config.ipus > 1,
             LayoutMode::Flat => false,
             LayoutMode::ChipAware => true,
+            LayoutMode::Tiled => false,
+        }
+    }
+
+    /// Overrides the tiled streaming parameters (block width and
+    /// zero-list capacity; defaults [`TILED_BLOCK_COLS`], [`TILED_ZCAP`]).
+    pub fn with_tiled_params(mut self, block_cols: usize, zcap: usize) -> Self {
+        assert!(block_cols >= 1 && zcap >= 1);
+        self.tiled_block_cols = block_cols;
+        self.tiled_zcap = zcap;
+        self
+    }
+
+    /// Whether the dense in-SRAM program plausibly fits the per-tile
+    /// memory budget for instance size `n` — the [`LayoutMode::Auto`]
+    /// upgrade heuristic. The authoritative gate stays
+    /// `Graph::compile`'s per-tile accounting; this estimate counts the
+    /// two `O(n²/tiles)` tensors (f32 slack + i32 compress) plus the
+    /// replicated n-length mirrors.
+    pub fn dense_fits(&self, n: usize) -> bool {
+        let tiles = self.config.tiles.min(n.max(1));
+        let rows_per_tile = n.div_ceil(tiles);
+        let bytes = rows_per_tile * n * 8 + 6 * n * 4;
+        bytes <= self.config.tile_memory_bytes
+    }
+
+    /// Whether a square instance of size `n` goes through the tiled
+    /// out-of-core path: forced by [`LayoutMode::Tiled`], or chosen by
+    /// [`LayoutMode::Auto`] when the dense program cannot fit SRAM
+    /// (compile would reject it anyway).
+    pub fn takes_tiled_path(&self, n: usize) -> bool {
+        match self.layout_mode {
+            LayoutMode::Tiled => true,
+            LayoutMode::Auto => !self.dense_fits(n),
+            LayoutMode::Flat | LayoutMode::ChipAware => false,
         }
     }
 
@@ -407,6 +468,239 @@ impl HunIpu {
             stats,
         })
     }
+
+    /// Solves a k-candidate sparse instance on the device: only the `k`
+    /// candidate costs and column ids per row are resident (per-tile
+    /// memory `O(n·k/tiles)`), and the Step 1/4/6 fragments operate on
+    /// candidate positions with an indirect column map. When the
+    /// candidate graph admits no perfect matching the device latches an
+    /// infeasibility flag (non-finite δ ⇒ Hall violation) and the call
+    /// returns [`LsapError::SparseInfeasible`] — the signal
+    /// [`HunIpu::solve_pruned`] uses to escalate `k`.
+    ///
+    /// The certificate is a valid dual for the *sparse* instance; against
+    /// the dense instance it may overshoot on pruned entries, which is
+    /// exactly what [`lsap::violated_entries`] screens for.
+    pub fn solve_sparse(&self, sc: &SparseCost) -> Result<SolveReport, LsapError> {
+        self.solve_sparse_with_engine(sc).map(|(report, _)| report)
+    }
+
+    /// [`HunIpu::solve_sparse`], also returning the engine for
+    /// cycle-level inspection.
+    pub fn solve_sparse_with_engine(
+        &self,
+        sc: &SparseCost,
+    ) -> Result<(SolveReport, ipu_sim::Engine), LsapError> {
+        let (n, k) = (sc.n(), sc.k());
+        if n >= (1 << 24) {
+            return Err(LsapError::Backend {
+                detail: format!("instance size {n} exceeds the 2^24 arg-max encoding limit"),
+            });
+        }
+        let start = Instant::now();
+        let backend = |e: ipu_sim::GraphError| LsapError::Backend {
+            detail: e.to_string(),
+        };
+        // The sparse program is single-chip flat by construction, and the
+        // position-indexed status scan requires the compressed zero lists.
+        let mut ablation = self.ablation;
+        ablation.compression = true;
+        let layout = Layout::with_col_seg(
+            n,
+            self.config.tiles,
+            self.config.threads_per_tile,
+            self.col_seg,
+        )
+        .with_width(k);
+        let mut builder = Builder::with_layout_storage(
+            self.config.clone(),
+            layout,
+            ablation,
+            Storage::Sparse { k },
+        )
+        .map_err(backend)?;
+        let program = builder.assemble().map_err(backend)?;
+        let Builder { g, t, .. } = builder;
+        let mut engine = g.compile(program).map_err(backend)?;
+        if let Some(cfg) = &self.profile {
+            engine.enable_profiling(cfg.clone());
+        }
+        match self.next_fault_plan() {
+            Some(plan) => engine.set_fault_plan(plan),
+            None => engine.clear_fault_plan(),
+        }
+
+        let costs_f32: Vec<f32> = sc.costs_flat().iter().map(|&x| x as f32).collect();
+        engine.write_f32(t.slack, &costs_f32).map_err(backend)?;
+        let cand_i32: Vec<i32> = sc.cols_flat().iter().map(|&c| c as i32).collect();
+        let t_cand = t.cand.expect("sparse storage has cand");
+        engine.write_i32(t_cand, &cand_i32).map_err(backend)?;
+        let neg1 = vec![-1i32; n];
+        engine.write_i32(t.row_star, &neg1).map_err(backend)?;
+        engine.write_i32(t.col_star, &neg1).map_err(backend)?;
+        engine.write_i32(t.row_prime, &neg1).map_err(backend)?;
+
+        engine.run().map_err(backend)?;
+        let t_inf = t.infeasible.expect("sparse storage has infeasible");
+        if engine.read_i32(t_inf)[0] != 0 {
+            return Err(LsapError::SparseInfeasible { k });
+        }
+        let report = self.extract_report_sparse(&mut engine, &t, sc, start)?;
+        Ok((report, engine))
+    }
+
+    /// [`HunIpu::extract_report`] for the sparse path: the objective
+    /// comes from candidate costs (there is no dense matrix), and a
+    /// matched edge outside the candidate set is memory corruption.
+    fn extract_report_sparse(
+        &self,
+        engine: &mut ipu_sim::Engine,
+        t: &crate::build::Ts,
+        sc: &SparseCost,
+        start: Instant,
+    ) -> Result<SolveReport, LsapError> {
+        let n = sc.n();
+        let row_star = engine.read_i32(t.row_star);
+        let row_to_col = row_star
+            .iter()
+            .map(|&j| (j >= 0).then_some(j as usize))
+            .collect();
+        let assignment = Assignment::from_row_to_col(row_to_col);
+        let mut objective = 0.0;
+        for (i, j) in assignment.pairs() {
+            objective += sc.cost_of(i, j).ok_or_else(|| LsapError::Backend {
+                detail: format!(
+                    "sparse solve matched row {i} to column {j}, which is not a \
+                     candidate; memory corruption suspected"
+                ),
+            })?;
+        }
+        let u: Vec<f64> = engine.read_f32(t.u).iter().map(|&x| x as f64).collect();
+        let v: Vec<f64> = engine.read_f32(t.v).iter().map(|&x| x as f64).collect();
+        let augmentations = read_counter(engine, t.ctr_aug, "ctr_aug", n as u64)?;
+        let dual_updates = read_counter(engine, t.ctr_dual, "ctr_dual", (n as u64).pow(2))?;
+        let stats = SolverStats {
+            modeled_seconds: Some(engine.modeled_seconds()),
+            modeled_cycles: Some(engine.stats().total_cycles()),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            augmentations,
+            dual_updates,
+            device_steps: engine.stats().supersteps,
+            profile_events: engine
+                .profile()
+                .map_or(0, |p| p.events.len() as u64 + p.dropped),
+            ..Default::default()
+        };
+        Ok(SolveReport {
+            assignment,
+            objective,
+            certificate: DualCertificate::new(u, v),
+            stats,
+        })
+    }
+
+    /// Solves a dense instance out-of-core via [`LayoutMode::Tiled`]
+    /// block streaming, returning the report plus the engine. The cost
+    /// matrix lives in a host tensor and streams through PCIe one
+    /// `block_cols`-wide block at a time; only duals, matching state,
+    /// and the active block are SRAM-resident, so instances whose dense
+    /// slack would blow the per-tile budget still compile and solve.
+    ///
+    /// Costs must be integers with magnitude below 2^24: the streamed
+    /// slack `c − u − v` is recomputed in f32 every sweep, and integer
+    /// arithmetic is what keeps those recomputations exact (the same
+    /// contract [`datasets::f32_exact`] documents for the dense path,
+    /// hardened here into a precondition because zero-detection drives
+    /// the search).
+    pub fn solve_tiled(
+        &self,
+        matrix: &CostMatrix,
+    ) -> Result<(SolveReport, ipu_sim::Engine), LsapError> {
+        let n = self.validate_size(matrix)?;
+        if let Some(&bad) = matrix
+            .as_slice()
+            .iter()
+            .find(|c| c.fract() != 0.0 || c.abs() >= (1u64 << 24) as f64)
+        {
+            return Err(LsapError::Backend {
+                detail: format!(
+                    "tiled solve requires integer costs with |c| < 2^24 (streamed \
+                     slacks are recomputed in f32); found {bad}"
+                ),
+            });
+        }
+        let start = Instant::now();
+        let backend = |e: ipu_sim::GraphError| LsapError::Backend {
+            detail: e.to_string(),
+        };
+        let block_cols = self.tiled_block_cols.clamp(1, n);
+        let zcap = self.tiled_zcap.clamp(1, n);
+        let layout = Layout::with_col_seg(
+            n,
+            self.config.tiles,
+            self.config.threads_per_tile,
+            self.col_seg,
+        )
+        .with_width(zcap);
+        let mut builder = Builder::with_layout_storage(
+            self.config.clone(),
+            layout,
+            self.ablation,
+            Storage::Tiled { block_cols, zcap },
+        )
+        .map_err(backend)?;
+        let program = builder.assemble_tiled().map_err(backend)?;
+        let Builder { g, t, .. } = builder;
+        let mut engine = g.compile(program).map_err(backend)?;
+        if let Some(cfg) = &self.profile {
+            engine.enable_profiling(cfg.clone());
+        }
+        match self.next_fault_plan() {
+            Some(plan) => engine.set_fault_plan(plan),
+            None => engine.clear_fault_plan(),
+        }
+
+        let cost_f32: Vec<f32> = matrix.as_slice().iter().map(|&x| x as f32).collect();
+        let t_host = t.host_cost.expect("tiled storage has host_cost");
+        engine.write_f32(t_host, &cost_f32).map_err(backend)?;
+        let neg1 = vec![-1i32; n];
+        engine.write_i32(t.row_star, &neg1).map_err(backend)?;
+        engine.write_i32(t.col_star, &neg1).map_err(backend)?;
+        engine.write_i32(t.row_prime, &neg1).map_err(backend)?;
+
+        engine.run().map_err(backend)?;
+        let t_inf = t.infeasible.expect("tiled storage has infeasible");
+        if engine.read_i32(t_inf)[0] != 0 {
+            return Err(LsapError::Backend {
+                detail: "tiled solve latched a non-finite δ on a square dense \
+                         instance; memory corruption suspected"
+                    .into(),
+            });
+        }
+        let report = self.extract_report(&mut engine, &t, matrix, start, false)?;
+        Ok((report, engine))
+    }
+
+    /// Solves `dense` through the sparse k-candidate engine with
+    /// certificate repair ([`lsap::solve_pruned_with_repair`]): prune to
+    /// `k` candidates per row, solve on-device, verify against the dense
+    /// certificate, re-admit violated columns and re-solve on failure,
+    /// falling back to the dense device solve only after `max_rounds`.
+    pub fn solve_pruned(
+        &self,
+        dense: &CostMatrix,
+        k: usize,
+        max_rounds: u32,
+    ) -> Result<lsap::RepairReport, LsapError> {
+        lsap::solve_pruned_with_repair(
+            dense,
+            k,
+            max_rounds,
+            F32_VERIFY_EPS,
+            |sc| self.solve_sparse(sc),
+            |m| self.solve_with_engine(m).map(|(report, _)| report),
+        )
+    }
 }
 
 /// Reads a device step counter and validates it against its theoretical
@@ -444,6 +738,9 @@ impl LsapSolver for HunIpu {
     }
 
     fn solve(&mut self, matrix: &CostMatrix) -> Result<SolveReport, LsapError> {
+        if matrix.is_square() && self.takes_tiled_path(matrix.n()) {
+            return self.solve_tiled(matrix).map(|(report, _)| report);
+        }
         self.solve_with_engine(matrix).map(|(report, _)| report)
     }
 }

@@ -1,10 +1,10 @@
 //! The six HunIPU steps (§IV-C through §IV-H), each built as a program
 //! fragment over the static graph.
 
-use crate::build::Builder;
+use crate::build::{Builder, Storage};
 use ipu_sim::kernels;
 use ipu_sim::poplib::{reduce_columns_mirrored, reduce_columns_mirrored_hier, ReduceOp};
-use ipu_sim::{cost, Access, GraphError, Program};
+use ipu_sim::{cost, Access, DType, GraphError, Program};
 
 /// Bits of the row index inside the Step 4 arg-max encoding; supports
 /// n < 2^24 (the paper's largest instance is 2^13).
@@ -76,9 +76,15 @@ impl Builder {
         }
 
         // 1d: column minima of the row-reduced matrix, mirrored per tile.
+        // Sparse storage scatters its candidate entries into per-owner
+        // column vectors first (a stored entry's position no longer *is*
+        // its column); dense reduces the slack matrix directly.
         // Min is order-exact, so the hierarchical variant (per-chip trees,
         // one link crossing) produces bit-identical minima on multi-chip
         // configs while the flat path stays byte-for-byte unchanged.
+        if let Storage::Sparse { k } = self.storage {
+            return self.frag_step1_sparse_tail(cs_seg, cs_comb, cs_sub, k);
+        }
         let (colmirror, col_prog) = if l.chips > 1 {
             reduce_columns_mirrored_hier(
                 &mut self.g,
@@ -147,10 +153,133 @@ impl Builder {
         ]))
     }
 
+    /// Sparse tail of Step 1 (1d–1f): the stored entries carry explicit
+    /// column ids, so the column minima come from a scatter — each owner
+    /// tile folds its candidate entries into a full-width `n` partial
+    /// vector (∞ where it holds no candidate), and the standard mirrored
+    /// column reduction combines the partials. Subtraction and `v`
+    /// initialization then index the mirror through `cand`. Columns that
+    /// no row kept have an ∞ minimum; their `v` clamps to 0 (they can
+    /// only matter on infeasible prunes, which Step 6's δ-guard reports).
+    fn frag_step1_sparse_tail(
+        &mut self,
+        cs_seg: ipu_sim::ComputeSetId,
+        cs_comb: ipu_sim::ComputeSetId,
+        cs_sub: ipu_sim::ComputeSetId,
+        k: usize,
+    ) -> Result<Program, GraphError> {
+        let (l, n, th) = (self.l.clone(), self.l.n, self.l.threads);
+        let t_slack = self.t.slack;
+        let t_cand = self.t.cand.expect("sparse storage has cand");
+        let owners = self.l.owner_tiles();
+
+        // 1d: per-owner scatter of candidate minima, then the mirrored
+        // column reduction (sparse runs on flat single-chip layouts).
+        let scat = self
+            .g
+            .add_tensor("step1.scat", DType::F32, owners.len() * n);
+        for (i, &tile) in owners.iter().enumerate() {
+            self.g.map_slice(scat.slice(i * n..(i + 1) * n), tile)?;
+        }
+        let cs_scat = self.g.add_compute_set("step1.scatter");
+        for (i, &tile) in owners.iter().enumerate() {
+            let rows = l.rows_of_tile(tile);
+            let v = self.g.add_vertex(cs_scat, tile, "scatter", |ctx| {
+                let slack = ctx.f32(0);
+                let cand = ctx.i32(1);
+                let mut part = ctx.f32_mut(2);
+                for p in part.iter_mut() {
+                    *p = f32::INFINITY;
+                }
+                for (pos, &c) in cand.iter().enumerate() {
+                    let c = c as usize;
+                    part[c] = part[c].min(slack[pos]);
+                }
+                cost::f32_scan(slack.len()) + cost::f32_update(part.len())
+            })?;
+            self.g
+                .connect(v, t_slack.slice(rows.start * k..rows.end * k), Access::Read)?;
+            self.g
+                .connect(v, t_cand.slice(rows.start * k..rows.end * k), Access::Read)?;
+            self.g
+                .connect(v, scat.slice(i * n..(i + 1) * n), Access::Write)?;
+        }
+        let (colmirror, col_prog) = reduce_columns_mirrored(
+            &mut self.g,
+            "step1.colmin",
+            scat,
+            owners.len(),
+            n,
+            ReduceOp::Min,
+        )?;
+
+        // 1e: subtract each stored entry's column minimum via `cand`.
+        let cs_csub = self.g.add_compute_set("step1.colsub");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs_csub, tile, s, "colsub", |ctx| {
+                        let mins = ctx.f32(0);
+                        let cand = ctx.i32(1);
+                        let mut seg = ctx.f32_mut(2);
+                        for (p, x) in seg.iter_mut().enumerate() {
+                            *x -= mins[cand[p] as usize];
+                        }
+                        cost::f32_update(seg.len()) + cost::i32_scan(seg.len())
+                    })?;
+                let blk = l.mirror_block(tile);
+                self.g
+                    .connect(v, colmirror.slice(blk * n..(blk + 1) * n), Access::Read)?;
+                self.g
+                    .connect(v, t_cand.slice(l.row_seg_range(row, s)), Access::Read)?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::ReadWrite)?;
+            }
+        }
+
+        // 1f: v from the column minima, ∞ (candidate-free column) → 0.
+        let cs_vinit = self.g.add_compute_set("step1.vinit");
+        let t_v = self.t.v;
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let v = self.g.add_vertex(cs_vinit, tile, "vinit", |ctx| {
+                let mins = ctx.f32(0);
+                let mut out = ctx.f32_mut(1);
+                for (o, &m) in out.iter_mut().zip(mins.iter()) {
+                    *o = if m.is_finite() { m } else { 0.0 };
+                }
+                cost::f32_update(out.len())
+            })?;
+            let cols = l.col_seg_cols(seg);
+            let blk = l.mirror_block(tile);
+            self.g.connect(
+                v,
+                colmirror.slice(blk * n + cols.start..blk * n + cols.end),
+                Access::Read,
+            )?;
+            self.g.connect(v, t_v.slice(cols), Access::Write)?;
+        }
+
+        Ok(Program::seq(vec![
+            Program::execute(cs_seg),
+            Program::execute(cs_comb),
+            Program::execute(cs_sub),
+            Program::execute(cs_scat),
+            col_prog,
+            Program::execute(cs_csub),
+            Program::execute(cs_vinit),
+        ]))
+    }
+
     /// Matrix compression (§IV-B, Fig. 1): per (row, thread segment),
     /// compact the zero positions to the front of the segment (−1
     /// padding) and count them.
     pub fn frag_compress(&mut self) -> Result<Program, GraphError> {
+        if let Storage::Sparse { .. } = self.storage {
+            return self.frag_compress_sparse();
+        }
         let (l, n, th) = (self.l.clone(), self.l.n, self.l.threads);
         let (t_slack, t_comp, t_zc) = (self.t.slack, self.t.compress, self.t.zero_count);
         let cs = self.g.add_compute_set("compress");
@@ -186,6 +315,50 @@ impl Builder {
                     })?;
                 self.g
                     .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::Read)?;
+                self.g
+                    .connect(v, t_comp.slice(l.row_seg_range(row, s)), Access::Write)?;
+                self.g
+                    .connect(v, t_zc.slice(row * th + s..row * th + s + 1), Access::Write)?;
+            }
+        }
+        Ok(Program::execute(cs))
+    }
+
+    /// Sparse compression: identical compaction, but a stored zero's
+    /// *column* comes from `cand` rather than its position — the rest of
+    /// the pipeline (sort, propose/decide, the Step 4 status scan) already
+    /// speaks absolute column ids, so everything downstream of the
+    /// compressed matrix is representation-agnostic.
+    fn frag_compress_sparse(&mut self) -> Result<Program, GraphError> {
+        let (l, n, th) = (self.l.clone(), self.l.n, self.l.threads);
+        let (t_slack, t_comp, t_zc) = (self.t.slack, self.t.compress, self.t.zero_count);
+        let t_cand = self.t.cand.expect("sparse storage has cand");
+        let cs = self.g.add_compute_set("compress");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs, tile, s, "compress", move |ctx| {
+                        let slack = ctx.f32(0);
+                        let cand = ctx.i32(1);
+                        let mut comp = ctx.i32_mut(2);
+                        let comp = &mut comp[..slack.len()];
+                        let mut k = 0;
+                        for (off, &x) in slack.iter().enumerate() {
+                            comp[k] = cand[off];
+                            k += (x == 0.0) as usize;
+                        }
+                        for c in comp[k..].iter_mut() {
+                            *c = -1;
+                        }
+                        ctx.i32_mut(3)[0] = k as i32;
+                        cost::f32_scan(slack.len()) + cost::i32_update(slack.len())
+                    })?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::Read)?;
+                self.g
+                    .connect(v, t_cand.slice(l.row_seg_range(row, s)), Access::Read)?;
                 self.g
                     .connect(v, t_comp.slice(l.row_seg_range(row, s)), Access::Write)?;
                 self.g
@@ -388,18 +561,38 @@ impl Builder {
         }
         let (covered, red_prog) = self.reduce_scalar("step3.covered", t_ccov, ReduceOp::Sum)?;
         let cs_nd = self.g.add_compute_set("step3.notdone");
-        self.collector_vertex(
-            cs_nd,
-            "notdone",
-            vec![
-                (covered.whole(), Access::Read),
-                (t_nd.whole(), Access::Write),
-            ],
-            move |ctx| {
-                ctx.i32_mut(1)[0] = i32::from((ctx.i32(0)[0] as usize) < n);
-                cost::scalar(2)
-            },
-        )?;
+        match self.t.infeasible {
+            // Sparse/tiled: a latched infeasibility (non-finite δ) must
+            // stop the outer loop too — step 3 would otherwise see the
+            // incomplete matching and restart the search forever.
+            Some(t_inf) => self.collector_vertex(
+                cs_nd,
+                "notdone",
+                vec![
+                    (covered.whole(), Access::Read),
+                    (t_inf.whole(), Access::Read),
+                    (t_nd.whole(), Access::Write),
+                ],
+                move |ctx| {
+                    let incomplete = (ctx.i32(0)[0] as usize) < n;
+                    let latched = ctx.i32(1)[0] != 0;
+                    ctx.i32_mut(2)[0] = i32::from(incomplete && !latched);
+                    cost::scalar(3)
+                },
+            )?,
+            None => self.collector_vertex(
+                cs_nd,
+                "notdone",
+                vec![
+                    (covered.whole(), Access::Read),
+                    (t_nd.whole(), Access::Write),
+                ],
+                move |ctx| {
+                    ctx.i32_mut(1)[0] = i32::from((ctx.i32(0)[0] as usize) < n);
+                    cost::scalar(2)
+                },
+            )?,
+        }
         Ok(Program::seq(vec![
             Program::execute(cs_cover),
             red_prog,
@@ -850,6 +1043,9 @@ impl Builder {
     /// segment minima, broadcast it, shift the slack matrix (and the dual
     /// potentials), and re-compress.
     fn frag_step6(&mut self, compress: &Program) -> Result<Program, GraphError> {
+        if let Storage::Sparse { .. } = self.storage {
+            return self.frag_step6_sparse(compress);
+        }
         let l = self.l.clone();
         let (n, th) = (l.n, l.threads);
         let t = self.t.clone();
@@ -965,6 +1161,780 @@ impl Builder {
             Program::broadcast(delta.whole(), t_dm.whole()),
             Program::execute(cs_upd),
             recompress,
+        ]))
+    }
+
+    /// Sparse Step 6: the uncovered minimum runs over stored candidates
+    /// only (masking through `cand`), and a collector guard checks that δ
+    /// is finite before any state moves. An infinite δ means no uncovered
+    /// row holds *any* candidate in an uncovered column — the candidate
+    /// graph has no augmenting structure left, i.e. the prune violated
+    /// Hall's condition. The guard latches the `infeasible` flag and
+    /// terminates both loops so the host can re-admit columns instead of
+    /// the device diverging.
+    fn frag_step6_sparse(&mut self, compress: &Program) -> Result<Program, GraphError> {
+        let l = self.l.clone();
+        let (n, th) = (l.n, l.threads);
+        let t = self.t.clone();
+        let (t_slack, t_segmin, t_rcov, t_ccm) = (t.slack, t.seg_min, t.row_cover, t.ccm);
+        let t_cand = t.cand.expect("sparse storage has cand");
+        let t_ok = t.delta_ok.expect("sparse storage has delta_ok");
+        let t_inf = t.infeasible.expect("sparse storage has infeasible");
+
+        let cs_min = self.g.add_compute_set("step6.segmin");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs_min, tile, s, "segmin", move |ctx| {
+                        let covered = ctx.i32(0)[0] != 0;
+                        let out = if covered {
+                            f32::INFINITY
+                        } else {
+                            let slack = ctx.f32(1);
+                            let cand = ctx.i32(2);
+                            let ccm = ctx.i32(3);
+                            let mut m = f32::INFINITY;
+                            for (p, &x) in slack.iter().enumerate() {
+                                if ccm[cand[p] as usize] == 0 {
+                                    m = m.min(x);
+                                }
+                            }
+                            m
+                        };
+                        ctx.f32_mut(4)[0] = out;
+                        cost::f32_scan(ctx.f32(1).len()) + cost::scalar(2)
+                    })?;
+                self.g.connect(v, t_rcov.element(row), Access::Read)?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::Read)?;
+                self.g
+                    .connect(v, t_cand.slice(l.row_seg_range(row, s)), Access::Read)?;
+                self.g.connect(v, t_ccm.whole(), Access::Read)?;
+                self.g.connect(
+                    v,
+                    t_segmin.slice(row * th + s..row * th + s + 1),
+                    Access::Write,
+                )?;
+            }
+        }
+        let t_ctr = t.ctr_dual;
+        self.collector_vertex(
+            cs_min,
+            "count_dual",
+            vec![(t_ctr.whole(), Access::ReadWrite)],
+            |ctx| {
+                ctx.i32_mut(0)[0] += 1;
+                cost::scalar(1)
+            },
+        )?;
+
+        let (delta, red_prog) = self.reduce_scalar("step6.delta", t_segmin, ReduceOp::Min)?;
+
+        // δ-guard: finite → run the update; infinite → flag infeasible
+        // and stop the search and outer loops.
+        let (t_searching, t_nd) = (t.searching, t.not_done);
+        let cs_guard = self.g.add_compute_set("step6.guard");
+        self.collector_vertex(
+            cs_guard,
+            "guard",
+            vec![
+                (delta.whole(), Access::Read),
+                (t_ok.whole(), Access::Write),
+                (t_inf.whole(), Access::ReadWrite),
+                (t_searching.whole(), Access::ReadWrite),
+                (t_nd.whole(), Access::ReadWrite),
+            ],
+            |ctx| {
+                let finite = ctx.f32(0)[0].is_finite();
+                ctx.i32_mut(1)[0] = i32::from(finite);
+                if !finite {
+                    ctx.i32_mut(2)[0] = 1;
+                    ctx.i32_mut(3)[0] = 0;
+                    ctx.i32_mut(4)[0] = 0;
+                }
+                cost::scalar(5)
+            },
+        )?;
+
+        let (t_dm, t_u, t_v, t_ccov) = (t.delta_m, t.u, t.v, t.col_cover);
+        let cs_upd = self.g.add_compute_set("step6.update");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            for s in 0..th {
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs_upd, tile, s, "update", move |ctx| {
+                        let delta = ctx.f32(0)[0];
+                        let covered = ctx.i32(1)[0] != 0;
+                        let ccm = ctx.i32(2);
+                        let cand = ctx.i32(3);
+                        let mut slack = ctx.f32_mut(4);
+                        for (p, x) in slack.iter_mut().enumerate() {
+                            let col_covered = ccm[cand[p] as usize] != 0;
+                            if covered && col_covered {
+                                *x += delta;
+                            } else if !covered && !col_covered {
+                                *x -= delta;
+                            }
+                        }
+                        cost::f32_update(slack.len())
+                    })?;
+                self.g.connect(v, t_dm.whole(), Access::Read)?;
+                self.g.connect(v, t_rcov.element(row), Access::Read)?;
+                self.g.connect(v, t_ccm.whole(), Access::Read)?;
+                self.g
+                    .connect(v, t_cand.slice(l.row_seg_range(row, s)), Access::Read)?;
+                self.g
+                    .connect(v, t_slack.slice(l.row_seg_range(row, s)), Access::ReadWrite)?;
+            }
+            let v = self.g.add_vertex(cs_upd, tile, "u_update", |ctx| {
+                if ctx.i32(1)[0] == 0 {
+                    ctx.f32_mut(2)[0] += ctx.f32(0)[0];
+                }
+                cost::scalar(3)
+            })?;
+            self.g.connect(v, t_dm.whole(), Access::Read)?;
+            self.g.connect(v, t_rcov.element(row), Access::Read)?;
+            self.g.connect(v, t_u.element(row), Access::ReadWrite)?;
+        }
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let cols = l.col_seg_cols(seg);
+            let v = self.g.add_vertex(cs_upd, tile, "v_update", |ctx| {
+                let delta = ctx.f32(0)[0];
+                let cov = ctx.i32(1);
+                let mut pot = ctx.f32_mut(2);
+                kernels::sub_where_nonzero(&mut pot, &cov, delta);
+                cost::f32_update(pot.len())
+            })?;
+            self.g.connect(v, t_dm.whole(), Access::Read)?;
+            self.g
+                .connect(v, t_ccov.slice(cols.clone()), Access::Read)?;
+            self.g.connect(v, t_v.slice(cols), Access::ReadWrite)?;
+        }
+
+        let recompress = if self.ab.compression {
+            compress.clone()
+        } else {
+            Program::seq(vec![])
+        };
+        let update = Program::seq(vec![
+            Program::broadcast(delta.whole(), t_dm.whole()),
+            Program::execute(cs_upd),
+            recompress,
+        ]);
+        Ok(Program::seq(vec![
+            Program::execute(cs_min),
+            red_prog,
+            Program::execute(cs_guard),
+            Program::if_true(t_ok, update),
+        ]))
+    }
+
+    /// Per-(tile, thread) partition of each owner tile's row block —
+    /// the work decomposition of every streamed-block sweep.
+    fn tile_thread_chunks(&self) -> Vec<(usize, usize, std::ops::Range<usize>)> {
+        let th = self.l.threads;
+        let mut out = Vec::new();
+        for tile in self.l.owner_tiles() {
+            let rows = self.l.rows_of_tile(tile);
+            let cnt = rows.len();
+            let base = cnt / th;
+            let extra = cnt % th;
+            let mut start = rows.start;
+            for t in 0..th {
+                let len = base + usize::from(t < extra);
+                if len == 0 {
+                    continue;
+                }
+                out.push((tile, t, start..start + len));
+                start += len;
+            }
+        }
+        out
+    }
+
+    /// Column ranges of the streamed blocks (`block_cols` wide, last may
+    /// be short).
+    fn block_ranges(&self, block_cols: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.l.n;
+        (0..n.div_ceil(block_cols))
+            .map(|b| b * block_cols..((b + 1) * block_cols).min(n))
+            .collect()
+    }
+
+    /// One PCIe stream of cost block `cols` into the resident work
+    /// buffer: per row, `host_cost[r, cols]` → `work[r, 0..bc]`. The
+    /// engine charges the host side serially at
+    /// `IpuConfig::host_io_bytes_per_cycle`, overlapping the fabric.
+    fn stream_block(&self, cols: &std::ops::Range<usize>, block_cols: usize) -> Program {
+        let n = self.l.n;
+        let host = self.t.host_cost.expect("tiled storage has host_cost");
+        let work = self.t.slack;
+        let bc = cols.len();
+        Program::exchange(
+            (0..n)
+                .map(|r| {
+                    (
+                        host.slice(r * n + cols.start..r * n + cols.end),
+                        work.slice(r * block_cols..r * block_cols + bc),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Tiled setup: the Step 1 reduction and the Step 2 zero lists,
+    /// computed in three streamed sweeps over the host-resident matrix
+    /// without ever materializing the reduced slack on the device:
+    ///
+    /// 1. `u[r] = min_c C[r][c]` (row minima);
+    /// 2. column minima of `C[r][c] − u[r]`, mirrored per owner, → `v`;
+    /// 3. bounded zero lists: the first `zcap` columns per row with
+    ///    `C − u − v = 0`, feeding Step 2's proposal passes.
+    ///
+    /// A row with more than `zcap` zeros gets a truncated list — Step 2
+    /// then stars a subset, which only costs extra search iterations;
+    /// the search loop itself rescans streamed blocks, never the lists.
+    fn frag_tiled_setup(
+        &mut self,
+        block_cols: usize,
+        zcap: usize,
+    ) -> Result<Program, GraphError> {
+        let (l, n, th) = (self.l.clone(), self.l.n, self.l.threads);
+        let (t_slack, t_u) = (self.t.slack, self.t.u);
+        let (t_comp, t_zc) = (self.t.compress, self.t.zero_count);
+        let chunks = self.tile_thread_chunks();
+        let blocks = self.block_ranges(block_cols);
+        let bw = block_cols;
+
+        // Sweep 1: row minima.
+        let cs_uinit = self.g.add_compute_set("tsetup.uinit");
+        for (tile, t, chunk) in &chunks {
+            let v = self
+                .g
+                .add_vertex_on_thread(cs_uinit, *tile, *t, "uinit", |ctx| {
+                    let mut u = ctx.f32_mut(0);
+                    for x in u.iter_mut() {
+                        *x = f32::INFINITY;
+                    }
+                    cost::f32_update(u.len())
+                })?;
+            self.g.connect(v, t_u.slice(chunk.clone()), Access::Write)?;
+        }
+        let mut prog = vec![Program::execute(cs_uinit)];
+        for (b, cols) in blocks.iter().enumerate() {
+            let bc = cols.len();
+            let cs = self.g.add_compute_set(&format!("tsetup.umin[{b}]"));
+            for (tile, t, chunk) in &chunks {
+                let rows_here = chunk.len();
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs, *tile, *t, "umin", move |ctx| {
+                        let work = ctx.f32(0);
+                        let mut u = ctx.f32_mut(1);
+                        for r in 0..rows_here {
+                            let m = kernels::min_f32(&work[r * bw..r * bw + bc]);
+                            u[r] = u[r].min(m);
+                        }
+                        cost::f32_scan(rows_here * bc)
+                    })?;
+                self.g.connect(
+                    v,
+                    t_slack.slice(chunk.start * bw..chunk.end * bw),
+                    Access::Read,
+                )?;
+                self.g
+                    .connect(v, t_u.slice(chunk.clone()), Access::ReadWrite)?;
+            }
+            prog.push(self.stream_block(cols, bw));
+            prog.push(Program::execute(cs));
+        }
+
+        // Sweep 2: column minima of the row-reduced matrix. Each owner
+        // accumulates a full-width partial (threads split the block's
+        // columns, so each writes a disjoint slice), then the standard
+        // mirrored reduction combines owners.
+        let owners = l.owner_tiles();
+        let scat = self
+            .g
+            .add_tensor("tsetup.scat", DType::F32, owners.len() * n);
+        for (i, &tile) in owners.iter().enumerate() {
+            self.g.map_slice(scat.slice(i * n..(i + 1) * n), tile)?;
+        }
+        for (b, cols) in blocks.iter().enumerate() {
+            let bc = cols.len();
+            let cs = self.g.add_compute_set(&format!("tsetup.cmin[{b}]"));
+            for (i, &tile) in owners.iter().enumerate() {
+                let rows = l.rows_of_tile(tile);
+                let rows_here = rows.len();
+                // Threads split the block's columns.
+                let per = bc.div_ceil(th);
+                for t in 0..th {
+                    let j0 = (t * per).min(bc);
+                    let j1 = ((t + 1) * per).min(bc);
+                    if j0 == j1 {
+                        continue;
+                    }
+                    let v = self
+                        .g
+                        .add_vertex_on_thread(cs, tile, t, "cmin", move |ctx| {
+                            let work = ctx.f32(0);
+                            let u = ctx.f32(1);
+                            let mut part = ctx.f32_mut(2);
+                            for p in part.iter_mut() {
+                                *p = f32::INFINITY;
+                            }
+                            for r in 0..rows_here {
+                                for (jj, p) in part.iter_mut().enumerate() {
+                                    *p = p.min(work[r * bw + j0 + jj] - u[r]);
+                                }
+                            }
+                            cost::f32_scan(rows_here * (j1 - j0))
+                        })?;
+                    self.g.connect(
+                        v,
+                        t_slack.slice(rows.start * bw..rows.end * bw),
+                        Access::Read,
+                    )?;
+                    self.g.connect(v, t_u.slice(rows.clone()), Access::Read)?;
+                    self.g.connect(
+                        v,
+                        scat.slice(i * n + cols.start + j0..i * n + cols.start + j1),
+                        Access::Write,
+                    )?;
+                }
+            }
+            prog.push(self.stream_block(cols, bw));
+            prog.push(Program::execute(cs));
+        }
+        let (colmirror, col_prog) = reduce_columns_mirrored(
+            &mut self.g,
+            "tsetup.colmin",
+            scat,
+            owners.len(),
+            n,
+            ReduceOp::Min,
+        )?;
+        prog.push(col_prog);
+
+        let cs_vinit = self.g.add_compute_set("tsetup.vinit");
+        let t_v = self.t.v;
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let v = self.g.add_vertex(cs_vinit, tile, "vinit", |ctx| {
+                let mins = ctx.f32(0);
+                let mut out = ctx.f32_mut(1);
+                out.copy_from_slice(&mins);
+                cost::f32_update(out.len())
+            })?;
+            let cols = l.col_seg_cols(seg);
+            let blk = l.mirror_block(tile);
+            self.g.connect(
+                v,
+                colmirror.slice(blk * n + cols.start..blk * n + cols.end),
+                Access::Read,
+            )?;
+            self.g.connect(v, t_v.slice(cols), Access::Write)?;
+        }
+        prog.push(Program::execute(cs_vinit));
+
+        // Sweep 3: bounded zero lists (zero_count slot 0 is the cursor;
+        // the other per-thread slots stay 0 so Step 2's row total sums
+        // correctly).
+        let cs_zinit = self.g.add_compute_set("tsetup.zinit");
+        for (tile, t, chunk) in &chunks {
+            let v = self
+                .g
+                .add_vertex_on_thread(cs_zinit, *tile, *t, "zinit", |ctx| {
+                    let mut comp = ctx.i32_mut(0);
+                    for x in comp.iter_mut() {
+                        *x = -1;
+                    }
+                    let mut zc = ctx.i32_mut(1);
+                    for x in zc.iter_mut() {
+                        *x = 0;
+                    }
+                    cost::i32_update(comp.len() + zc.len())
+                })?;
+            self.g.connect(
+                v,
+                t_comp.slice(chunk.start * zcap..chunk.end * zcap),
+                Access::Write,
+            )?;
+            self.g
+                .connect(v, t_zc.slice(chunk.start * th..chunk.end * th), Access::Write)?;
+        }
+        prog.push(Program::execute(cs_zinit));
+        for (b, cols) in blocks.iter().enumerate() {
+            let bc = cols.len();
+            let c0 = cols.start;
+            let cs = self.g.add_compute_set(&format!("tsetup.zlist[{b}]"));
+            for (tile, t, chunk) in &chunks {
+                let rows_here = chunk.len();
+                let blk = l.mirror_block(*tile);
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs, *tile, *t, "zlist", move |ctx| {
+                        let work = ctx.f32(0);
+                        let u = ctx.f32(1);
+                        let vmin = ctx.f32(2);
+                        let mut comp = ctx.i32_mut(3);
+                        let mut zc = ctx.i32_mut(4);
+                        for r in 0..rows_here {
+                            let mut cnt = zc[r * th] as usize;
+                            for j in 0..bc {
+                                if cnt >= zcap {
+                                    break;
+                                }
+                                if work[r * bw + j] - u[r] - vmin[j] == 0.0 {
+                                    comp[r * zcap + cnt] = (c0 + j) as i32;
+                                    cnt += 1;
+                                }
+                            }
+                            zc[r * th] = cnt as i32;
+                        }
+                        cost::f32_scan(rows_here * bc)
+                    })?;
+                self.g.connect(
+                    v,
+                    t_slack.slice(chunk.start * bw..chunk.end * bw),
+                    Access::Read,
+                )?;
+                self.g.connect(v, t_u.slice(chunk.clone()), Access::Read)?;
+                self.g.connect(
+                    v,
+                    colmirror.slice(blk * n + cols.start..blk * n + cols.end),
+                    Access::Read,
+                )?;
+                self.g.connect(
+                    v,
+                    t_comp.slice(chunk.start * zcap..chunk.end * zcap),
+                    Access::ReadWrite,
+                )?;
+                self.g.connect(
+                    v,
+                    t_zc.slice(chunk.start * th..chunk.end * th),
+                    Access::ReadWrite,
+                )?;
+            }
+            prog.push(self.stream_block(cols, bw));
+            prog.push(Program::execute(cs));
+        }
+
+        Ok(Program::seq(prog))
+    }
+
+    /// The tiled Step 4/5/6 search loop: every iteration re-streams the
+    /// cost blocks and recomputes slacks `C − u − v` on the fly (exact in
+    /// f32 for integer costs), accumulating each row's first uncovered
+    /// zero and uncovered minimum. Steps 5 (augment) and 4's priming are
+    /// the standard fragments — they touch only matching state. Step 6
+    /// applies the dual form of the slack shift (`u += δ` on uncovered
+    /// rows, `v −= δ` on covered columns), which is algebraically the
+    /// quadrant shift the dense path applies to stored slack.
+    fn frag_search_loop_tiled(&mut self, block_cols: usize) -> Result<Program, GraphError> {
+        let l = self.l.clone();
+        let n = l.n;
+        let t_searching = self.t.searching;
+        let bw = block_cols;
+
+        // Cover mirror refresh (flat single-chip structure) and the
+        // column-potential mirror the on-the-fly slacks need.
+        let col_intervals = self.col_seg_intervals();
+        let (ccg, gather_cc) =
+            self.gather_to_collector("loop.ccg", self.t.col_cover, &col_intervals)?;
+        let refresh_ccm = Program::seq(vec![
+            gather_cc,
+            Program::broadcast(ccg.whole(), self.t.ccm.whole()),
+        ]);
+        let t_vm = self.t.vm.expect("tiled storage has v_m");
+        let refresh_vm = Program::broadcast(self.t.v.whole(), t_vm.whole());
+
+        let (t_slack, t_u, t_ccm) = (self.t.slack, self.t.u, self.t.ccm);
+        let (t_rcov, t_rstar) = (self.t.row_cover, self.t.row_star);
+        let (t_zs, t_rzc, t_enc) = (self.t.zero_status, self.t.row_zero_col, self.t.enc);
+        let t_acc = self.t.rowacc.expect("tiled storage has rowacc");
+        let chunks = self.tile_thread_chunks();
+        let blocks = self.block_ranges(bw);
+
+        // Reset the per-row sweep accumulators.
+        let cs_sweep = self.g.add_compute_set("step4.sweepinit");
+        for (tile, t, chunk) in &chunks {
+            let v = self
+                .g
+                .add_vertex_on_thread(cs_sweep, *tile, *t, "sweepinit", |ctx| {
+                    let mut rzc = ctx.i32_mut(0);
+                    for x in rzc.iter_mut() {
+                        *x = -1;
+                    }
+                    let mut acc = ctx.f32_mut(1);
+                    for x in acc.iter_mut() {
+                        *x = f32::INFINITY;
+                    }
+                    cost::i32_update(rzc.len()) + cost::f32_update(acc.len())
+                })?;
+            self.g
+                .connect(v, t_rzc.slice(chunk.clone()), Access::Write)?;
+            self.g
+                .connect(v, t_acc.slice(chunk.clone()), Access::Write)?;
+        }
+
+        // Streamed scan: first uncovered zero (ascending column order —
+        // the same deterministic choice as the dense compressed scan) and
+        // the uncovered minimum, per row.
+        let mut scan = vec![Program::execute(cs_sweep)];
+        for (b, cols) in blocks.iter().enumerate() {
+            let bc = cols.len();
+            let c0 = cols.start;
+            let cs = self.g.add_compute_set(&format!("step4.scan[{b}]"));
+            for (tile, t, chunk) in &chunks {
+                let rows_here = chunk.len();
+                let v = self
+                    .g
+                    .add_vertex_on_thread(cs, *tile, *t, "scan", move |ctx| {
+                        let rcov = ctx.i32(0);
+                        let work = ctx.f32(1);
+                        let u = ctx.f32(2);
+                        let vm = ctx.f32(3);
+                        let ccm = ctx.i32(4);
+                        let mut rzc = ctx.i32_mut(5);
+                        let mut acc = ctx.f32_mut(6);
+                        let mut scanned = 0usize;
+                        for r in 0..rows_here {
+                            if rcov[r] != 0 {
+                                continue;
+                            }
+                            let (mut z, mut m) = (rzc[r], acc[r]);
+                            for j in 0..bc {
+                                let c = c0 + j;
+                                if ccm[c] != 0 {
+                                    continue;
+                                }
+                                scanned += 1;
+                                let s = work[r * bw + j] - u[r] - vm[c];
+                                if s == 0.0 && z < 0 {
+                                    z = c as i32;
+                                }
+                                m = m.min(s);
+                            }
+                            rzc[r] = z;
+                            acc[r] = m;
+                        }
+                        cost::f32_scan(scanned) + cost::scalar(2 * rows_here)
+                    })?;
+                self.g
+                    .connect(v, t_rcov.slice(chunk.clone()), Access::Read)?;
+                self.g.connect(
+                    v,
+                    t_slack.slice(chunk.start * bw..chunk.end * bw),
+                    Access::Read,
+                )?;
+                self.g.connect(v, t_u.slice(chunk.clone()), Access::Read)?;
+                self.g.connect(v, t_vm.whole(), Access::Read)?;
+                self.g.connect(v, t_ccm.whole(), Access::Read)?;
+                self.g
+                    .connect(v, t_rzc.slice(chunk.clone()), Access::ReadWrite)?;
+                self.g
+                    .connect(v, t_acc.slice(chunk.clone()), Access::ReadWrite)?;
+            }
+            scan.push(self.stream_block(cols, bw));
+            scan.push(Program::execute(cs));
+        }
+
+        // Row status from the sweep results (covered rows were skipped,
+        // so their zero column stays −1 → status −1, as in dense).
+        let cs_status = self.g.add_compute_set("step4.status");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            let row_i = row as i32;
+            let v = self.g.add_vertex(cs_status, tile, "status", move |ctx| {
+                let star = ctx.i32(0)[0];
+                let zcol = ctx.i32(1)[0];
+                let status: i32 = if zcol < 0 {
+                    -1
+                } else if star == -1 {
+                    1
+                } else {
+                    0
+                };
+                ctx.i32_mut(2)[0] = status;
+                ctx.i32_mut(3)[0] = ((status + 1) << ENC_SHIFT) | (ENC_MASK - row_i);
+                cost::scalar(5)
+            })?;
+            self.g.connect(v, t_rstar.element(row), Access::Read)?;
+            self.g.connect(v, t_rzc.element(row), Access::Read)?;
+            self.g.connect(v, t_zs.element(row), Access::Write)?;
+            self.g.connect(v, t_enc.element(row), Access::Write)?;
+        }
+        let (enc_out, enc_prog) = self.reduce_scalar("step4.enc", t_enc, ReduceOp::Max)?;
+
+        let (t_st1, t_st0, t_sel_row) = (self.t.st1, self.t.st0, self.t.sel_row);
+        let cs_decode = self.g.add_compute_set("step4.decode");
+        self.collector_vertex(
+            cs_decode,
+            "decode",
+            vec![
+                (enc_out.whole(), Access::Read),
+                (t_st1.whole(), Access::Write),
+                (t_st0.whole(), Access::Write),
+                (t_sel_row.whole(), Access::Write),
+            ],
+            |ctx| {
+                let e = ctx.i32(0)[0];
+                let status = (e >> ENC_SHIFT) - 1;
+                ctx.i32_mut(1)[0] = i32::from(status == 1);
+                ctx.i32_mut(2)[0] = i32::from(status == 0);
+                ctx.i32_mut(3)[0] = ENC_MASK - (e & ENC_MASK);
+                cost::scalar(5)
+            },
+        )?;
+
+        let row_intervals = self.row_block_intervals(1);
+        let (rzc_out, read_rzc) =
+            self.dyn_read_i32("step4.selcol", t_rzc, self.t.sel_row_m, &row_intervals)?;
+        let get_sel_col = Program::seq(vec![
+            Program::broadcast(t_sel_row.whole(), self.t.sel_row_m.whole()),
+            read_rzc,
+            Program::broadcast(rzc_out.whole(), self.t.sel_col_m.whole()),
+        ]);
+
+        let prime = self.frag_prime(&get_sel_col, &row_intervals)?;
+        let augment = self.frag_augment(&get_sel_col, rzc_out, &row_intervals)?;
+        let step6 = self.frag_step6_tiled()?;
+
+        let dispatch = Program::if_else(
+            self.t.st1,
+            augment,
+            Program::if_else(self.t.st0, prime, step6),
+        );
+
+        let mut body = vec![refresh_ccm, refresh_vm];
+        body.extend(scan);
+        body.extend([
+            Program::execute(cs_status),
+            enc_prog,
+            Program::execute(cs_decode),
+            dispatch,
+        ]);
+        Ok(Program::while_true(t_searching, Program::seq(body)))
+    }
+
+    /// Tiled Step 6: δ = min over the per-row sweep minima, then the dual
+    /// update only — no stored slack to shift, the next sweep recomputes
+    /// `C − u − v` against the new potentials. Guarded like the sparse
+    /// path: a non-finite δ latches `infeasible` and stops both loops
+    /// rather than diverging.
+    fn frag_step6_tiled(&mut self) -> Result<Program, GraphError> {
+        let l = self.l.clone();
+        let n = l.n;
+        let t = self.t.clone();
+        let t_acc = t.rowacc.expect("tiled storage has rowacc");
+        let t_ok = t.delta_ok.expect("tiled storage has delta_ok");
+        let t_inf = t.infeasible.expect("tiled storage has infeasible");
+
+        let (delta, red_prog) = self.reduce_scalar("step6.delta", t_acc, ReduceOp::Min)?;
+
+        let (t_searching, t_nd, t_ctr) = (t.searching, t.not_done, t.ctr_dual);
+        let cs_guard = self.g.add_compute_set("step6.guard");
+        self.collector_vertex(
+            cs_guard,
+            "guard",
+            vec![
+                (delta.whole(), Access::Read),
+                (t_ok.whole(), Access::Write),
+                (t_inf.whole(), Access::ReadWrite),
+                (t_searching.whole(), Access::ReadWrite),
+                (t_nd.whole(), Access::ReadWrite),
+                (t_ctr.whole(), Access::ReadWrite),
+            ],
+            |ctx| {
+                let finite = ctx.f32(0)[0].is_finite();
+                ctx.i32_mut(1)[0] = i32::from(finite);
+                if !finite {
+                    ctx.i32_mut(2)[0] = 1;
+                    ctx.i32_mut(3)[0] = 0;
+                    ctx.i32_mut(4)[0] = 0;
+                }
+                ctx.i32_mut(5)[0] += 1;
+                cost::scalar(6)
+            },
+        )?;
+
+        let (t_dm, t_u, t_v, t_rcov, t_ccov) = (t.delta_m, t.u, t.v, t.row_cover, t.col_cover);
+        let cs_upd = self.g.add_compute_set("step6.update");
+        for row in 0..n {
+            let tile = l.tile_of_row(row);
+            let v = self.g.add_vertex(cs_upd, tile, "u_update", |ctx| {
+                if ctx.i32(1)[0] == 0 {
+                    ctx.f32_mut(2)[0] += ctx.f32(0)[0];
+                }
+                cost::scalar(3)
+            })?;
+            self.g.connect(v, t_dm.whole(), Access::Read)?;
+            self.g.connect(v, t_rcov.element(row), Access::Read)?;
+            self.g.connect(v, t_u.element(row), Access::ReadWrite)?;
+        }
+        for seg in 0..l.n_col_segs() {
+            let tile = l.col_seg_tile(seg);
+            let cols = l.col_seg_cols(seg);
+            let v = self.g.add_vertex(cs_upd, tile, "v_update", |ctx| {
+                let delta = ctx.f32(0)[0];
+                let cov = ctx.i32(1);
+                let mut pot = ctx.f32_mut(2);
+                kernels::sub_where_nonzero(&mut pot, &cov, delta);
+                cost::f32_update(pot.len())
+            })?;
+            self.g.connect(v, t_dm.whole(), Access::Read)?;
+            self.g
+                .connect(v, t_ccov.slice(cols.clone()), Access::Read)?;
+            self.g.connect(v, t_v.slice(cols), Access::ReadWrite)?;
+        }
+
+        let update = Program::seq(vec![
+            Program::broadcast(delta.whole(), t_dm.whole()),
+            Program::execute(cs_upd),
+        ]);
+        Ok(Program::seq(vec![
+            red_prog,
+            Program::execute(cs_guard),
+            Program::if_true(t_ok, update),
+        ]))
+    }
+
+    /// Assembles the tiled (out-of-core) driver: streamed setup sweeps
+    /// replace Step 1 and the compression passes, then the standard
+    /// Step 2/3 run over the bounded zero lists, and the outer loop runs
+    /// the streamed search. Requires `Storage::Tiled`.
+    pub fn assemble_tiled(&mut self) -> Result<Program, GraphError> {
+        let Storage::Tiled { block_cols, zcap } = self.storage else {
+            panic!("assemble_tiled requires Storage::Tiled");
+        };
+        let setup = self.frag_tiled_setup(block_cols, zcap)?;
+        let step2 = self.frag_step2()?;
+        let step3 = self.frag_step3()?;
+        let search = self.frag_search_loop_tiled(block_cols)?;
+
+        let t_searching = self.t.searching;
+        let cs_begin = self.g.add_compute_set("begin_search");
+        self.collector_vertex(
+            cs_begin,
+            "begin",
+            vec![(t_searching.whole(), Access::Write)],
+            |ctx| {
+                ctx.i32_mut(0)[0] = 1;
+                cost::scalar(1)
+            },
+        )?;
+
+        let outer_body = Program::seq(vec![Program::execute(cs_begin), search, step3.clone()]);
+        Ok(Program::seq(vec![
+            setup,
+            step2,
+            step3,
+            Program::while_true(self.t.not_done, outer_body),
         ]))
     }
 

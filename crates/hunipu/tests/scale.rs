@@ -1,0 +1,268 @@
+//! Beyond-SRAM scale: the sparse k-candidate and tiled out-of-core
+//! paths, differentially tested against dense CPU ground truth (small n)
+//! and dual certificates (large n), plus the memory-ceiling contract —
+//! a dense n = 4096 program must be *rejected* by the per-tile SRAM
+//! budget on a 64-tile device while the tiled program compiles and
+//! solves the same instance.
+
+use cpu_hungarian::JonkerVolgenant;
+use datasets::{diag_dominant, prune_topk, uniform_cost_matrix};
+use hunipu::{HunIpu, LayoutMode, F32_VERIFY_EPS};
+use ipu_sim::IpuConfig;
+use lsap::{CostMatrix, LsapError, LsapSolver};
+
+fn reference_optimum(m: &CostMatrix) -> f64 {
+    JonkerVolgenant::default()
+        .solve(m)
+        .expect("reference solve")
+        .objective
+}
+
+/// The acceptance instance family: easy at any size (Step 2 matches
+/// almost every row), so the large-n grid stays tractable in simulation.
+fn easy(n: usize) -> CostMatrix {
+    diag_dominant(n, 3, 2)
+}
+
+// ---------------------------------------------------------------------
+// Memory ceiling (satellite: per-tile SRAM budget is load-bearing).
+// ---------------------------------------------------------------------
+
+/// On 64 tiles, dense n = 4096 needs ≈ 64 rows × 4096 × 8 B ≈ 2 MiB of
+/// slack + compress per tile — far past the 624 KiB budget. The compile
+/// must reject it; the tiled program must solve the same instance with
+/// bounded resident memory; and `LayoutMode::Auto` must make that
+/// upgrade on its own.
+#[test]
+fn dense_4096_exceeds_sram_but_tiled_solves() {
+    let config = IpuConfig::tiny(64);
+    let n = 4096;
+    let m = easy(n);
+
+    let solver = HunIpu::with_config(config.clone());
+    assert!(!solver.dense_fits(n), "heuristic must flag n=4096/64 tiles");
+    let err = solver
+        .with_layout_mode(LayoutMode::Flat)
+        .solve_with_engine(&m)
+        .expect_err("dense n=4096 must blow the 624 KiB tile budget");
+    let LsapError::Backend { detail } = &err else {
+        panic!("expected a backend (compile) error, got {err:?}");
+    };
+    assert!(
+        detail.contains("memory"),
+        "error must be the tile-memory budget, got: {detail}"
+    );
+
+    // The tiled program solves the instance the dense path cannot hold.
+    let solver = HunIpu::with_config(config.clone());
+    let (report, engine) = solver.solve_tiled(&m).expect("tiled solve");
+    report.verify(&m, F32_VERIFY_EPS).expect("tiled certificate");
+    assert_eq!(report.objective, n as f64);
+    assert!(engine.stats().host_bytes > 0, "cost blocks must stream");
+
+    // Auto chooses the tiled path without being told.
+    let mut auto = HunIpu::with_config(config);
+    let auto_report = auto.solve(&m).expect("auto solve at n=4096");
+    auto_report.verify(&m, F32_VERIFY_EPS).unwrap();
+    assert_eq!(auto_report.objective, n as f64);
+}
+
+// ---------------------------------------------------------------------
+// Tiled differential: bit-equal objectives vs CPU ground truth.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tiled_matches_reference_on_small_instances() {
+    for (n, tiles, bc, zcap) in [(16, 5, 8, 3), (48, 7, 16, 4), (96, 11, 32, 8)] {
+        let m = CostMatrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 23) as f64).unwrap();
+        let truth = reference_optimum(&m);
+        let solver = HunIpu::with_config(IpuConfig::tiny(tiles)).with_tiled_params(bc, zcap);
+        let (report, _) = solver.solve_tiled(&m).expect("tiled solve");
+        report.verify(&m, F32_VERIFY_EPS).unwrap();
+        assert_eq!(report.objective, truth, "n={n} tiles={tiles} bc={bc}");
+    }
+}
+
+#[test]
+fn tiled_matches_dense_device_path() {
+    // Same instance through both representations: identical objectives
+    // (both certificate-verified, both exact for integer costs).
+    let n = 64;
+    let m = uniform_cost_matrix(n, 1, 7);
+    let dense = HunIpu::with_config(IpuConfig::tiny(9))
+        .solve_with_engine(&m)
+        .unwrap()
+        .0;
+    let tiled = HunIpu::with_config(IpuConfig::tiny(9))
+        .with_tiled_params(16, 6)
+        .solve_tiled(&m)
+        .unwrap()
+        .0;
+    dense.verify(&m, F32_VERIFY_EPS).unwrap();
+    tiled.verify(&m, F32_VERIFY_EPS).unwrap();
+    assert_eq!(dense.objective, tiled.objective);
+}
+
+#[test]
+fn tiled_rejects_fractional_costs() {
+    let m = CostMatrix::from_fn(8, 8, |i, j| (i + j) as f64 + 0.5).unwrap();
+    let err = HunIpu::with_config(IpuConfig::tiny(4))
+        .solve_tiled(&m)
+        .expect_err("fractional costs must be rejected");
+    let LsapError::Backend { detail } = err else {
+        panic!("expected backend error")
+    };
+    assert!(detail.contains("integer costs"), "got: {detail}");
+}
+
+// ---------------------------------------------------------------------
+// Sparse differential: k ∈ {2, 8, n/4} × n ∈ {256, 1024, 4096}.
+// ---------------------------------------------------------------------
+
+/// n = 256, dense CPU ground truth. `solve_pruned` must land on the
+/// dense optimum for every k — repairing or escalating where the prune
+/// was too aggressive.
+#[test]
+fn sparse_repair_matches_reference_n256() {
+    let n = 256;
+    let m = uniform_cost_matrix(n, 1, 11);
+    let truth = reference_optimum(&m);
+    let solver = HunIpu::with_config(IpuConfig::tiny(32));
+    for k in [2, 8, n / 4] {
+        let out = solver.solve_pruned(&m, k, 8).expect("pruned solve");
+        out.report.verify(&m, F32_VERIFY_EPS).unwrap();
+        assert_eq!(out.report.objective, truth, "k={k}");
+    }
+}
+
+/// n = 1024 on the known-optimum instance (cost exactly n); every solve
+/// is certificate-verified against the dense matrix.
+#[test]
+fn sparse_repair_certified_n1024() {
+    let n = 1024;
+    let m = easy(n);
+    let solver = HunIpu::with_config(IpuConfig::tiny(64));
+    for k in [2, 8, n / 4] {
+        let out = solver.solve_pruned(&m, k, 8).expect("pruned solve");
+        out.report.verify(&m, F32_VERIFY_EPS).unwrap();
+        assert_eq!(out.report.objective, n as f64, "k={k}");
+        assert!(!out.dense_fallback, "k={k} must not need the dense engine");
+    }
+}
+
+/// n = 4096: certificate-verified only (CPU ground truth is out of test
+/// budget; the certificate is an optimality proof regardless). k = n/4
+/// is skipped — its candidate footprint is the dense regime this grid's
+/// small-k rows exist to avoid.
+#[test]
+fn sparse_repair_certified_n4096() {
+    let n = 4096;
+    let m = easy(n);
+    let solver = HunIpu::with_config(IpuConfig::tiny(128));
+    for k in [2, 8] {
+        let out = solver.solve_pruned(&m, k, 8).expect("pruned solve");
+        out.report.verify(&m, F32_VERIFY_EPS).unwrap();
+        assert_eq!(out.report.objective, n as f64, "k={k}");
+    }
+}
+
+/// The direct sparse engine agrees with dense ground truth whenever the
+/// prune keeps the optimum (diag-dominant top-k always contains the
+/// 1-entries), without going through the repair driver.
+#[test]
+fn sparse_engine_direct_differential() {
+    for (n, tiles) in [(64, 9), (256, 32)] {
+        let m = easy(n);
+        for k in [2, 8, n / 4] {
+            let sc = prune_topk(&m, k);
+            let solver = HunIpu::with_config(IpuConfig::tiny(tiles));
+            let report = solver.solve_sparse(&sc).expect("sparse solve");
+            sc.verify_report(&report, F32_VERIFY_EPS)
+                .expect("sparse certificate");
+            assert_eq!(report.objective, n as f64, "n={n} k={k}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial prune: optimal edge cut → repair, never a wrong answer.
+// ---------------------------------------------------------------------
+
+/// The lsap repair driver's canonical adversarial instance, run through
+/// the *device* sparse engine: k = 2 prunes r1's optimal column, the
+/// pruned certificate fails against the dense matrix, and the repair
+/// loop must re-admit the cut column and land on the dense optimum.
+#[test]
+fn device_repair_readmits_pruned_optimal_edge() {
+    let m = CostMatrix::from_rows(&[
+        &[0.0, 1.0, 2.0],
+        &[0.0, 100.0, 99.0],
+        &[98.0, 0.0, 100.0],
+    ])
+    .unwrap();
+    let solver = HunIpu::with_config(IpuConfig::tiny(4));
+    let out = solver.solve_pruned(&m, 2, 6).expect("repair must converge");
+    assert!(out.rounds > 1, "repair must actually trigger: {out:?}");
+    assert!(out.readmitted > 0);
+    assert!(!out.dense_fallback);
+    assert_eq!(out.report.objective, 2.0);
+    out.report.verify(&m, F32_VERIFY_EPS).unwrap();
+}
+
+/// A Hall-violating prune (three rows share the same two cheap columns)
+/// must surface [`LsapError::SparseInfeasible`] from the device — the δ
+/// guard, not a hang — and the driver escalates k past it.
+#[test]
+fn device_infeasible_prune_escalates() {
+    let m = CostMatrix::from_rows(&[
+        &[1.0, 1.0, 50.0, 60.0],
+        &[1.0, 1.0, 60.0, 50.0],
+        &[1.0, 1.0, 70.0, 70.0],
+        &[30.0, 40.0, 1.0, 1.0],
+    ])
+    .unwrap();
+    let solver = HunIpu::with_config(IpuConfig::tiny(4));
+
+    // Direct sparse solve on the bad prune: clean infeasibility error.
+    let sc = prune_topk(&m, 2);
+    match solver.solve_sparse(&sc) {
+        Err(LsapError::SparseInfeasible { k }) => assert_eq!(k, 2),
+        other => panic!("expected SparseInfeasible, got {other:?}"),
+    }
+
+    // The driver recovers by doubling k.
+    let out = solver.solve_pruned(&m, 2, 6).expect("escalation converges");
+    assert!(out.escalations >= 1, "must escalate: {out:?}");
+    assert!(!out.dense_fallback);
+    assert_eq!(out.report.objective, reference_optimum(&m));
+    out.report.verify(&m, F32_VERIFY_EPS).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// The tentpole's efficiency claims, asserted at test scale.
+// ---------------------------------------------------------------------
+
+/// Sparse k = 8 at n = 1024 must model ≥ 5× fewer compute cycles than
+/// the dense solve of the same instance (the bench gate re-checks this
+/// with committed numbers; here it guards the invariant in `cargo test`).
+#[test]
+fn sparse_k8_n1024_is_5x_cheaper_in_compute() {
+    let n = 1024;
+    let m = easy(n);
+    let config = IpuConfig::tiny(64);
+    let (_, dense_engine) = HunIpu::with_config(config.clone())
+        .solve_with_engine(&m)
+        .expect("dense solve");
+    let sc = prune_topk(&m, 8);
+    let (report, sparse_engine) = HunIpu::with_config(config)
+        .solve_sparse_with_engine(&sc)
+        .expect("sparse solve");
+    assert_eq!(report.objective, n as f64);
+    let dense_cycles = dense_engine.stats().compute_cycles;
+    let sparse_cycles = sparse_engine.stats().compute_cycles;
+    assert!(
+        sparse_cycles * 5 <= dense_cycles,
+        "sparse {sparse_cycles} vs dense {dense_cycles}: speedup {:.2}x < 5x",
+        dense_cycles as f64 / sparse_cycles as f64
+    );
+}

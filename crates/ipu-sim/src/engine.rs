@@ -22,7 +22,7 @@ use crate::fault::{FaultPlan, FaultState};
 use crate::graph::{Graph, VertexInfo};
 use crate::plan::{self, CopySeg, ExecPlan, PlanOp, PlanShared, PlanVertex};
 use crate::pool::{PoolSync, ShutdownGuard};
-use crate::profile::{ProfileConfig, ProfileReport, Profiler, BROADCAST_TILE};
+use crate::profile::{ProfileConfig, ProfileReport, Profiler, BROADCAST_TILE, HOST_TILE};
 use crate::program::Program;
 use crate::stats::{CycleStats, StepBreakdown};
 use crate::tensor::{DType, Tensor, TensorSlice};
@@ -1017,9 +1017,22 @@ pub(crate) fn exchange_cost(graph: &Graph, pairs: &[(TensorSlice, TensorSlice)])
     let tiles = config.tiles;
     let mut local = vec![0u64; tiles];
     let mut remote = vec![0u64; tiles];
+    let mut host_bytes = 0u64;
     for (src, dst) in pairs {
         let si = &graph.tensors[src.tensor.id];
         let di = &graph.tensors[dst.tensor.id];
+        if si.host || di.host {
+            // One endpoint sits behind the PCIe link. The link is a
+            // single serial stream shared by every pair in the phase, so
+            // its bytes accumulate rather than racing per tile; the
+            // device endpoint still lands its bytes on the exchange
+            // fabric of the tiles it is mapped to.
+            let bytes = (dst.len() * dst.tensor.dtype.size_bytes()) as u64;
+            host_bytes += bytes;
+            let dev = if si.host { (di, dst) } else { (si, src) };
+            dev.0.bytes_per_tile(dev.1.start, dev.1.end, &mut local);
+            continue;
+        }
         if di.replicated {
             // Every tile receives its replica on-chip; the source
             // pushes one copy across each other chip's links.
@@ -1060,7 +1073,10 @@ pub(crate) fn exchange_cost(graph: &Graph, pairs: &[(TensorSlice, TensorSlice)])
             + remote[t] as f64 / config.inter_ipu_bytes_per_cycle;
         worst = worst.max(cycles);
     }
-    config.exchange_setup_cycles + worst.ceil() as u64
+    // Fabric unloading and the serial PCIe stream overlap; the phase
+    // ends when the slower of the two finishes.
+    let host = host_bytes as f64 / config.host_io_bytes_per_cycle;
+    config.exchange_setup_cycles + worst.max(host).ceil() as u64
 }
 
 /// Attributes one exchange phase's delivered bytes to `(src_tile,
@@ -1084,6 +1100,28 @@ fn exchange_pair_bytes(
         let si = &graph.tensors[src.tensor.id];
         let di = &graph.tensors[dst.tensor.id];
         let esz = dst.tensor.dtype.size_bytes() as u64;
+        if si.host || di.host {
+            // Attribute the streamed bytes against the device endpoint's
+            // tiles, with the host side as the HOST_TILE pseudo-tile.
+            let (dev, slice, host_is_src) = if si.host {
+                (di, dst, true)
+            } else {
+                (si, src, false)
+            };
+            let mut per_tile = vec![0u64; graph.config.tiles];
+            dev.bytes_per_tile(slice.start, slice.end, &mut per_tile);
+            for (t, &b) in per_tile.iter().enumerate() {
+                if b > 0 {
+                    let key = if host_is_src {
+                        (HOST_TILE, t as u32)
+                    } else {
+                        (t as u32, HOST_TILE)
+                    };
+                    *acc.entry(key).or_insert(0) += b;
+                }
+            }
+            continue;
+        }
         if di.replicated {
             // Every tile receives a replica; `exchange_bytes` counts one
             // replica's worth, attributed here per source segment.
@@ -1549,6 +1587,28 @@ impl Engine {
         &self.st.stats
     }
 
+    /// Peak SRAM bytes resident on any one tile — the same accounting
+    /// `Graph::compile` enforces against the per-tile budget (host DRAM
+    /// tensors excluded, replicated tensors charged to every tile).
+    /// Out-of-core layouts are judged by this number: it is what must
+    /// stay bounded while `n` grows.
+    pub fn peak_tile_bytes(&self) -> usize {
+        let graph = &self.sh.graph;
+        let mut per_tile = vec![0u64; graph.config.tiles];
+        for info in &graph.tensors {
+            if info.host {
+                continue;
+            }
+            if info.replicated {
+                let bytes = (info.len * info.dtype.size_bytes()) as u64;
+                per_tile.iter_mut().for_each(|b| *b += bytes);
+            } else {
+                info.bytes_per_tile(0, info.len, &mut per_tile);
+            }
+        }
+        per_tile.iter().copied().max().unwrap_or(0) as usize
+    }
+
     /// Zeroes the cycle statistics (buffers are untouched).
     pub fn reset_stats(&mut self) {
         self.st.stats.reset();
@@ -1678,7 +1738,10 @@ impl Engine {
             .iter()
             .enumerate()
             .filter(|(_, t)| {
+                // Host DRAM is ECC-protected end to end in this model;
+                // the injected SEUs target tile SRAM only.
                 t.len > 0
+                    && !t.host
                     && plan
                         .flip_target
                         .as_deref()
@@ -1950,7 +2013,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{cost, Access, DType, Graph, IpuConfig, Program};
+    use crate::{cost, Access, DType, FaultPlan, Graph, IpuConfig, Program};
 
     #[test]
     fn simple_compute_runs_and_charges_cycles() {
@@ -2079,6 +2142,114 @@ mod tests {
         assert!(e.stats().exchange_cycles > 0);
         assert_eq!(e.stats().exchanges, 1);
         assert_eq!(e.stats().exchange_bytes, 16);
+    }
+
+    #[test]
+    fn host_stream_exchange_charges_serial_pcie() {
+        // 8 pairs of 64 f32 each, host -> one tile apiece: every tile
+        // unloads 256 B at 4 B/cycle (64 cycles), but the PCIe stream
+        // carries all 2048 B serially at 24 B/cycle (85.33 cycles) and
+        // bounds the phase.
+        let mut g = Graph::new(IpuConfig::tiny(8));
+        let h = g.add_host_tensor("host_cost", DType::F32, 512);
+        let d = g.add_tensor("work", DType::F32, 512);
+        for t in 0..8 {
+            g.map_slice(d.slice(t * 64..(t + 1) * 64), t).unwrap();
+        }
+        let pairs: Vec<_> = (0..8)
+            .map(|t| (h.slice(t * 64..(t + 1) * 64), d.slice(t * 64..(t + 1) * 64)))
+            .collect();
+        let mut e = g.compile(Program::exchange(pairs)).unwrap();
+        let data: Vec<f32> = (0..512).map(|i| i as f32).collect();
+        e.write_f32(h, &data).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_f32(d), data);
+        let cfg = e.config().clone();
+        let host_cycles = (2048.0 / cfg.host_io_bytes_per_cycle).ceil() as u64;
+        assert_eq!(
+            e.stats().exchange_cycles,
+            cfg.exchange_setup_cycles + host_cycles
+        );
+        assert_eq!(e.stats().exchange_bytes, 2048);
+    }
+
+    #[test]
+    fn device_to_host_copy_streams_back() {
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let d = g.add_tensor("acc", DType::I32, 4);
+        let h = g.add_host_tensor("spool", DType::I32, 4);
+        g.map_to_tile(d, 1).unwrap();
+        let mut e = g.compile(Program::copy(d.whole(), h.whole())).unwrap();
+        e.write_i32(d, &[9, 8, 7, 6]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_i32(h), vec![9, 8, 7, 6]);
+        assert!(e.stats().exchange_cycles > 0);
+    }
+
+    #[test]
+    fn host_tensor_exempt_from_sram_budget() {
+        // 800 KB on any single tile would blow the 624 KiB budget; as
+        // host DRAM it compiles (and can round-trip through a resident
+        // window).
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let h = g.add_host_tensor("big", DType::F32, 200_000);
+        let w = g.add_tensor("window", DType::F32, 64);
+        g.map_to_tile(w, 0).unwrap();
+        let mut e = g
+            .compile(Program::copy(h.slice(100_000..100_064), w.whole()))
+            .unwrap();
+        let mut data = vec![0.0f32; 200_000];
+        data[100_001] = 5.0;
+        e.write_f32(h, &data).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.peek_f32(w.slice(1..2)), vec![5.0]);
+    }
+
+    #[test]
+    fn host_tensor_misuse_rejected() {
+        // Mapping a host tensor is a contradiction.
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let h = g.add_host_tensor("h", DType::F32, 8);
+        assert!(matches!(
+            g.map_to_tile(h, 0),
+            Err(GraphError::BadSlice { .. })
+        ));
+        // A vertex can never reach host DRAM directly.
+        let cs = g.add_compute_set("cs");
+        let v = g.add_vertex(cs, 0, "reader", |_| 1).unwrap();
+        g.connect(v, h.slice(0..8), Access::Read).unwrap();
+        assert!(matches!(
+            g.compile(Program::execute(cs)),
+            Err(GraphError::NotOnTile { .. })
+        ));
+        // Host endpoints are not broadcast sources or destinations.
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let h = g.add_host_tensor("h", DType::F32, 8);
+        let d = g.add_tensor("d", DType::F32, 8);
+        g.map_to_tile(d, 0).unwrap();
+        assert!(g.compile(Program::broadcast(h.whole(), d.whole())).is_err());
+        // Host-to-host never touches the device.
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let a = g.add_host_tensor("a", DType::F32, 8);
+        let b = g.add_host_tensor("b", DType::F32, 8);
+        assert!(g.compile(Program::copy(a.whole(), b.whole())).is_err());
+    }
+
+    #[test]
+    fn bit_flips_never_target_host_tensors() {
+        // A flip plan aimed at the host tensor's name finds no eligible
+        // target, so the armed engine stays fault-free.
+        let mut g = Graph::new(IpuConfig::tiny(2));
+        let h = g.add_host_tensor("spool", DType::F32, 16);
+        let d = g.add_tensor("work", DType::F32, 16);
+        g.map_to_tile(d, 0).unwrap();
+        let mut e = g.compile(Program::copy(h.whole(), d.whole())).unwrap();
+        e.set_fault_plan(FaultPlan::new(7).with_bit_flips(1.0).targeting("spool"));
+        let data = vec![3.0f32; 16];
+        e.write_f32(h, &data).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.read_f32(d), data);
+        assert_eq!(e.stats().faults.bit_flips, 0);
     }
 
     #[test]

@@ -48,6 +48,16 @@ pub(crate) struct TensorInfo {
     /// multicast exchange. This is how Poplar programs mirror small,
     /// frequently-read state (cover flags, selected indices) to all tiles.
     pub(crate) replicated: bool,
+    /// A host tensor lives in host DRAM behind the PCIe link, not in any
+    /// tile's SRAM: it has no tile mapping, pays no SRAM budget, and no
+    /// vertex may connect to it. Data moves between host tensors and
+    /// device tensors only through [`crate::Program::Copy`] /
+    /// [`crate::Program::Exchange`], charged at
+    /// [`IpuConfig::host_io_bytes_per_cycle`] (the link is serial: one
+    /// stream, not per-tile fabric). This models Poplar's host-streamed
+    /// `RemoteBuffer`s, which is what lets a program work on cost data
+    /// larger than the chip's combined SRAM.
+    pub(crate) host: bool,
 }
 
 impl TensorInfo {
@@ -165,6 +175,7 @@ impl Graph {
             dtype,
             mapping: Vec::new(),
             replicated: false,
+            host: false,
         });
         Tensor { id, len, dtype }
     }
@@ -181,6 +192,28 @@ impl Graph {
             dtype,
             mapping: Vec::new(),
             replicated: true,
+            host: false,
+        });
+        Tensor { id, len, dtype }
+    }
+
+    /// Declares a **host** tensor: `len` elements of host DRAM behind the
+    /// PCIe link. It needs (and accepts) no tile mapping, pays no tile's
+    /// SRAM budget, and cannot be connected to vertices — device code
+    /// reaches it only through exchange programs ([`Program::copy`] /
+    /// [`Program::exchange`] with exactly one host endpoint), each charged
+    /// at the serial host-IO bandwidth. This is how a program streams a
+    /// cost matrix bigger than the chip's SRAM through resident working
+    /// blocks.
+    pub fn add_host_tensor(&mut self, name: &str, dtype: DType, len: usize) -> Tensor {
+        let id = self.tensors.len();
+        self.tensors.push(TensorInfo {
+            name: name.to_string(),
+            len,
+            dtype,
+            mapping: Vec::new(),
+            replicated: false,
+            host: true,
         });
         Tensor { id, len, dtype }
     }
@@ -203,6 +236,11 @@ impl Graph {
         if info.replicated {
             return Err(GraphError::BadSlice {
                 detail: format!("tensor '{}' is replicated and needs no mapping", info.name),
+            });
+        }
+        if info.host {
+            return Err(GraphError::BadSlice {
+                detail: format!("tensor '{}' lives on the host and takes no tile mapping", info.name),
             });
         }
         if slice.end > info.len || slice.start > slice.end {
@@ -408,7 +446,7 @@ impl Graph {
 
     fn validate_mappings(&self) -> Result<(), GraphError> {
         for info in &self.tensors {
-            if info.replicated {
+            if info.replicated || info.host {
                 continue;
             }
             let mut covered = 0;
@@ -434,6 +472,10 @@ impl Graph {
     fn validate_memory(&self) -> Result<(), GraphError> {
         let mut per_tile = vec![0u64; self.config.tiles];
         for info in &self.tensors {
+            if info.host {
+                // Host DRAM, not tile SRAM.
+                continue;
+            }
             if info.replicated {
                 // Every tile pays for its replica.
                 let bytes = (info.len * info.dtype.size_bytes()) as u64;
@@ -458,6 +500,15 @@ impl Graph {
         for v in &self.vertices {
             for (slice, access) in &v.fields {
                 let info = &self.tensors[slice.tensor.id];
+                if info.host {
+                    return Err(GraphError::NotOnTile {
+                        detail: format!(
+                            "vertex '{}' connects host tensor '{}'; host data must be \
+                             exchanged into a device tensor first",
+                            v.name, info.name
+                        ),
+                    });
+                }
                 if info.replicated {
                     // Any tile reads its own replica; writes are only
                     // possible through Broadcast.
@@ -582,6 +633,23 @@ impl Graph {
             Program::Copy { src, dst } | Program::Broadcast { src, dst } => {
                 let si = &self.tensors[src.tensor.id];
                 let di = &self.tensors[dst.tensor.id];
+                if si.host && di.host {
+                    return Err(GraphError::BadSlice {
+                        detail: format!(
+                            "copy '{}' -> '{}' never touches the device; host-to-host \
+                             moves belong on the host",
+                            si.name, di.name
+                        ),
+                    });
+                }
+                if (si.host || di.host) && matches!(program, Program::Broadcast { .. }) {
+                    return Err(GraphError::BadSlice {
+                        detail: format!(
+                            "broadcast endpoints must be device tensors ('{}' / '{}')",
+                            si.name, di.name
+                        ),
+                    });
+                }
                 if si.replicated {
                     return Err(GraphError::BadSlice {
                         detail: format!("'{}' is replicated and cannot be a copy source", si.name),

@@ -38,6 +38,11 @@ use trace::{ChromeTrace, TraceEvent};
 /// entries).
 pub const BROADCAST_TILE: u32 = u32::MAX;
 
+/// Endpoint marker for host-streamed exchanges (a host tensor has no
+/// tile; the heatmap records the PCIe link as this pseudo-tile on
+/// whichever side of the pair the host sits).
+pub const HOST_TILE: u32 = u32::MAX - 1;
+
 /// Trace lane (`tid`) carrying the chip-level timeline.
 const CHIP_TID: u64 = 0;
 /// Trace lanes `TILE_TID_BASE + tile` carry sampled per-tile detail.
@@ -429,6 +434,8 @@ impl Profiler {
                 // remote chip (the engine charges the source the same
                 // way).
                 cross_chip_bytes += b * (self.ipus as u64 - 1);
+            } else if src == HOST_TILE || dst == HOST_TILE {
+                // Host-streamed bytes ride PCIe, not the IPU-Links.
             } else if chip(src) != chip(dst) {
                 cross_chip_bytes += b;
             }

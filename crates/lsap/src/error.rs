@@ -95,6 +95,17 @@ pub enum LsapError {
         /// The queue's admission bound.
         capacity: usize,
     },
+    /// A pruned (k-candidate) instance admits no perfect matching within
+    /// its candidate sets — some subset of rows competes for fewer
+    /// columns than rows (a Hall-condition violation introduced by the
+    /// pruning, never by the dense instance). The repair loop reacts by
+    /// re-admitting columns or escalating `k`; surfacing it as its own
+    /// variant is what lets that loop distinguish "prune was too
+    /// aggressive" from a genuine backend failure.
+    SparseInfeasible {
+        /// Candidate count per row of the infeasible pruned instance.
+        k: usize,
+    },
     /// A request's cycle-denominated deadline budget ran out before (or
     /// while) producing an answer. Unlike [`LsapError::Timeout`] (a
     /// per-attempt wall-clock guard), this is a *total* budget on the
@@ -169,6 +180,11 @@ impl fmt::Display for LsapError {
                 f,
                 "service overloaded: request shed at admission \
                  (queue {queue_depth}/{capacity})"
+            ),
+            LsapError::SparseInfeasible { k } => write!(
+                f,
+                "pruned instance with k={k} candidates per row has no \
+                 perfect matching; re-admit columns or escalate k"
             ),
             LsapError::DeadlineExceeded {
                 budget_cycles,

@@ -16,7 +16,11 @@
 //! - [`portfolio`] — analytic per-engine cost models and the
 //!   [`PortfolioSolver`] that dispatches each instance to the predicted-
 //!   cheapest engine, with the [`ResilientSolver`] retry/fallback loop
-//!   run in predicted order.
+//!   run in predicted order,
+//! - [`sparse`] — pruned k-candidate instances ([`SparseCost`]) and the
+//!   certificate-gated repair loop ([`solve_pruned_with_repair`]) that
+//!   keeps pruned solves exactly optimal with respect to the dense
+//!   instance.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@ pub mod portfolio;
 mod rectangular;
 mod resilient;
 mod solver;
+pub mod sparse;
 
 pub use assignment::Assignment;
 pub use batch::{
@@ -66,6 +71,7 @@ pub use portfolio::{
 pub use rectangular::solve_rectangular;
 pub use resilient::{AttemptRecord, ResilientSolver, RetryPolicy};
 pub use solver::{LsapSolver, SolveReport, SolverStats};
+pub use sparse::{solve_pruned_with_repair, violated_entries, RepairReport, SparseCost};
 
 /// Default absolute tolerance used when comparing floating-point costs.
 ///

@@ -50,6 +50,11 @@ use serde::{Deserialize, Serialize};
 /// drawn from `[1, k·n]`). Density multipliers are normalized to 1 here.
 pub const K_REF: f64 = 10.0;
 
+/// Reference candidate count for sparse k-candidate shapes: candidate
+/// multipliers ([`EngineCostModel::candidate_exponent`]) are normalized
+/// to 1 at 8 candidates per row, the sparse bench grid's center.
+pub const CAND_REF: f64 = 8.0;
+
 /// The shape features the cost models see.
 ///
 /// `k` is the value-range factor of the instance family (costs in
@@ -65,6 +70,12 @@ pub struct InstanceShape {
     pub batch: usize,
     /// Chips the IPU engine would span.
     pub chips: usize,
+    /// Candidate columns per row for k-candidate pruned instances;
+    /// `None` means dense. Sparse-only engines support only `Some`
+    /// shapes, and their cost scales with the candidate count (see
+    /// [`CAND_REF`]).
+    #[serde(default)]
+    pub candidates: Option<usize>,
 }
 
 impl InstanceShape {
@@ -75,6 +86,7 @@ impl InstanceShape {
             k: k.max(1.0),
             batch: 1,
             chips: 1,
+            candidates: None,
         }
     }
 
@@ -92,6 +104,13 @@ impl InstanceShape {
         self
     }
 
+    /// Marks the shape as a k-candidate pruned instance.
+    pub fn with_candidates(mut self, candidates: usize) -> Self {
+        assert!(candidates >= 1, "candidates must be >= 1");
+        self.candidates = Some(candidates);
+        self
+    }
+
     /// Infers the shape of a concrete matrix: `n` from its dimension and
     /// `k` from the value range (`max entry ≈ k·n` for the paper's
     /// instance families).
@@ -103,7 +122,13 @@ impl InstanceShape {
         } else {
             K_REF
         };
-        Self { n, k, batch, chips }
+        Self {
+            n,
+            k,
+            batch,
+            chips,
+            candidates: None,
+        }
     }
 }
 
@@ -166,7 +191,18 @@ pub enum Support {
     Any,
     /// Power-of-two sizes only (FastHA's kernel grid).
     PowerOfTwo,
+    /// Sizes up to [`SRAM_CEILING_N`] — the in-SRAM dense IPU engine,
+    /// whose per-tile slack blocks stop fitting the 624 KiB budget past
+    /// the paper's n = 8192 (beyond it, only the tiled out-of-core
+    /// engine can take the instance).
+    UpToSramCeiling,
 }
+
+/// Largest dense instance the in-SRAM IPU program fits on the Mk2 (the
+/// paper's n = 8192 upper experiment bound: 6 rows × 8192 × 8 B of
+/// slack + compress per tile ≈ 384 KiB, within budget; doubling n is
+/// not).
+pub const SRAM_CEILING_N: usize = 8192;
 
 impl Support {
     /// `true` if an `n × n` instance is solvable by the engine.
@@ -174,8 +210,21 @@ impl Support {
         match self {
             Support::Any => n >= 1,
             Support::PowerOfTwo => n >= 1 && n.is_power_of_two(),
+            Support::UpToSramCeiling => n >= 1 && n <= SRAM_CEILING_N,
         }
     }
+}
+
+/// Which cost-matrix representations an engine consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EngineClass {
+    /// Dense matrices (also serves pruned shapes by densifying — at
+    /// dense cost, which is what the candidate-aware ranking penalizes).
+    #[default]
+    Dense,
+    /// k-candidate pruned instances only ([`InstanceShape::candidates`]
+    /// must be `Some`).
+    SparseOnly,
 }
 
 /// Analytic cost model of one engine, in the engine's **native cost
@@ -215,12 +264,30 @@ pub struct EngineCostModel {
     pub overhead: PowerLaw,
     /// Which sizes the engine accepts.
     pub support: Support,
+    /// Which representations the engine consumes (dense by default).
+    #[serde(default)]
+    pub class: EngineClass,
+    /// Exponent of the `(candidates / CAND_REF)` multiplier applied to
+    /// sparse shapes (≥ 0; 0 for engines whose cost ignores candidate
+    /// count — every dense engine).
+    #[serde(default)]
+    pub candidate_exponent: f64,
 }
 
 impl EngineCostModel {
     /// `true` if the engine can solve an `n × n` instance at all.
     pub fn supports(&self, n: usize) -> bool {
         self.support.accepts(n)
+    }
+
+    /// `true` if the engine can take this shape: size *and*
+    /// representation (a sparse-only engine needs a candidate count).
+    pub fn supports_shape(&self, shape: InstanceShape) -> bool {
+        let class_ok = match self.class {
+            EngineClass::Dense => true,
+            EngineClass::SparseOnly => shape.candidates.is_some(),
+        };
+        class_ok && self.support.accepts(shape.n)
     }
 
     /// The chip-count multiplier for `chips`, interpolated linearly in
@@ -252,9 +319,14 @@ impl EngineCostModel {
     /// units (monotone in `n` and `batch`).
     pub fn batch_cost(&self, shape: InstanceShape) -> f64 {
         let density = (shape.k.max(1.0) / K_REF).powf(self.density_exponent);
+        let candidates = match shape.candidates {
+            Some(c) => ((c.max(1) as f64) / CAND_REF).powf(self.candidate_exponent),
+            None => 1.0,
+        };
         shape.batch as f64
             * self.solve.eval(shape.n as f64)
             * density
+            * candidates
             * self.chip_multiplier(shape.chips)
             + self.overhead.eval(shape.n as f64)
     }
@@ -286,6 +358,11 @@ impl EngineCostModel {
         assert!(
             self.density_exponent >= 0.0,
             "{}: density exponent must be >= 0",
+            self.engine
+        );
+        assert!(
+            self.candidate_exponent >= 0.0,
+            "{}: candidate exponent must be >= 0",
             self.engine
         );
         assert!(
@@ -349,7 +426,7 @@ impl PortfolioTable {
             .map(|m| Prediction {
                 engine: m.engine.clone(),
                 seconds_per_instance: m.seconds_per_instance(shape),
-                supported: m.supports(shape.n),
+                supported: m.supports_shape(shape),
             })
             .collect();
         out.sort_by(|a, b| {
@@ -364,7 +441,7 @@ impl PortfolioTable {
     pub fn pick(&self, shape: InstanceShape) -> Option<&EngineCostModel> {
         self.models
             .iter()
-            .filter(|m| m.supports(shape.n))
+            .filter(|m| m.supports_shape(shape))
             .min_by(|a, b| {
                 a.seconds_per_instance(shape)
                     .total_cmp(&b.seconds_per_instance(shape))
@@ -408,7 +485,11 @@ impl PortfolioTable {
                     coeff: 4.531293e5,
                     exponent: 0.0337,
                 },
-                support: Support::Any,
+                // In-SRAM dense program: past the paper's n = 8192 the
+                // per-tile slack blocks no longer fit 624 KiB.
+                support: Support::UpToSramCeiling,
+                class: EngineClass::Dense,
+                candidate_exponent: 0.0,
             },
             EngineCostModel {
                 engine: "fastha".into(),
@@ -424,6 +505,8 @@ impl PortfolioTable {
                     exponent: 1.8096,
                 },
                 support: Support::PowerOfTwo,
+                class: EngineClass::Dense,
+                candidate_exponent: 0.0,
             },
             EngineCostModel {
                 engine: "jv".into(),
@@ -436,6 +519,8 @@ impl PortfolioTable {
                 chip_mult: Vec::new(),
                 overhead: PowerLaw::zero(),
                 support: Support::Any,
+                class: EngineClass::Dense,
+                candidate_exponent: 0.0,
             },
             EngineCostModel {
                 engine: "munkres".into(),
@@ -448,6 +533,8 @@ impl PortfolioTable {
                 chip_mult: Vec::new(),
                 overhead: PowerLaw::zero(),
                 support: Support::Any,
+                class: EngineClass::Dense,
+                candidate_exponent: 0.0,
             },
             EngineCostModel {
                 engine: "auction".into(),
@@ -460,6 +547,54 @@ impl PortfolioTable {
                 chip_mult: Vec::new(),
                 overhead: PowerLaw::zero(),
                 support: Support::Any,
+                class: EngineClass::Dense,
+                candidate_exponent: 0.0,
+            },
+            // The two beyond-SRAM engines (`bench scale` measures the
+            // anchors; see DESIGN.md §14):
+            //
+            // - `hunipu_sparse`: k-candidate pruned solves. Per-sweep
+            //   work is O(n·k) instead of O(n²), so the solve law drops
+            //   an order in n and the candidate multiplier carries the
+            //   k-dependence (≈ linear). Anchor: n=1024, k=8 solves with
+            //   ≥ 5× fewer compute cycles than dense (CI-gated).
+            // - `hunipu_tiled`: dense out-of-core streaming. Pays the
+            //   PCIe stream (n²·4 B / 24 B-per-cycle) every sweep on top
+            //   of dense-like compute, so it never wins below the SRAM
+            //   ceiling — it exists to take the sizes `hunipu` cannot.
+            EngineCostModel {
+                engine: "hunipu_sparse".into(),
+                clock_hz: 1325000000.0,
+                solve: PowerLaw {
+                    coeff: 5.8e3,
+                    exponent: 0.94,
+                },
+                density_exponent: 0.0632,
+                chip_mult: Vec::new(),
+                overhead: PowerLaw {
+                    coeff: 4.531293e5,
+                    exponent: 0.0337,
+                },
+                support: Support::Any,
+                class: EngineClass::SparseOnly,
+                candidate_exponent: 1.0,
+            },
+            EngineCostModel {
+                engine: "hunipu_tiled".into(),
+                clock_hz: 1325000000.0,
+                solve: PowerLaw {
+                    coeff: 7.3e3,
+                    exponent: 2.0,
+                },
+                density_exponent: 0.0632,
+                chip_mult: Vec::new(),
+                overhead: PowerLaw {
+                    coeff: 4.531293e5,
+                    exponent: 0.0337,
+                },
+                support: Support::Any,
+                class: EngineClass::Dense,
+                candidate_exponent: 0.0,
             },
         ])
     }
@@ -672,6 +807,8 @@ mod tests {
             chip_mult: Vec::new(),
             overhead: PowerLaw::zero(),
             support: Support::Any,
+            class: EngineClass::Dense,
+            candidate_exponent: 0.0,
         }
     }
 
@@ -787,6 +924,56 @@ mod tests {
         assert!(fastha.seconds_per_instance(batched) < hunipu.seconds_per_instance(batched));
         // Extra chips raise IPU cost at bench sizes (inter-chip fabric).
         assert!(hunipu.seconds_per_instance(s.with_chips(4)) > hunipu.seconds_per_instance(s));
+    }
+
+    #[test]
+    fn calibrated_table_routes_sparse_and_beyond_ceiling_shapes() {
+        let t = PortfolioTable::calibrated();
+
+        // A dense shape never dispatches to the sparse-only engine: it is
+        // ranked unsupported no matter how favorable the size.
+        let dense = InstanceShape::single(512, K_REF).with_batch(64);
+        let rank = t.rank(dense);
+        let sparse_pos = rank.iter().find(|p| p.engine == "hunipu_sparse").unwrap();
+        assert!(
+            !sparse_pos.supported,
+            "sparse-only engine must be unsupported for dense shapes"
+        );
+
+        // The same instance arriving as a k=8 candidate list flips the
+        // IPU-side choice: pruned solves are modeled O(n·k) per sweep and
+        // undercut densifying back to the n² program.
+        let pruned = dense.with_candidates(8);
+        let sparse = t.get("hunipu_sparse").unwrap();
+        let hunipu = t.get("hunipu").unwrap();
+        assert!(sparse.supports_shape(pruned));
+        assert!(
+            sparse.seconds_per_instance(pruned) < hunipu.seconds_per_instance(pruned),
+            "k=8 candidate instances must route to the sparse engine, not densify"
+        );
+
+        // At large n the sparse engine wins the whole table, CPUs included.
+        let big_pruned = InstanceShape::single(4096, K_REF)
+            .with_batch(64)
+            .with_candidates(8);
+        assert_eq!(t.pick(big_pruned).unwrap().engine, "hunipu_sparse");
+
+        // Beyond the SRAM ceiling the dense IPU engine drops out and the
+        // tiled out-of-core engine is the only IPU option left standing.
+        let huge = InstanceShape::single(2 * SRAM_CEILING_N, K_REF);
+        assert!(!hunipu.supports_shape(huge), "dense IPU engine capped at SRAM ceiling");
+        let tiled = t.get("hunipu_tiled").unwrap();
+        assert!(tiled.supports_shape(huge));
+        // ...but below the ceiling tiled never beats the resident path:
+        // streaming every cost block through PCIe each sweep is strictly
+        // worse when the whole matrix fits in SRAM.
+        for n in [256, 1024, 4096] {
+            let s = InstanceShape::single(n, K_REF);
+            assert!(
+                hunipu.seconds_per_instance(s) < tiled.seconds_per_instance(s),
+                "tiled must not win below the SRAM ceiling (n={n})"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! make deadline-based rung skipping unsound (a bigger instance predicted
 //! cheaper than a smaller one) and the regret gate unstable.
 
-use lsap::portfolio::{EngineCostModel, InstanceShape, PortfolioTable, PowerLaw, Support, K_REF};
+use lsap::portfolio::{EngineClass, EngineCostModel, InstanceShape, PortfolioTable, PowerLaw, Support, K_REF};
 use proptest::prelude::*;
 
 proptest! {
@@ -21,8 +21,8 @@ proptest! {
     ) {
         let n2 = n1 + dn;
         for m in &PortfolioTable::calibrated().models {
-            let c1 = m.batch_cost(InstanceShape { n: n1, k, batch, chips });
-            let c2 = m.batch_cost(InstanceShape { n: n2, k, batch, chips });
+            let c1 = m.batch_cost(InstanceShape { n: n1, k, batch, chips, candidates: None });
+            let c2 = m.batch_cost(InstanceShape { n: n2, k, batch, chips, candidates: None });
             prop_assert!(
                 c2 >= c1,
                 "{}: cost({n2}) = {c2} < cost({n1}) = {c1}",
@@ -41,8 +41,8 @@ proptest! {
     ) {
         let b2 = b1 + db;
         for m in &PortfolioTable::calibrated().models {
-            let s1 = InstanceShape { n, k, batch: b1, chips };
-            let s2 = InstanceShape { n, k, batch: b2, chips };
+            let s1 = InstanceShape { n, k, batch: b1, chips, candidates: None };
+            let s2 = InstanceShape { n, k, batch: b2, chips, candidates: None };
             // Total batch cost grows with the batch...
             prop_assert!(m.batch_cost(s2) >= m.batch_cost(s1), "{}", m.engine);
             // ...while the amortized per-instance cost never grows (the
@@ -78,8 +78,10 @@ proptest! {
             chip_mult: vec![(1, 1.0), (4, m4)],
             overhead: PowerLaw { coeff: ov_coeff, exponent: ov_exponent },
             support: Support::Any,
+            class: EngineClass::Dense,
+            candidate_exponent: 0.0,
         };
-        let base = InstanceShape { n: n1, k, batch: b1, chips };
+        let base = InstanceShape { n: n1, k, batch: b1, chips, candidates: None };
         let bigger_n = InstanceShape { n: n1 + dn, ..base };
         let bigger_b = InstanceShape { batch: b1 + db, ..base };
         prop_assert!(m.batch_cost(bigger_n) >= m.batch_cost(base));
@@ -94,12 +96,12 @@ proptest! {
         chips in 1usize..8,
     ) {
         let table = PortfolioTable::calibrated();
-        let shape = InstanceShape { n, k, batch, chips };
+        let shape = InstanceShape { n, k, batch, chips, candidates: None };
         let picked = table.pick(shape).expect("some engine supports every n");
         let best = table
             .models
             .iter()
-            .filter(|m| m.supports(n))
+            .filter(|m| m.supports_shape(shape))
             .map(|m| m.seconds_per_instance(shape))
             .fold(f64::INFINITY, f64::min);
         prop_assert_eq!(picked.seconds_per_instance(shape), best);

@@ -800,6 +800,17 @@ impl AssignmentService {
         }
     }
 
+    /// The IPU cost model matching how the device rung would actually
+    /// run this shape: the dense-resident model while the matrix fits
+    /// under the SRAM ceiling, the tiled out-of-core model beyond it.
+    fn ipu_engine_for(table: &PortfolioTable, shape: InstanceShape) -> &'static str {
+        let dense_ok = table
+            .models
+            .iter()
+            .any(|m| m.engine == "hunipu" && m.supports_shape(shape));
+        if dense_ok { "hunipu" } else { "hunipu_tiled" }
+    }
+
     /// Order of the exact rungs for this request. Device-first by
     /// default; with the portfolio on, whichever engine the calibrated
     /// models predict cheaper for the request's shape goes first.
@@ -815,7 +826,7 @@ impl AssignmentService {
                 .find(|m| m.engine == engine)
                 .map(|m| m.seconds_per_instance(shape))
         };
-        match (predict("hunipu"), predict("jv")) {
+        match (predict(Self::ipu_engine_for(table, shape)), predict("jv")) {
             (Some(ipu), Some(cpu)) if cpu < ipu => [Rung::Cpu, Rung::Ipu],
             _ => [Rung::Ipu, Rung::Cpu],
         }
@@ -832,12 +843,12 @@ impl AssignmentService {
             return Some(est);
         }
         let table = self.portfolio_table.as_ref()?;
+        let shape = InstanceShape::from_matrix(matrix, 1, 1);
         let engine = match rung {
-            Rung::Ipu => "hunipu",
+            Rung::Ipu => Self::ipu_engine_for(table, shape),
             Rung::Cpu => "jv",
             Rung::IpuSeeded => return None,
         };
-        let shape = InstanceShape::from_matrix(matrix, 1, 1);
         table
             .models
             .iter()
